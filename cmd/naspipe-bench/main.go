@@ -1,0 +1,59 @@
+// Command naspipe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	naspipe-bench -exp table2            # one experiment
+//	naspipe-bench -exp table2,figure5    # several
+//	naspipe-bench -exp all               # the whole evaluation (§5)
+//	naspipe-bench -exp all -quick        # reduced sizes for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"naspipe"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment names, or 'all' (known: "+strings.Join(naspipe.ExperimentNames(), ", ")+")")
+		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke pass")
+		seed    = flag.Uint64("seed", 42, "global random seed")
+		gpus    = flag.Int("gpus", 8, "default GPU count for single-cluster experiments")
+		subnets = flag.Int("subnets", 0, "performance-plane subnets per run (0 = default)")
+	)
+	flag.Parse()
+
+	o := naspipe.DefaultExperimentOptions()
+	if *quick {
+		o = naspipe.QuickExperimentOptions()
+	}
+	o.Seed = *seed
+	o.GPUs = *gpus
+	if *subnets > 0 {
+		o.Subnets = *subnets
+	}
+
+	names := strings.Split(*exps, ",")
+	if *exps == "all" {
+		names = naspipe.ExperimentNames()
+	}
+	exit := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		t0 := time.Now()
+		out, err := naspipe.Experiment(name, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

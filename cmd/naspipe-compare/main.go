@@ -1,0 +1,91 @@
+// Command naspipe-compare is the artifact's Experiment 1: it trains the
+// same supernet under NASPipe's CSP schedule on two different cluster
+// sizes and compares every training step's output — and the final weights
+// — in full floating-point precision. With CSP, everything matches
+// bitwise; pass -policy gpipe or -policy pipedream to watch a baseline
+// diverge.
+//
+// Usage:
+//
+//	naspipe-compare                         # NLP.c0 scaled, 1 vs 4 GPUs, 500 steps
+//	naspipe-compare -steps 200 -gpus-b 8
+//	naspipe-compare -policy gpipe           # demonstrate BSP divergence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"naspipe"
+)
+
+func main() {
+	var (
+		space   = flag.String("space", "NLP.c0", "search space (Table 1 name, scaled for numeric training)")
+		policy  = flag.String("policy", "naspipe", "scheduling policy to compare")
+		steps   = flag.Int("steps", 500, "training steps (subnets)")
+		gpusA   = flag.Int("gpus-a", 1, "first cluster size")
+		gpusB   = flag.Int("gpus-b", 4, "second cluster size")
+		seed    = flag.Uint64("seed", 42, "seed")
+		blocks  = flag.Int("blocks", 12, "scaled choice blocks")
+		choices = flag.Int("choices", 8, "scaled choices per block")
+	)
+	flag.Parse()
+
+	base, err := naspipe.SpaceByName(*space)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sp := base.Scaled(*blocks, *choices)
+	cfg := naspipe.TrainConfig{Space: sp, Dim: 12, Seed: *seed, BatchSize: 4, LR: 0.05}
+	subs := naspipe.SampleSubnets(sp, *seed, *steps)
+
+	runOn := func(d int) naspipe.TrainResult {
+		res, err := naspipe.RunPolicy(naspipe.Config{
+			Space: sp, Spec: naspipe.DefaultCluster(d), Seed: *seed,
+			NumSubnets: *steps, RecordTrace: true,
+		}, *policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if res.Failed {
+			fmt.Fprintf(os.Stderr, "%s cannot run on %d GPUs: %s\n", *policy, d, res.FailReason)
+			os.Exit(1)
+		}
+		num, err := naspipe.TrainReplay(cfg, subs, res.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return num
+	}
+
+	fmt.Printf("training %d steps of %s under %s on %d and %d GPUs...\n",
+		*steps, sp.Name, *policy, *gpusA, *gpusB)
+	a := runOn(*gpusA)
+	b := runOn(*gpusB)
+
+	matches, firstDiff := 0, -1
+	for i := range a.Losses {
+		if a.Losses[i] == b.Losses[i] {
+			matches++
+		} else if firstDiff < 0 {
+			firstDiff = i
+		}
+	}
+	fmt.Printf("step outputs matching (fp32, bitwise): %d/%d\n", matches, *steps)
+	if firstDiff >= 0 {
+		fmt.Printf("first divergence at step %d: %.9g vs %.9g\n",
+			firstDiff, a.Losses[firstDiff], b.Losses[firstDiff])
+	}
+	fmt.Printf("final weight checksums: %016x vs %016x\n", a.Checksum, b.Checksum)
+	if a.Checksum == b.Checksum && matches == *steps {
+		fmt.Println("RESULT: bitwise reproducible across cluster sizes")
+		return
+	}
+	fmt.Println("RESULT: NOT reproducible (expected for BSP/ASP policies)")
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command naspipe-train runs one pipeline supernet-training simulation
+// and reports its metrics: throughput, bubble ratio, GPU utilization,
+// cache hit rate, and memory footprints.
+//
+// Usage:
+//
+//	naspipe-train -space NLP.c1 -policy naspipe -gpus 8 -subnets 240
+//	naspipe-train -space NLP.c1 -policy gpipe   # compare a baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"naspipe"
+)
+
+func main() {
+	var (
+		space   = flag.String("space", "NLP.c1", "search space (Table 1 name)")
+		policy  = flag.String("policy", "naspipe", "scheduling policy: "+strings.Join(naspipe.PolicyNames(), ", "))
+		gpus    = flag.Int("gpus", 8, "GPU count (pipeline depth)")
+		subnets = flag.Int("subnets", 240, "subnets to train")
+		seed    = flag.Uint64("seed", 42, "exploration seed")
+		window  = flag.Int("window", 48, "pipeline admission window")
+		saveTr  = flag.String("save-trace", "", "write the parameter-access trace record to this file for naspipe-replay")
+	)
+	flag.Parse()
+
+	sp, err := naspipe.SpaceByName(*space)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := naspipe.RunPolicy(naspipe.Config{
+		Space: sp, Spec: naspipe.DefaultCluster(*gpus),
+		Seed: *seed, NumSubnets: *subnets, InflightLimit: *window,
+		RecordTrace: *saveTr != "",
+	}, *policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if res.Failed {
+		fmt.Printf("%s cannot run %s on %d GPUs: %s\n", res.Policy, sp.Name, *gpus, res.FailReason)
+		os.Exit(1)
+	}
+
+	fmt.Printf("system:            %s (%s on %d GPUs, reproducible=%v)\n",
+		res.Policy, sp.Name, *gpus, mustPolicyReproducible(*policy))
+	fmt.Printf("subnets trained:   %d in %.1f simulated seconds\n", res.Completed, res.TotalMs/1000)
+	fmt.Printf("pipeline batch:    %d samples\n", res.Batch)
+	fmt.Printf("throughput:        %.0f samples/s (%.0f subnets/hour)\n", res.SamplesPerSec, res.SubnetsPerHour)
+	fmt.Printf("bubble ratio:      %.2f\n", res.BubbleRatio)
+	fmt.Printf("total GPU ALU:     %.2fx of one GPU\n", res.ALUTotal)
+	fmt.Printf("avg subnet exec:   %.2f s (bubble eliminated)\n", res.ExecMsAvg/1000)
+	if res.CacheHitRate >= 0 {
+		fmt.Printf("cache hit rate:    %.1f%%\n", 100*res.CacheHitRate)
+		fmt.Printf("CPU (pinned) mem:  %.1f GB for the supernet stash\n", float64(res.CPUMemBytes)/(1<<30))
+	} else {
+		fmt.Printf("cache hit rate:    n/a (whole context resident in GPU)\n")
+	}
+	fmt.Printf("GPU memory:        %.1fx of one GPU across the cluster\n", res.GPUMemX)
+	if res.MirrorBytes > 0 {
+		fmt.Printf("mirror pushes:     %.1f GB of parameter updates\n", float64(res.MirrorBytes)/(1<<30))
+	}
+	if *saveTr != "" {
+		rec := naspipe.NewTraceRecord(sp, *policy, *gpus, *seed, res.Completed, res.Trace)
+		f, err := os.Create(*saveTr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := rec.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace record:      %s (%d access events; replay with naspipe-replay -trace %s)\n",
+			*saveTr, res.Trace.Len(), *saveTr)
+	}
+}
+
+func mustPolicyReproducible(name string) bool {
+	p, err := naspipe.NewPolicy(name)
+	if err != nil {
+		return false
+	}
+	return p.Traits().Reproducible
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate pipeline-parallel supernet training with NASPipe's
+// causal synchronous parallel (CSP) scheduler and compare it against the
+// GPipe baseline on the same workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"naspipe"
+)
+
+func main() {
+	// Pick a Table-1 search space and the paper's 8-GPU testbed.
+	space := naspipe.NLPc1
+	cfg := naspipe.Config{
+		Space:      space,
+		Spec:       naspipe.DefaultCluster(8),
+		Seed:       1,
+		NumSubnets: 120,
+	}
+
+	fmt.Printf("search space %s: %d choice blocks x %d candidate layers (%s)\n\n",
+		space.Name, space.Blocks, space.Choices, space.Dataset)
+
+	for _, policy := range []string{"naspipe", "gpipe"} {
+		res, err := naspipe.RunPolicy(cfg, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Failed {
+			fmt.Printf("%-8s cannot run: %s\n", res.Policy, res.FailReason)
+			continue
+		}
+		repro := "NOT reproducible"
+		p, _ := naspipe.NewPolicy(policy)
+		if p.Traits().Reproducible {
+			repro = "reproducible (CSP)"
+		}
+		fmt.Printf("%-8s batch=%-3d  %6.0f samples/s  bubble=%.2f  ALU=%.2fx  %s\n",
+			res.Policy, res.Batch, res.SamplesPerSec, res.BubbleRatio, res.ALUTotal, repro)
+	}
+
+	fmt.Println("\nNASPipe evicts inactive subnet contexts to CPU memory, which buys a")
+	fmt.Println("much larger batch (higher GPU efficiency) while deterministically")
+	fmt.Println("resolving every causal dependency between subnets.")
+}

@@ -1,0 +1,3 @@
+module naspipe
+
+go 1.22

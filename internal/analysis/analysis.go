@@ -1,0 +1,134 @@
+// Package analysis provides the post-training inspection tools the paper
+// motivates in §2.1: once a training procedure is recorded (and, under
+// CSP, exactly replayable), researchers analyze it — quantify causal
+// violations of non-CSP schedules, characterize a subnet stream's
+// dependency structure, and attribute where pipeline time went.
+package analysis
+
+import (
+	"fmt"
+
+	"naspipe/internal/supernet"
+	"naspipe/internal/trace"
+)
+
+// StalenessReport quantifies causal violations in a trace. A READ is
+// stale when at least one earlier subnet's WRITE to the same layer had
+// not yet been applied at read time; MissedWrites counts all such missing
+// updates. A schedule is sequential-equivalent iff StaleReads == 0.
+type StalenessReport struct {
+	Reads        int
+	StaleReads   int
+	MissedWrites int // total missing earlier updates across stale reads
+	MaxMissed    int // worst single read
+}
+
+// StaleFraction returns StaleReads/Reads (0 for empty traces).
+func (r StalenessReport) StaleFraction() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.StaleReads) / float64(r.Reads)
+}
+
+func (r StalenessReport) String() string {
+	return fmt.Sprintf("reads=%d stale=%d (%.1f%%) missedWrites=%d maxMissed=%d",
+		r.Reads, r.StaleReads, 100*r.StaleFraction(), r.MissedWrites, r.MaxMissed)
+}
+
+// Staleness walks the trace in order, tracking which (subnet, layer)
+// writes have landed, and scores every read against the earlier subnets
+// known to use the layer. The subnet universe is taken from the trace
+// itself (a subnet uses a layer iff it reads it at some point), so the
+// report needs no side information.
+func Staleness(tr *trace.Trace) StalenessReport {
+	// First pass: who reads (and therefore writes) each layer.
+	users := map[supernet.LayerID][]int{}
+	seen := map[[2]int]bool{}
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Read {
+			continue
+		}
+		key := [2]int{int(ev.Layer), ev.Subnet}
+		if !seen[key] {
+			seen[key] = true
+			users[ev.Layer] = append(users[ev.Layer], ev.Subnet)
+		}
+	}
+	written := map[[2]int]bool{}
+	var rep StalenessReport
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case trace.Write:
+			written[[2]int{int(ev.Layer), ev.Subnet}] = true
+		case trace.Read:
+			rep.Reads++
+			missed := 0
+			for _, u := range users[ev.Layer] {
+				if u < ev.Subnet && !written[[2]int{int(ev.Layer), u}] {
+					missed++
+				}
+			}
+			if missed > 0 {
+				rep.StaleReads++
+				rep.MissedWrites += missed
+				if missed > rep.MaxMissed {
+					rep.MaxMissed = missed
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// DepStats characterizes a subnet stream's causal dependency structure —
+// the workload property that determines how well CSP pipelines it.
+type DepStats struct {
+	Subnets         int
+	ConsecutiveRate float64 // P(step shares a layer with its predecessor)
+	PairRate        float64 // share rate over all ordered pairs
+	LongestChain    int     // longest path in the dependency DAG
+	AvgWidth        float64 // Subnets / LongestChain: parallelism upper bound
+}
+
+func (d DepStats) String() string {
+	return fmt.Sprintf("n=%d consecutive=%.2f pairs=%.2f chain=%d width=%.1f",
+		d.Subnets, d.ConsecutiveRate, d.PairRate, d.LongestChain, d.AvgWidth)
+}
+
+// Dependencies computes DepStats for a stream. O(n²·blocks); fine for
+// the stream lengths the pipeline holds (hundreds).
+func Dependencies(subs []supernet.Subnet) DepStats {
+	n := len(subs)
+	d := DepStats{Subnets: n}
+	if n < 2 {
+		d.LongestChain = n
+		d.AvgWidth = float64(n)
+		return d
+	}
+	consecutive, pairs := 0, 0
+	longest := make([]int, n)
+	best := 1
+	for i := 0; i < n; i++ {
+		longest[i] = 1
+		for j := 0; j < i; j++ {
+			if supernet.Shares(subs[j], subs[i]) {
+				pairs++
+				if j == i-1 {
+					consecutive++
+				}
+				if longest[j]+1 > longest[i] {
+					longest[i] = longest[j] + 1
+				}
+			}
+		}
+		if longest[i] > best {
+			best = longest[i]
+		}
+	}
+	d.ConsecutiveRate = float64(consecutive) / float64(n-1)
+	d.PairRate = float64(pairs) / float64(n*(n-1)/2)
+	d.LongestChain = best
+	d.AvgWidth = float64(n) / float64(best)
+	return d
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"naspipe/internal/cluster"
+	"naspipe/internal/engine"
+	"naspipe/internal/sched"
+	"naspipe/internal/supernet"
+	"naspipe/internal/trace"
+)
+
+func runTraced(t testing.TB, policy string, d int) *trace.Trace {
+	t.Helper()
+	p, err := sched.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(engine.Config{
+		Space: supernet.NLPc3, Spec: cluster.Default(d), Seed: 1,
+		NumSubnets: 24, RecordTrace: true,
+	}, p)
+	if res.Failed || res.Deadlock {
+		t.Fatalf("%s run failed", policy)
+	}
+	return res.Trace
+}
+
+func TestStalenessZeroForCSP(t *testing.T) {
+	rep := Staleness(runTraced(t, "naspipe", 4))
+	if rep.StaleReads != 0 || rep.MissedWrites != 0 {
+		t.Fatalf("CSP trace reported stale reads: %v", rep)
+	}
+	if rep.Reads == 0 {
+		t.Fatal("no reads counted")
+	}
+}
+
+func TestStalenessPositiveForBSPAndASP(t *testing.T) {
+	for _, policy := range []string{"gpipe", "pipedream"} {
+		rep := Staleness(runTraced(t, policy, 4))
+		if rep.StaleReads == 0 {
+			t.Errorf("%s trace reported no staleness on a dense space", policy)
+		}
+		if rep.MaxMissed < 1 || rep.MissedWrites < rep.StaleReads {
+			t.Errorf("%s staleness accounting inconsistent: %v", policy, rep)
+		}
+	}
+}
+
+func TestStalenessGrowsWithClusterSize(t *testing.T) {
+	small := Staleness(runTraced(t, "gpipe", 4))
+	large := Staleness(runTraced(t, "gpipe", 8))
+	if large.MissedWrites <= small.MissedWrites {
+		t.Fatalf("BSP staleness should grow with GPUs: %d vs %d",
+			small.MissedWrites, large.MissedWrites)
+	}
+}
+
+func TestStalenessHandCrafted(t *testing.T) {
+	var tr trace.Trace
+	// Subnets 0 and 1 share layer 5; 1 reads before 0 writes.
+	tr.Append(0, 5, 0, 0, trace.Read)
+	tr.Append(1, 5, 1, 0, trace.Read) // stale: missed subnet 0's write
+	tr.Append(2, 5, 0, 0, trace.Write)
+	tr.Append(3, 5, 1, 0, trace.Write)
+	rep := Staleness(&tr)
+	if rep.Reads != 2 || rep.StaleReads != 1 || rep.MissedWrites != 1 || rep.MaxMissed != 1 {
+		t.Fatalf("hand-crafted staleness wrong: %v", rep)
+	}
+	if rep.StaleFraction() != 0.5 {
+		t.Fatalf("fraction %f", rep.StaleFraction())
+	}
+}
+
+func TestDependenciesHandCrafted(t *testing.T) {
+	subs := []supernet.Subnet{
+		{Seq: 0, Choices: []int{0, 0}},
+		{Seq: 1, Choices: []int{0, 1}}, // depends on 0 (block 0)
+		{Seq: 2, Choices: []int{1, 2}}, // independent of both
+		{Seq: 3, Choices: []int{0, 2}}, // depends on 0,1 (block 0), 2 (block 1)
+	}
+	d := Dependencies(subs)
+	if d.Subnets != 4 {
+		t.Fatal("count")
+	}
+	// Chain 0 -> 1 -> 3 has length 3.
+	if d.LongestChain != 3 {
+		t.Fatalf("longest chain %d want 3", d.LongestChain)
+	}
+	if d.ConsecutiveRate != 2.0/3 { // pairs (0,1) and (2,3) share
+		t.Fatalf("consecutive rate %f", d.ConsecutiveRate)
+	}
+}
+
+func TestDependenciesMatchesSamplerRate(t *testing.T) {
+	subs := supernet.Sample(supernet.NLPc1, 1, 150)
+	d := Dependencies(subs)
+	// 1-(1-1/72)^48 ≈ 0.49 for any pair.
+	if d.PairRate < 0.35 || d.PairRate > 0.63 {
+		t.Fatalf("pair rate %f implausible for NLP.c1", d.PairRate)
+	}
+	if d.LongestChain < 10 {
+		t.Fatalf("longest chain %d implausibly short", d.LongestChain)
+	}
+}
+
+func TestDependenciesDegenerate(t *testing.T) {
+	if d := Dependencies(nil); d.LongestChain != 0 {
+		t.Fatal("empty stream")
+	}
+	one := Dependencies([]supernet.Subnet{{Seq: 0, Choices: []int{1}}})
+	if one.LongestChain != 1 || one.AvgWidth != 1 {
+		t.Fatalf("single subnet: %+v", one)
+	}
+}
+
+// Property: staleness of any trace is internally consistent.
+func TestQuickStalenessConsistent(t *testing.T) {
+	f := func(seed uint64, dRaw uint8) bool {
+		d := int(dRaw)%4 + 1
+		p, _ := sched.New("pipedream")
+		res := engine.Run(engine.Config{
+			Space: supernet.CVc3.Scaled(6, 2), Spec: cluster.Default(d), Seed: seed,
+			NumSubnets: 10, RecordTrace: true,
+		}, p)
+		if res.Failed || res.Deadlock {
+			return false
+		}
+		rep := Staleness(res.Trace)
+		if rep.StaleReads > rep.Reads || rep.MissedWrites < rep.StaleReads && rep.StaleReads > 0 {
+			return false
+		}
+		return rep.MaxMissed <= rep.MissedWrites
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"naspipe/internal/layers"
+)
+
+func TestDefaultMatchesTestbed(t *testing.T) {
+	s := Default(8)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.GPUs != 8 || s.GPUsPerHost != 4 {
+		t.Fatalf("topology %d/%d", s.GPUs, s.GPUsPerHost)
+	}
+	if s.GPUMemBytes != 11<<30 {
+		t.Fatalf("GPU memory %d, want 11 GB", s.GPUMemBytes)
+	}
+	if s.PCIeBytesPerMs != 15760000 {
+		t.Fatalf("PCIe %f, want 15760 MB/s", s.PCIeBytesPerMs)
+	}
+	if s.NetBytesPerMs != 867000 {
+		t.Fatalf("net %f, want 867 MB/s", s.NetBytesPerMs)
+	}
+}
+
+func TestDefaultPanicsOnBadGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default(0)
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	s := Default(4)
+	s.FixedComputeFrac = 1.5
+	if s.Validate() == nil {
+		t.Fatal("expected error for FixedComputeFrac >= 1")
+	}
+	s = Default(4)
+	s.GPUMemBytes = 0
+	if s.Validate() == nil {
+		t.Fatal("expected error for zero memory")
+	}
+}
+
+func TestRefBatch(t *testing.T) {
+	if RefBatch(layers.NLP) != 192 || RefBatch(layers.CV) != 64 {
+		t.Fatal("reference batches must match the profiled input shapes")
+	}
+}
+
+func TestSampleBytes(t *testing.T) {
+	if SampleBytes(layers.NLP) != 192*1024*4 {
+		t.Fatalf("NLP sample bytes %d", SampleBytes(layers.NLP))
+	}
+	if SampleBytes(layers.CV) != 112*112*64*4 {
+		t.Fatalf("CV sample bytes %d", SampleBytes(layers.CV))
+	}
+}
+
+func TestComputeMsCalibration(t *testing.T) {
+	// The calibration target: on NLP.c1 the paper measured subnet exec
+	// 1.13 s at batch 192 and GPipe 0.54 s at batch 32. With base = time
+	// at ref batch 192, t(32)/t(192) must be ≈ 0.48 (±0.1).
+	s := Default(8)
+	ratio := s.ComputeMs(100, 32, 192) / s.ComputeMs(100, 192, 192)
+	if ratio < 0.38 || ratio > 0.58 {
+		t.Fatalf("t(32)/t(192) = %f, outside calibrated window", ratio)
+	}
+	// At reference batch the base cost is returned exactly.
+	if got := s.ComputeMs(100, 192, 192); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("ComputeMs at ref = %f want 100", got)
+	}
+}
+
+func TestComputeMsMonotone(t *testing.T) {
+	s := Default(8)
+	prev := 0.0
+	for _, b := range []int{1, 8, 32, 64, 128, 192, 256} {
+		got := s.ComputeMs(50, b, 192)
+		if got <= prev {
+			t.Fatalf("ComputeMs not strictly increasing at batch %d", b)
+		}
+		prev = got
+	}
+}
+
+func TestEfficiencySaturates(t *testing.T) {
+	s := Default(8)
+	small := s.EfficiencyFactor(16, 192)
+	large := s.EfficiencyFactor(192, 192)
+	if small >= large {
+		t.Fatalf("efficiency should grow with batch: %f >= %f", small, large)
+	}
+	if large != 1 {
+		t.Fatalf("efficiency at ref batch = %f want 1 (capped)", large)
+	}
+	if s.EfficiencyFactor(400, 192) != 1 {
+		t.Fatal("efficiency must cap at 1 beyond ref batch")
+	}
+}
+
+func TestSwapMsMatchesTable5(t *testing.T) {
+	// Swap time of a layer's parameters must invert to the Table 5 swap
+	// column by construction.
+	s := Default(8)
+	for _, k := range []layers.Kind{layers.Conv3x1, layers.Conv3x3, layers.Attention8Head} {
+		p := layers.Profile(k)
+		got := s.SwapMs(p.ParamBytes)
+		if math.Abs(got-p.SwapMs) > 0.01 {
+			t.Errorf("%v: SwapMs %f want %f", k, got, p.SwapMs)
+		}
+	}
+}
+
+func TestHostTopology(t *testing.T) {
+	s := Default(16)
+	if s.Host(0) != 0 || s.Host(3) != 0 || s.Host(4) != 1 || s.Host(15) != 3 {
+		t.Fatal("host mapping wrong")
+	}
+	if !s.SameHost(0, 3) || s.SameHost(3, 4) {
+		t.Fatal("SameHost wrong")
+	}
+}
+
+func TestCommMs(t *testing.T) {
+	s := Default(8)
+	if s.CommMs(2, 2, 1<<20) != 0 {
+		t.Fatal("self-communication must be free")
+	}
+	intra := s.CommMs(0, 1, 1<<20)
+	cross := s.CommMs(3, 4, 1<<20)
+	if intra >= cross {
+		t.Fatalf("intra-host (%f) must beat cross-host (%f)", intra, cross)
+	}
+	if cross < s.NetLatencyMs {
+		t.Fatal("cross-host transfer must include latency")
+	}
+}
+
+func TestMaxBatch(t *testing.T) {
+	s := Default(8)
+	// Parameters exceeding memory: batch 0 (system cannot run — the
+	// GPipe-on-NLP.c0 failure mode).
+	if got := s.MaxBatch(12<<30, 6, layers.NLP); got != 0 {
+		t.Fatalf("overfull stage got batch %d want 0", got)
+	}
+	// Small resident context leaves room for a large batch.
+	light := s.MaxBatch(1<<30, 6, layers.NLP)
+	heavy := s.MaxBatch(7<<30, 6, layers.NLP)
+	if light <= heavy {
+		t.Fatalf("freeing memory must raise max batch: light=%d heavy=%d", light, heavy)
+	}
+	if heavy < 1 {
+		t.Fatalf("positive free memory must allow batch >= 1, got %d", heavy)
+	}
+}
+
+func TestMaxBatchPaperRegime(t *testing.T) {
+	// NLP.c1 sanity: a GPipe stage holding ~7.5 GB of supernet parameters
+	// must get a far smaller batch than a NASPipe stage holding a ~3x
+	// subnet cache (~0.4 GB), and the ratio should be in the 3x–10x window
+	// the paper reports (32 vs 192 = 6x).
+	s := Default(8)
+	gpipe := s.MaxBatch(7<<30+1<<29, 6, layers.NLP)
+	naspipe := s.MaxBatch(1<<29, 6, layers.NLP)
+	if gpipe == 0 {
+		t.Fatal("GPipe NLP.c1 stage should still run")
+	}
+	ratio := float64(naspipe) / float64(gpipe)
+	if ratio < 2.5 || ratio > 12 {
+		t.Fatalf("batch ratio %f (naspipe %d, gpipe %d) outside paper regime", ratio, naspipe, gpipe)
+	}
+}
+
+// Property: ComputeMs is linear in base cost and monotone in batch.
+func TestQuickComputeMs(t *testing.T) {
+	s := Default(8)
+	f := func(baseRaw uint16, b1Raw, b2Raw uint8) bool {
+		base := float64(baseRaw%1000) + 1
+		b1 := int(b1Raw) + 1
+		b2 := int(b2Raw) + 1
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		t1 := s.ComputeMs(base, b1, 192)
+		t2 := s.ComputeMs(base, b2, 192)
+		if t2 < t1 {
+			return false
+		}
+		// Linearity in base.
+		return math.Abs(s.ComputeMs(2*base, b1, 192)-2*t1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CommMs is nonnegative, symmetric in direction, and monotone in
+// size.
+func TestQuickCommMs(t *testing.T) {
+	s := Default(16)
+	f := func(aRaw, bRaw uint8, szRaw uint32) bool {
+		a, b := int(aRaw)%16, int(bRaw)%16
+		sz := int64(szRaw)
+		c1 := s.CommMs(a, b, sz)
+		c2 := s.CommMs(b, a, sz)
+		if c1 < 0 || math.Abs(c1-c2) > 1e-12 {
+			return false
+		}
+		return s.CommMs(a, b, sz+1024) >= c1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestA100Preset(t *testing.T) {
+	s := A100(8)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := Default(8)
+	if s.GPUMemBytes <= d.GPUMemBytes || s.PCIeBytesPerMs <= d.PCIeBytesPerMs {
+		t.Fatal("A100 preset must dominate the 2080Ti testbed")
+	}
+	// With 80 GB the GPipe memory regime fits even a 10 GB stage slice at
+	// a healthy batch.
+	if b := s.MaxBatch(10<<30, 6, layers.NLP); b < 64 {
+		t.Fatalf("A100 batch %d implausibly small", b)
+	}
+}

@@ -1,0 +1,303 @@
+// Package csp implements Causal Synchronous Parallel scheduling — the
+// paper's core contribution (§3, Algorithms 1–3).
+//
+// CSP (Definition 2) requires dependency preservation: if subnets x < y
+// select the same candidate layer l, then y's accesses to l must wait for
+// x's WRITE (backward + optimizer step) on l to finish. Each pipeline
+// stage runs its own Scheduler instance, resolving dependencies locally
+// and in a decentralized way — no external synchronization server.
+//
+// The scheduling policy (§3.2): backward tasks always run first (they
+// retire dependencies and widen the schedulable set); forward tasks are
+// chosen by SCHEDULE (Algorithm 2), which scans the queue in sequence-ID
+// order and returns the first task whose stage-local layers do not collide
+// with any unfinished earlier subnet. A finished-list elimination scheme
+// bounds the scan: once every subnet below a sequence ID has finished,
+// those subnets drop out of both the finished list and the dependency
+// check.
+package csp
+
+import (
+	"fmt"
+	"sort"
+
+	"naspipe/internal/supernet"
+)
+
+// SubnetInfo is what a stage's scheduler knows about one subnet: its
+// sequence ID, the full set of candidate layers it activates (used when
+// the subnet appears as the *earlier* side of a dependency check — with
+// mirroring, a layer may sit on a different stage of the earlier subnet),
+// and the layers assigned to this stage (used when the subnet is the
+// *candidate* being scheduled).
+type SubnetInfo struct {
+	Seq         int
+	AllLayers   []supernet.LayerID // every chosen layer, any stage
+	StageLayers []supernet.LayerID // chosen layers on this scheduler's stage
+}
+
+// Scheduler is the per-stage CSP scheduler state: L_SN (known subnets) and
+// L_f (finished subnets) of Algorithm 1, plus a per-layer reverse index
+// that accelerates Algorithm 2's membership test.
+type Scheduler struct {
+	stage    int
+	subnets  map[int]*SubnetInfo
+	finished map[int]bool
+	// frontier: every subnet with Seq < frontier is finished and has been
+	// eliminated from the dependency check (the paper's elimination
+	// scheme keeping |L_f| ~ |L_q|).
+	frontier int
+	// users maps each layer to the set of *active* (registered, not yet
+	// eliminated) subnet sequence IDs that select it.
+	users map[supernet.LayerID]map[int]bool
+}
+
+// New returns an empty scheduler for the given stage.
+func New(stage int) *Scheduler {
+	return &Scheduler{
+		stage:    stage,
+		subnets:  make(map[int]*SubnetInfo),
+		finished: make(map[int]bool),
+		users:    make(map[supernet.LayerID]map[int]bool),
+	}
+}
+
+// Stage returns the stage this scheduler serves.
+func (s *Scheduler) Stage() int { return s.stage }
+
+// Frontier returns the lowest sequence ID still participating in
+// dependency checks. All subnets below it are finished and eliminated.
+func (s *Scheduler) Frontier() int { return s.frontier }
+
+// Active returns the number of registered, non-eliminated subnets.
+func (s *Scheduler) Active() int { return len(s.subnets) }
+
+// AddSubnet registers a subnet retrieved from the exploration frontend
+// (Algorithm 1 line 14). Subnets must be added in sequence order with no
+// gaps; this mirrors the producer-consumer retrieve() contract.
+func (s *Scheduler) AddSubnet(info SubnetInfo) error {
+	if info.Seq < s.frontier {
+		return fmt.Errorf("csp: subnet %d below frontier %d", info.Seq, s.frontier)
+	}
+	if _, dup := s.subnets[info.Seq]; dup {
+		return fmt.Errorf("csp: subnet %d already registered", info.Seq)
+	}
+	cp := &SubnetInfo{
+		Seq:         info.Seq,
+		AllLayers:   append([]supernet.LayerID(nil), info.AllLayers...),
+		StageLayers: append([]supernet.LayerID(nil), info.StageLayers...),
+	}
+	s.subnets[info.Seq] = cp
+	for _, l := range cp.AllLayers {
+		set := s.users[l]
+		if set == nil {
+			set = make(map[int]bool)
+			s.users[l] = set
+		}
+		set[info.Seq] = true
+	}
+	return nil
+}
+
+// MarkFinished records that the subnet's backward pass (its WRITE) has
+// completed and flushed on this stage, then advances the elimination
+// frontier (Algorithm 1 line 10 plus the §3.2 elimination scheme).
+func (s *Scheduler) MarkFinished(seq int) {
+	if seq < s.frontier || s.finished[seq] {
+		return
+	}
+	s.finished[seq] = true
+	for s.finished[s.frontier] {
+		s.eliminate(s.frontier)
+		s.frontier++
+	}
+}
+
+// MarkWritten records that subnet seq's WRITE to the given layers has
+// completed (the backward pass of the stage owning them finished, and —
+// for mirrored layers — the update has been pushed, §4.2). Blocked stops
+// considering those (layer, subnet) pairs immediately, which unblocks
+// dependents at per-layer granularity: tighter than whole-subnet
+// completion when two subnets' balanced partitions place a shared layer
+// on different stages.
+func (s *Scheduler) MarkWritten(seq int, ids []supernet.LayerID) {
+	for _, l := range ids {
+		if set := s.users[l]; set != nil {
+			delete(set, seq)
+			if len(set) == 0 {
+				delete(s.users, l)
+			}
+		}
+	}
+}
+
+// eliminate drops a finished subnet from all indexes.
+func (s *Scheduler) eliminate(seq int) {
+	delete(s.finished, seq)
+	info := s.subnets[seq]
+	if info != nil {
+		for _, l := range info.AllLayers {
+			if set := s.users[l]; set != nil {
+				delete(set, seq)
+				if len(set) == 0 {
+					delete(s.users, l)
+				}
+			}
+		}
+	}
+	delete(s.subnets, seq)
+}
+
+// Finished reports whether the subnet's WRITE has completed (or has been
+// eliminated as finished).
+func (s *Scheduler) Finished(seq int) bool {
+	return seq < s.frontier || s.finished[seq]
+}
+
+// Blocked reports whether scheduling subnet seq's forward on this stage
+// would violate CSP: some layer of its stage partition is selected by an
+// unfinished earlier subnet. This is Algorithm 2's inner check (lines
+// 4–10) with the per-layer index replacing the linear scan.
+func (s *Scheduler) Blocked(seq int) bool {
+	info := s.subnets[seq]
+	if info == nil {
+		// Unknown subnet: conservatively blocked; the caller has not
+		// registered it yet, so its dependencies cannot be checked.
+		return true
+	}
+	for _, l := range info.StageLayers {
+		for w := range s.users[l] {
+			if w < seq && !s.Finished(w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BlockingWriter returns the smallest unfinished earlier subnet that
+// blocks seq, or -1 if seq is unblocked. Used by the predictor to chain
+// pending backward releases.
+func (s *Scheduler) BlockingWriter(seq int) int {
+	info := s.subnets[seq]
+	if info == nil {
+		return -1
+	}
+	min := -1
+	for _, l := range info.StageLayers {
+		for w := range s.users[l] {
+			if w < seq && !s.Finished(w) {
+				if min == -1 || w < min {
+					min = w
+				}
+			}
+		}
+	}
+	return min
+}
+
+// Schedule is Algorithm 2: scan the queue in order and return the
+// position and sequence ID of the first forward task that satisfies CSP,
+// or (-1, -1) if every queued task is blocked. The queue is the stage's
+// L_q; entries are subnet sequence IDs whose forward input has arrived.
+func (s *Scheduler) Schedule(queue []int) (qidx, qval int) {
+	for i, seq := range queue {
+		if !s.Blocked(seq) {
+			return i, seq
+		}
+	}
+	return -1, -1
+}
+
+// ScheduleAssuming runs Schedule as if the given extra subnets were
+// already finished. The predictor uses it to look one backward completion
+// ahead (Algorithm 3 lines 4–9).
+func (s *Scheduler) ScheduleAssuming(queue []int, finished ...int) (qidx, qval int) {
+	assume := make(map[int]bool, len(finished))
+	for _, f := range finished {
+		assume[f] = true
+	}
+	for i, seq := range queue {
+		if !s.blockedAssuming(seq, assume) {
+			return i, seq
+		}
+	}
+	return -1, -1
+}
+
+func (s *Scheduler) blockedAssuming(seq int, assume map[int]bool) bool {
+	info := s.subnets[seq]
+	if info == nil {
+		return true
+	}
+	for _, l := range info.StageLayers {
+		for w := range s.users[l] {
+			if w < seq && !s.Finished(w) && !assume[w] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReferenceSchedule is the paper-literal Algorithm 2, kept as an oracle
+// for differential testing against the indexed implementation: nested
+// loops over the queue, all earlier subnets, and all layer choices, with
+// no reverse index and no elimination shortcuts beyond the frontier.
+func ReferenceSchedule(queue []int, finished map[int]bool, frontier int,
+	subnets map[int]*SubnetInfo) (qidx, qval int) {
+	for i, seq := range queue {
+		scheduled := true
+		cand := subnets[seq]
+		if cand == nil {
+			continue
+		}
+	earlier:
+		for wval := frontier; wval < seq; wval++ {
+			if finished[wval] {
+				continue
+			}
+			w := subnets[wval]
+			if w == nil {
+				continue
+			}
+			for _, l := range cand.StageLayers {
+				for _, wl := range w.AllLayers {
+					if l == wl {
+						scheduled = false
+						break earlier
+					}
+				}
+			}
+		}
+		if scheduled {
+			return i, seq
+		}
+	}
+	return -1, -1
+}
+
+// Snapshot exposes internal state for the reference oracle and for
+// debugging: a copy of the finished set and registered subnets.
+func (s *Scheduler) Snapshot() (finished map[int]bool, frontier int, subnets map[int]*SubnetInfo) {
+	f := make(map[int]bool, len(s.finished))
+	for k, v := range s.finished {
+		f[k] = v
+	}
+	subs := make(map[int]*SubnetInfo, len(s.subnets))
+	for k, v := range s.subnets {
+		subs[k] = v
+	}
+	return f, s.frontier, subs
+}
+
+// ActiveSeqs returns the registered, non-eliminated sequence IDs in
+// ascending order (diagnostics).
+func (s *Scheduler) ActiveSeqs() []int {
+	out := make([]int, 0, len(s.subnets))
+	for seq := range s.subnets {
+		out = append(out, seq)
+	}
+	sort.Ints(out)
+	return out
+}

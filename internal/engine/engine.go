@@ -1,0 +1,778 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"naspipe/internal/cluster"
+	"naspipe/internal/memctx"
+	"naspipe/internal/partition"
+	"naspipe/internal/rng"
+	"naspipe/internal/supernet"
+	"naspipe/internal/task"
+	"naspipe/internal/trace"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	Space      supernet.Space
+	Spec       cluster.Spec
+	Seed       uint64
+	NumSubnets int
+
+	// Subnets optionally injects an explicit ordered subnet stream
+	// (e.g. a hybrid multi-space interleave) instead of SPOS-sampling
+	// NumSubnets from the space. Sequence IDs must be 0..len-1.
+	Subnets []supernet.Subnet
+
+	// InflightLimit bounds the subnets admitted into the pipeline at
+	// once (the paper keeps |L_q| under ~30). 0 means max(3·D, 12).
+	InflightLimit int
+
+	// RecordTrace enables parameter-access trace emission (needed by the
+	// numeric replay plane; adds memory proportional to accesses).
+	RecordTrace bool
+
+	// BatchOverride forces the pipeline batch size instead of deriving it
+	// from the memory model. 0 derives it.
+	BatchOverride int
+
+	// TimingJitter perturbs every task's compute duration by a
+	// deterministic per-task factor in [1−j, 1+j], keyed by JitterSeed —
+	// a model of running on a *different cluster* with different (but
+	// still roughly deterministic) kernel timings. Definition 1 requires
+	// the training result to survive this; the CSP schedule's per-layer
+	// access order (and therefore the numeric result) is invariant under
+	// any jitter, while its wall-clock timeline is not.
+	TimingJitter float64
+	JitterSeed   uint64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Subnets) > 0 {
+		c.NumSubnets = len(c.Subnets)
+	}
+	if c.NumSubnets <= 0 {
+		c.NumSubnets = 64
+	}
+	if c.InflightLimit <= 0 {
+		c.InflightLimit = 3 * c.Spec.GPUs
+		if c.InflightLimit < 12 {
+			c.InflightLimit = 12
+		}
+	}
+	return c
+}
+
+// Result carries everything the paper's tables and figures report about
+// one run.
+type Result struct {
+	Policy string
+	Space  string
+	D      int
+
+	Failed     bool // the system could not run (parameters exceed GPU memory)
+	FailReason string
+	Deadlock   bool // scheduling stalled before completing (engine invariant violation)
+
+	Batch          int
+	TotalMs        float64
+	Completed      int
+	SamplesPerSec  float64
+	SubnetsPerHour float64
+	BubbleRatio    float64
+	ALUTotal       float64 // summed utilization across GPUs, × one GPU
+	GPUMemBytes    int64   // summed peak across GPUs
+	GPUMemX        float64 // same, normalized to one GPU's capacity
+	CPUMemBytes    int64   // pinned CPU storage for the supernet stash
+	ExecMsAvg      float64 // per-subnet execution time, bubbles eliminated
+	CacheHitRate   float64 // -1 when the system does not swap
+	StallMs        float64 // total compute stalls waiting on swaps
+	MirrorBytes    int64   // mirrored-parameter push traffic
+
+	CachedParamBytes int64 // resident parameter budget across stages ("Para.")
+	SupernetBytes    int64 // whole-supernet parameter size
+
+	StageBusyMs  []float64 // per-stage compute time (diagnostics)
+	StageStallMs []float64 // per-stage swap stalls (diagnostics)
+	AvgInflight  float64   // time-averaged subnets in flight (diagnostics)
+
+	// Spans records every task's admission and completion (only when
+	// Config.RecordTrace is set), for timeline rendering (Figure 1).
+	Spans []TaskSpan
+
+	Trace *trace.Trace // nil unless Config.RecordTrace
+}
+
+// TaskSpan is one task's timeline extent on its stage. Start is the
+// admission time (context acquire begins), End the completion; the task
+// may have been preempted in between by backward micro-tasks.
+type TaskSpan struct {
+	Task    task.Task
+	StartMs float64
+	EndMs   float64
+	StallMs float64
+}
+
+// event kinds, processed in (time, emission order).
+type evKind int
+
+const (
+	evFwdArrive evKind = iota
+	evBwdArrive
+	evMicroDone
+)
+
+type event struct {
+	time   float64
+	order  uint64
+	kind   evKind
+	stage  int
+	subnet int
+	tkind  task.Kind
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].order < h[j].order
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// execState is one admitted task being executed as a sequence of
+// per-layer micro-tasks. Real stages run one CUDA kernel per layer, so a
+// higher-priority task (a backward) preempts a running forward at the
+// next layer boundary rather than waiting out the whole stage pass.
+type execState struct {
+	t           task.Task
+	ids         []supernet.LayerID
+	remaining   []float64 // per-layer compute cost at the run batch, in order
+	next        int       // index of the next micro-task
+	availableAt float64   // context Acquire completion
+	computeMs   float64   // accumulated compute (for metrics)
+	stallSeen   bool
+	stallMs     float64
+	startedAt   float64
+}
+
+func (x *execState) done() bool { return x.next >= len(x.remaining) }
+
+type stageState struct {
+	running  bool // a micro-task is in flight
+	fwdQ     task.Queue
+	bwdReady []int
+	active   []*execState // admitted tasks; at most one forward
+	busyMs   float64
+	stallMs  float64
+	actBytes int64 // activation footprint at the chosen batch
+}
+
+func (st *stageState) hasForwardActive() bool {
+	for _, x := range st.active {
+		if x.t.Kind == task.Forward {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg    Config
+	policy Policy
+	traits Traits
+	w      *World
+
+	events   eventHeap
+	evOrder  uint64
+	now      float64
+	stages   []*stageState
+	mem      []*memctx.Manager
+	batch    int
+	refBatch int
+
+	// per-subnet per-stage task durations (compute+stall) for the exec
+	// metric.
+	fwdDur, bwdDur [][]float64
+
+	started      int
+	retrieved    int
+	completed    int
+	inflightArea float64 // ∫ inflight dt
+	lastInfT     float64
+	tr           *trace.Trace
+	spans        []TaskSpan
+	mirrorB      int64
+}
+
+// Run simulates the policy on the config and returns the result.
+func Run(cfg Config, policy Policy) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits()}
+	e.buildWorld()
+	res := Result{
+		Policy: e.traits.Name, Space: cfg.Space.Name, D: cfg.Spec.GPUs,
+		SupernetBytes: e.w.Net.TotalParamBytes(),
+	}
+	if failReason := e.sizeBatch(&res); failReason != "" {
+		res.Failed = true
+		res.FailReason = failReason
+		return res
+	}
+	e.setup()
+	e.loop()
+	e.finish(&res)
+	return res
+}
+
+func (e *Engine) buildWorld() {
+	cfg := e.cfg
+	net := supernet.Build(cfg.Space)
+	subs := cfg.Subnets
+	if len(subs) == 0 {
+		subs = supernet.Sample(cfg.Space, cfg.Seed, cfg.NumSubnets)
+	} else {
+		for i, sub := range subs {
+			if sub.Seq != i || len(sub.Choices) != cfg.Space.Blocks {
+				panic(fmt.Sprintf("engine: injected subnet %d malformed (seq %d, %d choices)",
+					i, sub.Seq, len(sub.Choices)))
+			}
+		}
+	}
+	d := cfg.Spec.GPUs
+	home := partition.Static(net, d)
+	parts := make([]partition.Partition, len(subs))
+	for i, sub := range subs {
+		if e.traits.Partition == PartitionBalanced {
+			parts[i] = partition.BalancedForSubnet(net, sub, d)
+		} else {
+			parts[i] = home
+		}
+	}
+	w := &World{
+		Space: cfg.Space, Net: net, Spec: cfg.Spec, D: d,
+		Subnets: subs, Home: home, Parts: parts,
+	}
+	w.BuildIndexes()
+	e.w = w
+}
+
+// stageBytes returns the parameter footprint of subnet seq's stage-k
+// partition.
+func (e *Engine) stageBytes(seq, k int) int64 {
+	var total int64
+	for _, id := range e.w.stageIDs[seq][k] {
+		total += e.w.Net.Meta[id].ParamBytes
+	}
+	return total
+}
+
+// sizeBatch derives the pipeline batch from the memory model and fills
+// the memory-related result columns. It returns a non-empty reason when
+// the configuration cannot run at all.
+func (e *Engine) sizeBatch(res *Result) string {
+	w := e.w
+	d := w.D
+	e.refBatch = cluster.RefBatch(w.Space.Domain)
+	stash := e.traits.ActStashFactor
+	if stash <= 0 {
+		stash = 1
+	}
+
+	resident := make([]int64, d)
+	layersIn := make([]float64, d)
+	if e.traits.CacheFactor == 0 {
+		// Whole supernet partition resident per stage (home partition).
+		for k := 0; k < d; k++ {
+			lo, hi := w.Home.Blocks(k)
+			var bytes int64
+			for b := lo; b < hi; b++ {
+				for c := 0; c < w.Space.Choices; c++ {
+					bytes += w.Net.Layer(b, c).ParamBytes
+				}
+			}
+			resident[k] = bytes
+			layersIn[k] = float64(hi - lo)
+		}
+	} else {
+		// For batch sizing only the steady-state executing context plus a
+		// small in-flight margin competes with activations: NASPipe's
+		// memory-limit check delays prefetch copies under pressure
+		// instead of shrinking the batch, so transient cache overage
+		// (up to CacheFactor×) does not consume activation budget.
+		budget := e.traits.CacheFactor
+		if budget > 1.2 {
+			budget = 1.2
+		}
+		// The budget is provisioned from the average subnet partition under
+		// the supernet's *home* placement — a profile-time constant, so
+		// systems with different execution partitions (balanced vs static)
+		// still provision (and batch) identically, as in Table 2 where
+		// NASPipe and VPipe share the same batch column.
+		for k := 0; k < d; k++ {
+			var sum int64
+			var blocks float64
+			lo, hi := w.Home.Blocks(k)
+			for i, sub := range w.Subnets {
+				for b := lo; b < hi; b++ {
+					sum += w.Net.Layer(b, sub.Choices[b]).ParamBytes
+				}
+				plo, phi := w.Parts[i].Blocks(k)
+				blocks += float64(phi - plo)
+			}
+			avg := float64(sum) / float64(len(w.Subnets))
+			resident[k] = int64(budget * avg)
+			layersIn[k] = blocks / float64(len(w.Subnets))
+		}
+	}
+
+	batch := e.refBatch
+	for k := 0; k < d; k++ {
+		nl := int(math.Ceil(layersIn[k] * stash))
+		if nl < 1 {
+			nl = 1
+		}
+		bk := e.cfg.Spec.MaxBatch(resident[k], nl, w.Space.Domain)
+		if bk == 0 {
+			return fmt.Sprintf("stage %d parameters (%d bytes) exceed GPU memory", k, resident[k])
+		}
+		if bk < batch {
+			batch = bk
+		}
+	}
+	if e.cfg.BatchOverride > 0 {
+		batch = e.cfg.BatchOverride
+	}
+	e.batch = batch
+	res.Batch = batch
+
+	// Report the full cache budget (CacheFactor×) as the resident
+	// parameter figure — the paper's "Para." column counts the whole
+	// cache (current + previous + prefetched subnet).
+	var cached int64
+	for k := 0; k < d; k++ {
+		if e.traits.CacheFactor > 0 {
+			cached += int64(float64(resident[k]) * e.traits.CacheFactor / minF(e.traits.CacheFactor, 1.2))
+		} else {
+			cached += resident[k]
+		}
+	}
+	res.CachedParamBytes = cached
+	if e.traits.CacheFactor > 0 {
+		res.CPUMemBytes = w.Net.TotalParamBytes()
+	}
+	// Peak GPU memory: resident parameters plus activation footprint.
+	var gpuTotal int64
+	e.stages = make([]*stageState, d)
+	for k := 0; k < d; k++ {
+		act := int64(float64(cluster.ActBytesPerSample(w.Space.Domain))*layersIn[k]*stash) * int64(batch)
+		use := resident[k] + act
+		if use > e.cfg.Spec.GPUMemBytes {
+			use = e.cfg.Spec.GPUMemBytes
+		}
+		gpuTotal += use
+		e.stages[k] = &stageState{actBytes: act}
+	}
+	res.GPUMemBytes = gpuTotal
+	res.GPUMemX = float64(gpuTotal) / float64(e.cfg.Spec.GPUMemBytes)
+	return ""
+}
+
+func (e *Engine) setup() {
+	w := e.w
+	d := w.D
+	e.mem = make([]*memctx.Manager, d)
+	for k := 0; k < d; k++ {
+		var capacity int64 = -1
+		if e.traits.CacheFactor > 0 {
+			var sum int64
+			for i := range w.Subnets {
+				sum += e.stageBytes(i, k)
+			}
+			capacity = int64(e.traits.CacheFactor * float64(sum) / float64(len(w.Subnets)))
+		}
+		m := memctx.New(capacity, e.cfg.Spec.PCIeBytesPerMs)
+		if e.traits.CacheFactor == 0 {
+			// Whole context resident: preload every candidate layer of
+			// the stage's home blocks.
+			lo, hi := w.Home.Blocks(k)
+			var ids []supernet.LayerID
+			for b := lo; b < hi; b++ {
+				for c := 0; c < w.Space.Choices; c++ {
+					ids = append(ids, w.Space.ID(b, c))
+				}
+			}
+			m.Preload(ids, func(id supernet.LayerID) int64 { return w.Net.Meta[id].ParamBytes })
+		}
+		e.mem[k] = m
+	}
+	e.fwdDur = make([][]float64, len(w.Subnets))
+	e.bwdDur = make([][]float64, len(w.Subnets))
+	for i := range w.Subnets {
+		e.fwdDur[i] = make([]float64, d)
+		e.bwdDur[i] = make([]float64, d)
+	}
+	if e.cfg.RecordTrace {
+		e.tr = &trace.Trace{}
+	}
+	e.policy.Init(w)
+	e.refill()
+	e.wakeAll()
+}
+
+// refill keeps stage 0's forward queue stocked with retrieved subnets,
+// bounded by the inflight window.
+func (e *Engine) refill() {
+	st := e.stages[0]
+	for e.retrieved < len(e.w.Subnets) &&
+		st.fwdQ.Len()+(e.started-e.completed) < e.cfg.InflightLimit {
+		st.fwdQ.Push(e.retrieved)
+		e.retrieved++
+	}
+}
+
+func (e *Engine) push(ev event) {
+	ev.order = e.evOrder
+	e.evOrder++
+	heap.Push(&e.events, ev)
+}
+
+func (e *Engine) loop() {
+	guard := 0
+	maxEvents := len(e.w.Subnets)*e.w.D*(2*e.w.Space.Blocks+40) + 1000
+	for e.events.Len() > 0 {
+		guard++
+		if guard > maxEvents {
+			return // deadlock guard; finish() flags incompleteness
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.time
+		switch ev.kind {
+		case evFwdArrive:
+			st := e.stages[ev.stage]
+			st.fwdQ.Push(ev.subnet)
+			e.wake(ev.stage)
+		case evBwdArrive:
+			st := e.stages[ev.stage]
+			st.bwdReady = append(st.bwdReady, ev.subnet)
+			if e.traits.PrefetchOnArrival && e.traits.CacheFactor > 0 {
+				e.prefetchCtx(ev.stage, ev.subnet)
+			}
+			e.wake(ev.stage)
+		case evMicroDone:
+			e.microDone(ev)
+		}
+	}
+}
+
+func (e *Engine) prefetchCtx(stage, seq int) {
+	for _, id := range e.w.stageIDs[seq][stage] {
+		e.mem[stage].Prefetch(id, e.w.Net.Meta[id].ParamBytes, e.now)
+	}
+}
+
+func (e *Engine) wakeAll() {
+	for k := 0; k < e.w.D; k++ {
+		e.wake(k)
+	}
+}
+
+// wake admits ready tasks to the stage's active set and, if no micro-task
+// is in flight, dispatches the next one.
+func (e *Engine) wake(k int) {
+	st := e.stages[k]
+	// Admit every backward the policy releases (they preempt at the next
+	// micro boundary), then at most one forward if none is active.
+	for {
+		idx := e.policy.SelectBackward(k, st.bwdReady, e.now)
+		if idx < 0 {
+			break
+		}
+		seq := st.bwdReady[idx]
+		st.bwdReady = append(st.bwdReady[:idx], st.bwdReady[idx+1:]...)
+		if e.traits.UsePredictor {
+			for _, p := range e.policy.PredictBackward(k, st.fwdQ.IDs(), seq, e.now) {
+				e.prefetchCtx(k, p)
+			}
+		}
+		e.admit(k, task.Task{Subnet: seq, Stage: k, Kind: task.Backward})
+	}
+	if !st.hasForwardActive() {
+		if idx := e.policy.SelectForward(k, st.fwdQ.IDs(), e.now); idx >= 0 {
+			seq := st.fwdQ.Pop(idx)
+			if k == 0 {
+				e.inflightArea += float64(e.started-e.completed) * (e.now - e.lastInfT)
+				e.lastInfT = e.now
+				e.started++
+				e.refill()
+			}
+			if e.traits.UsePredictor {
+				for _, p := range e.policy.PredictForward(k, st.fwdQ.IDs(), seq, e.now) {
+					e.prefetchCtx(k, p)
+				}
+			}
+			e.admit(k, task.Task{Subnet: seq, Stage: k, Kind: task.Forward})
+		}
+	}
+	e.dispatch(k)
+}
+
+// dispatch starts the highest-priority pending micro-task if the stage's
+// compute unit is free. Backwards run before forwards; among backwards,
+// the lowest subnet sequence wins (the §3.2 priority).
+func (e *Engine) dispatch(k int) {
+	st := e.stages[k]
+	if st.running {
+		return
+	}
+	var pick *execState
+	for _, x := range st.active {
+		if x.done() || x.availableAt > e.now {
+			continue
+		}
+		if pick == nil {
+			pick = x
+			continue
+		}
+		if x.t.Kind == task.Backward && (pick.t.Kind == task.Forward || x.t.Subnet < pick.t.Subnet) {
+			pick = x
+		}
+	}
+	if pick == nil {
+		// Nothing runnable now; if contexts are still arriving, schedule a
+		// wake at the earliest availability.
+		var soonest float64 = -1
+		for _, x := range st.active {
+			if !x.done() && x.availableAt > e.now {
+				if soonest < 0 || x.availableAt < soonest {
+					soonest = x.availableAt
+				}
+			}
+		}
+		if soonest >= 0 {
+			e.push(event{time: soonest, kind: evMicroDone, stage: k, subnet: -1})
+		}
+		return
+	}
+	if !pick.stallSeen {
+		pick.stallSeen = true
+		st.stallMs += pick.stallMs
+	}
+	dur := pick.remaining[pick.next]
+	pick.next++
+	pick.computeMs += dur
+	st.busyMs += dur
+	st.running = true
+	e.push(event{time: e.now + dur, kind: evMicroDone, stage: k, subnet: pick.t.Subnet, tkind: pick.t.Kind})
+}
+
+// admit acquires a task's context and queues its micro-tasks.
+func (e *Engine) admit(k int, t task.Task) {
+	st := e.stages[k]
+	ids := e.w.stageIDs[t.Subnet][k]
+	// Cross-stage context notification (§3.3): the moment a task starts,
+	// the neighbouring stage that will process this subnet next learns
+	// about it and prefetches the context — forward contexts flow
+	// downstream, backward contexts upstream, hiding the swap behind this
+	// task's compute plus the transfer.
+	if e.traits.UsePredictor && e.traits.CacheFactor > 0 {
+		if t.Kind == task.Forward && k < e.w.D-1 {
+			e.prefetchCtx(k+1, t.Subnet)
+		} else if t.Kind == task.Backward && k > 0 {
+			e.prefetchCtx(k-1, t.Subnet)
+		}
+	}
+	readyAt := e.mem[k].Acquire(ids, func(id supernet.LayerID) int64 {
+		return e.w.Net.Meta[id].ParamBytes
+	}, e.now)
+	x := &execState{t: t, ids: ids, availableAt: readyAt, stallMs: readyAt - e.now, startedAt: e.now}
+	jitter := 1.0
+	if e.cfg.TimingJitter > 0 {
+		r := rng.Labeled(e.cfg.JitterSeed, fmt.Sprintf("jitter/%d/%d/%d", t.Subnet, t.Stage, int(t.Kind)))
+		jitter = 1 + e.cfg.TimingJitter*(2*r.Float64()-1)
+	}
+	for _, id := range ids {
+		m := e.w.Net.Meta[id]
+		x.remaining = append(x.remaining, jitter*e.cfg.Spec.ComputeMs(m.CostMs(t.Kind == task.Backward), e.batch, e.refBatch))
+	}
+	if len(x.remaining) == 0 {
+		// An empty stage partition still relays activations; charge a
+		// token cost so the pipeline stays well-ordered.
+		x.remaining = []float64{e.cfg.Spec.ComputeMs(0.01, e.batch, e.refBatch)}
+	}
+	if t.Kind == task.Forward && e.tr != nil {
+		for _, id := range ids {
+			e.tr.Append(readyAt, id, t.Subnet, k, trace.Read)
+		}
+	}
+	st.active = append(st.active, x)
+	if readyAt > e.now {
+		// Context still swapping in: make sure the stage re-evaluates when
+		// it lands even if nothing else is runnable.
+		e.push(event{time: readyAt, kind: evMicroDone, stage: k, subnet: -1})
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// microDone advances the stage after a micro-task (or a context-arrival
+// wakeup, subnet == -1) and completes tasks whose layers are exhausted.
+func (e *Engine) microDone(ev event) {
+	k := ev.stage
+	st := e.stages[k]
+	if ev.subnet >= 0 {
+		st.running = false
+	}
+	// Complete any finished execs.
+	kept := st.active[:0]
+	var completed []*execState
+	for _, x := range st.active {
+		if x.done() {
+			completed = append(completed, x)
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	st.active = kept
+	for _, x := range completed {
+		e.completeTask(x)
+	}
+	e.wake(k)
+}
+
+// completeTask performs the end-of-task protocol: releases and (for
+// backwards) evicts the context, sends the activation/gradient message,
+// emits trace WRITEs, and notifies the policy.
+func (e *Engine) completeTask(x *execState) {
+	t := x.t
+	k := t.Stage
+	seq := t.Subnet
+	ids := x.ids
+	w := e.w
+	e.mem[k].Release(ids, e.now)
+	if e.tr != nil {
+		e.spans = append(e.spans, TaskSpan{Task: t, StartMs: x.startedAt, EndMs: e.now, StallMs: x.stallMs})
+	}
+	msgBytes := int64(e.batch) * cluster.SampleBytes(w.Space.Domain)
+
+	if t.Kind == task.Forward {
+		e.fwdDur[seq][k] = x.computeMs + x.stallMs
+		e.policy.OnForwardDone(k, seq, e.now)
+		if k < w.D-1 {
+			e.push(event{time: e.now + e.cfg.Spec.CommMs(k, k+1, msgBytes),
+				kind: evFwdArrive, stage: k + 1, subnet: seq})
+		} else {
+			// Loss computed: the backward is immediately ready locally.
+			e.stages[k].bwdReady = append(e.stages[k].bwdReady, seq)
+		}
+		return
+	}
+
+	// Backward done: the WRITE access for this stage's layers.
+	e.bwdDur[seq][k] = x.computeMs + x.stallMs
+	if e.tr != nil {
+		for _, id := range ids {
+			e.tr.Append(e.now, id, seq, k, trace.Write)
+		}
+	}
+	// Mirror push accounting: layers executing off their home stage push
+	// updated parameters to the home copy (§4.2).
+	lo, hi := w.Parts[seq].Blocks(k)
+	for b := lo; b < hi; b++ {
+		if w.Home.StageOf(b) != k {
+			e.mirrorB += w.Net.Meta[w.Space.ID(b, w.Subnets[seq].Choices[b])].ParamBytes
+		}
+	}
+	e.policy.OnBackwardDone(k, seq, e.now)
+	if e.traits.CacheFactor > 0 {
+		e.mem[k].Evict(ids, e.now)
+	}
+	if k > 0 {
+		e.push(event{time: e.now + e.cfg.Spec.CommMs(k, k-1, msgBytes),
+			kind: evBwdArrive, stage: k - 1, subnet: seq})
+	} else {
+		e.inflightArea += float64(e.started-e.completed) * (e.now - e.lastInfT)
+		e.lastInfT = e.now
+		e.completed++
+		e.refill()
+	}
+	// A completed WRITE may unblock forwards on any stage.
+	e.wakeAll()
+}
+
+func (e *Engine) finish(res *Result) {
+	w := e.w
+	res.Completed = e.completed
+	res.Deadlock = e.completed < len(w.Subnets)
+	res.TotalMs = e.now
+	res.Trace = e.tr
+	res.Spans = e.spans
+	res.MirrorBytes = e.mirrorB
+	if e.now <= 0 {
+		return
+	}
+	var busy, stall float64
+	var hits, misses int
+	res.StageBusyMs = make([]float64, w.D)
+	res.StageStallMs = make([]float64, w.D)
+	for k := 0; k < w.D; k++ {
+		busy += e.stages[k].busyMs
+		stall += e.stages[k].stallMs
+		res.StageBusyMs[k] = e.stages[k].busyMs
+		res.StageStallMs[k] = e.stages[k].stallMs
+		ms := e.mem[k].Stats()
+		hits += ms.Hits
+		misses += ms.Misses
+	}
+	res.StallMs = stall
+	res.AvgInflight = e.inflightArea / e.now
+	res.BubbleRatio = 1 - busy/(float64(w.D)*e.now)
+	eff := e.cfg.Spec.EfficiencyFactor(e.batch, e.refBatch)
+	res.ALUTotal = busy / e.now * eff * e.cfg.Spec.MaxALU
+	res.SamplesPerSec = float64(e.completed*e.batch) / (e.now / 1000)
+	res.SubnetsPerHour = float64(e.completed) / (e.now / 3.6e6)
+	if e.traits.CacheFactor > 0 {
+		if hits+misses > 0 {
+			res.CacheHitRate = float64(hits) / float64(hits+misses)
+		}
+	} else {
+		res.CacheHitRate = -1
+	}
+	var execSum float64
+	for i := 0; i < e.completed; i++ {
+		var maxF, maxB float64
+		for k := 0; k < w.D; k++ {
+			if e.fwdDur[i][k] > maxF {
+				maxF = e.fwdDur[i][k]
+			}
+			if e.bwdDur[i][k] > maxB {
+				maxB = e.bwdDur[i][k]
+			}
+		}
+		execSum += float64(w.D) * (maxF + maxB)
+	}
+	if e.completed > 0 {
+		res.ExecMsAvg = execSum / float64(e.completed)
+	}
+}

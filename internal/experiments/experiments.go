@@ -1,0 +1,249 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the artifact appendix experiments, on the
+// simulated cluster (performance plane) and the numeric trainer
+// (reproducibility plane). Each function returns a rendered text report;
+// EXPERIMENTS.md records paper-vs-measured values and deviations.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"naspipe/internal/cluster"
+	"naspipe/internal/data"
+	"naspipe/internal/engine"
+	"naspipe/internal/sched"
+	"naspipe/internal/supernet"
+	"naspipe/internal/train"
+)
+
+// Options scale the experiments. Defaults reproduce the paper's setups at
+// simulation scale; Quick shrinks everything for smoke tests and benches.
+type Options struct {
+	Seed     uint64
+	GPUs     int // default 8, the paper's default setting
+	Subnets  int // performance-plane subnets per run
+	Inflight int // pipeline admission window
+
+	// Numeric plane scaling: the trainable supernet is geometry-reduced
+	// (blocks fixed, choices divided) so real float32 training is fast
+	// while the dependency structure keeps its character.
+	NumericBlocks  int
+	NumericDim     int
+	NumericBatch   int
+	NumericSubnets int
+	NumericLR      float32
+
+	Quick bool
+}
+
+// Default returns the full-scale experiment options.
+func Default() Options {
+	return Options{
+		Seed: 42, GPUs: 8, Subnets: 240, Inflight: 48,
+		NumericBlocks: 12, NumericDim: 12, NumericBatch: 4,
+		NumericSubnets: 120, NumericLR: 0.05,
+	}
+}
+
+// Quick returns reduced options for fast smoke runs.
+func Quick() Options {
+	o := Default()
+	o.Subnets = 60
+	o.NumericSubnets = 30
+	o.NumericBlocks = 8
+	o.Quick = true
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	d := Default()
+	if o.GPUs == 0 {
+		o.GPUs = d.GPUs
+	}
+	if o.Subnets == 0 {
+		o.Subnets = d.Subnets
+	}
+	if o.Inflight == 0 {
+		o.Inflight = d.Inflight
+	}
+	if o.NumericBlocks == 0 {
+		o.NumericBlocks = d.NumericBlocks
+	}
+	if o.NumericDim == 0 {
+		o.NumericDim = d.NumericDim
+	}
+	if o.NumericBatch == 0 {
+		o.NumericBatch = d.NumericBatch
+	}
+	if o.NumericSubnets == 0 {
+		o.NumericSubnets = d.NumericSubnets
+	}
+	if o.NumericLR == 0 {
+		o.NumericLR = d.NumericLR
+	}
+	return o
+}
+
+// perfSystems are the four systems of Figures 4–5 and Table 2.
+var perfSystems = []string{"naspipe", "gpipe", "pipedream", "vpipe"}
+
+// syncName maps policies to the paper's synchronization labels.
+func syncName(policy string) string {
+	switch policy {
+	case "naspipe", "sequential":
+		return "CSP"
+	case "gpipe", "vpipe":
+		return "BSP"
+	case "pipedream":
+		return "ASP"
+	}
+	return "?"
+}
+
+// runPerf executes one performance-plane run.
+func runPerf(o Options, space supernet.Space, policy string, gpus int, recordTrace bool) engine.Result {
+	p, err := sched.New(policy)
+	if err != nil {
+		panic(err)
+	}
+	return engine.Run(engine.Config{
+		Space:         space,
+		Spec:          cluster.Default(gpus),
+		Seed:          o.Seed,
+		NumSubnets:    o.Subnets,
+		InflightLimit: o.Inflight,
+		RecordTrace:   recordTrace,
+	}, p)
+}
+
+// clusterSpec builds the default cluster at the options' GPU count.
+func clusterSpec(o Options) cluster.Spec { return cluster.Default(o.GPUs) }
+
+// scaledSpace reduces a Table-1 space to numeric-plane geometry: fixed
+// block count, choices divided by 8 (floor 2), preserving the relative
+// dependency density across spaces.
+func (o Options) scaledSpace(space supernet.Space) supernet.Space {
+	choices := space.Choices / 8
+	if choices < 2 {
+		choices = 2
+	}
+	return space.Scaled(o.NumericBlocks, choices)
+}
+
+// numericCfg builds the numeric training config for a space.
+func (o Options) numericCfg(space supernet.Space) train.Config {
+	kind, err := data.KindByName(space.Dataset)
+	if err != nil {
+		kind = data.WNMT
+	}
+	return train.Config{
+		Space: o.scaledSpace(space), Dim: o.NumericDim, Seed: o.Seed,
+		BatchSize: o.NumericBatch, LR: o.NumericLR, Dataset: kind,
+	}
+}
+
+// numericRun trains the scaled space under the given policy's schedule at
+// the given GPU count and returns the numeric result.
+func (o Options) numericRun(space supernet.Space, policy string, gpus int) (train.Result, error) {
+	cfg := o.numericCfg(space)
+	p, err := sched.New(policy)
+	if err != nil {
+		return train.Result{}, err
+	}
+	res := engine.Run(engine.Config{
+		Space:         cfg.Space,
+		Spec:          cluster.Default(gpus),
+		Seed:          o.Seed,
+		NumSubnets:    o.NumericSubnets,
+		InflightLimit: o.Inflight,
+		RecordTrace:   true,
+	}, p)
+	if res.Failed {
+		return train.Result{}, fmt.Errorf("%s failed on %s: %s", policy, cfg.Space.Name, res.FailReason)
+	}
+	if res.Deadlock {
+		return train.Result{}, fmt.Errorf("%s deadlocked on %s", policy, cfg.Space.Name)
+	}
+	subs := supernet.Sample(cfg.Space, o.Seed, o.NumericSubnets)
+	return train.Replay(cfg, subs, res.Trace)
+}
+
+// probeValLoss evaluates the trained supernet on a fixed probe set of
+// subnets (sampled outside the training stream) — a smooth, deterministic
+// measure of supernet quality used as "supernet loss" in Table 3 and the
+// final-loss column of Figure 4.
+func (o Options) probeValLoss(cfg train.Config, net *supernet.Numeric) float64 {
+	probes := supernet.Sample(cfg.Space, o.Seed+997, 6)
+	var sum float64
+	for _, p := range probes {
+		sum += train.Evaluate(cfg, net, p, 2)
+	}
+	return sum / float64(len(probes))
+}
+
+// Names lists the experiment identifiers accepted by Run.
+func Names() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"figure1", "figure4", "figure5", "figure6", "figure7",
+		"artifact-compare", "artifact-throughput",
+		"ext-hybrid", "ext-moe", "ext-analysis", "ext-hardware", "ext-jitter",
+	}
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, o Options) (string, error) {
+	switch name {
+	case "table1":
+		return Table1(o), nil
+	case "table2":
+		return Table2(o), nil
+	case "table3":
+		return Table3(o), nil
+	case "table4":
+		return Table4(o), nil
+	case "table5":
+		return Table5(o), nil
+	case "figure1":
+		return Figure1(o), nil
+	case "figure4":
+		return Figure4(o), nil
+	case "figure5":
+		return Figure5(o), nil
+	case "figure6":
+		return Figure6(o), nil
+	case "figure7":
+		return Figure7(o), nil
+	case "artifact-compare":
+		return ArtifactCompare(o), nil
+	case "artifact-throughput":
+		return ArtifactThroughput(o), nil
+	case "ext-hybrid":
+		return ExtHybrid(o), nil
+	case "ext-moe":
+		return ExtMoE(o), nil
+	case "ext-analysis":
+		return ExtAnalysis(o), nil
+	case "ext-hardware":
+		return ExtHardware(o), nil
+	case "ext-jitter":
+		return ExtJitter(o), nil
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// All runs every experiment and concatenates the reports.
+func All(o Options) string {
+	var b strings.Builder
+	for _, name := range Names() {
+		out, err := Run(name, o)
+		if err != nil {
+			fmt.Fprintf(&b, "%s: ERROR: %v\n", name, err)
+			continue
+		}
+		b.WriteString(out)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesDispatch(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := Run(name, Quick()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestTable1ListsSevenSpaces(t *testing.T) {
+	out := Table1(Quick())
+	for _, sp := range []string{"NLP.c0", "NLP.c1", "NLP.c2", "NLP.c3", "CV.c1", "CV.c2", "CV.c3"} {
+		if !strings.Contains(out, sp) {
+			t.Errorf("Table 1 missing %s", sp)
+		}
+	}
+}
+
+func TestTable5ListsEightLayers(t *testing.T) {
+	out := Table5(Quick())
+	for _, l := range []string{"Conv 3x1", "Sep Conv 7x1", "Light Conv 5x1", "8 Head Attention",
+		"Conv 3x3", "Sep Conv 3x3", "Sep Conv 5x5", "Dil Conv 3x3"} {
+		if !strings.Contains(out, l) {
+			t.Errorf("Table 5 missing %s", l)
+		}
+	}
+	// The Conv 3x1 swap time must reproduce the measured 1.76 ms.
+	if !strings.Contains(out, "1.76") {
+		t.Error("Table 5 swap column lost calibration")
+	}
+}
+
+func TestFigure1CSPOnlyPreserves(t *testing.T) {
+	out := Figure1(Quick())
+	lines := strings.Split(out, "\n")
+	sawCSPYes, sawBSPNo := false, false
+	for _, l := range lines {
+		if strings.Contains(l, "CSP") && strings.Contains(l, "yes") {
+			sawCSPYes = true
+		}
+		if strings.Contains(l, "BSP") && strings.Contains(l, "NO") {
+			sawBSPNo = true
+		}
+	}
+	if !sawCSPYes || !sawBSPNo {
+		t.Errorf("Figure 1 verdicts wrong:\n%s", out)
+	}
+}
+
+func TestTable3CSPReproducibleOthersNot(t *testing.T) {
+	out := Table3(Quick())
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "CSP") && !strings.Contains(line, "yes") {
+			t.Errorf("CSP row not reproducible: %s", line)
+		}
+		if (strings.Contains(line, "BSP") || strings.Contains(line, "ASP")) &&
+			strings.Contains(line, "yes") {
+			t.Errorf("baseline row claims reproducibility: %s", line)
+		}
+	}
+}
+
+func TestTable4SequentialOrderForNASPipe(t *testing.T) {
+	out := Table4(Quick())
+	var nasLine, seqNote string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "NASPipe") {
+			nasLine = line
+		}
+		if strings.Contains(line, "sequential semantics:") {
+			seqNote = line
+		}
+	}
+	if nasLine == "" || seqNote == "" {
+		t.Fatalf("Table 4 output malformed:\n%s", out)
+	}
+	seq := strings.TrimSpace(strings.SplitAfter(seqNote, "sequential semantics:")[1])
+	if strings.Count(nasLine, seq) != 2 {
+		t.Errorf("NASPipe orders must equal sequential on both GPU counts:\n%s", out)
+	}
+}
+
+func TestArtifactCompareMatches(t *testing.T) {
+	out := ArtifactCompare(Quick())
+	if !strings.Contains(out, "50/50") {
+		t.Errorf("artifact compare did not match all steps:\n%s", out)
+	}
+	if !strings.Contains(out, "true") {
+		t.Errorf("artifact compare weights not equal:\n%s", out)
+	}
+}
+
+func TestArtifactThroughputOrderingHolds(t *testing.T) {
+	o := Default() // ordering needs steady-state runs; Quick is too noisy
+	o.Subnets = 160
+	out := ArtifactThroughput(o)
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("throughput ordering failed:\n%s", out)
+	}
+}
+
+func TestFigure5NASPipeOnlySurvivorOnC0(t *testing.T) {
+	o := Quick()
+	out := Figure5(o)
+	if !strings.Contains(out, "exceeds GPU memory") {
+		t.Errorf("Figure 5 should show baseline failures on NLP.c0:\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+// Package explore implements the exploration side of supernet NAS: the
+// SPOS subnet stream consumed by the training system (already provided by
+// supernet.Sampler) and the evolutionary search the paper uses as its
+// default search strategy (§5: "we used evolution as the default search
+// strategy") to derive the final architecture from a trained supernet.
+//
+// The search is regularized evolution: a population of subnets is scored
+// by validation loss on the trained supernet; each generation draws a
+// tournament, mutates the winner by re-sampling a few choice blocks, and
+// replaces the oldest member. Everything is driven by labeled rng
+// streams, so a search over a given supernet is exactly repeatable — the
+// property that makes Table 3's "search accuracy" column comparable
+// across runs.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"naspipe/internal/rng"
+	"naspipe/internal/supernet"
+	"naspipe/internal/train"
+)
+
+// SearchConfig parameterizes the evolutionary search.
+type SearchConfig struct {
+	Population  int // population size
+	Generations int // mutation steps after the initial population
+	Tournament  int // tournament sample size
+	MutateProb  float64
+	ValBatches  int // validation batches per fitness evaluation
+	Seed        uint64
+}
+
+// DefaultSearchConfig returns a laptop-scale configuration.
+func DefaultSearchConfig(seed uint64) SearchConfig {
+	return SearchConfig{
+		Population:  16,
+		Generations: 32,
+		Tournament:  4,
+		MutateProb:  0.15,
+		ValBatches:  2,
+		Seed:        seed,
+	}
+}
+
+// Candidate is a scored architecture.
+type Candidate struct {
+	Subnet supernet.Subnet
+	Loss   float64
+	Score  float64
+	Age    int
+}
+
+// SearchResult reports the evolution outcome.
+type SearchResult struct {
+	Best       Candidate
+	Evaluated  int
+	History    []float64 // best score after each generation
+	Population []Candidate
+}
+
+// Search runs regularized evolution over the trained numeric supernet.
+func Search(cfg train.Config, net *supernet.Numeric, sc SearchConfig) (SearchResult, error) {
+	if sc.Population < 2 || sc.Tournament < 1 || sc.Tournament > sc.Population {
+		return SearchResult{}, fmt.Errorf("explore: invalid search config %+v", sc)
+	}
+	space := cfg.Space
+	r := rng.Labeled(sc.Seed, "evolution/"+space.Name)
+	evaluate := func(sub supernet.Subnet) Candidate {
+		loss := train.Evaluate(cfg, net, sub, sc.ValBatches)
+		return Candidate{Subnet: sub, Loss: loss, Score: train.Score(space.Domain, loss)}
+	}
+
+	pop := make([]Candidate, sc.Population)
+	for i := range pop {
+		choices := make([]int, space.Blocks)
+		for b := range choices {
+			choices[b] = r.Intn(space.Choices)
+		}
+		pop[i] = evaluate(supernet.Subnet{Seq: i, Choices: choices})
+		pop[i].Age = i
+	}
+	evaluated := sc.Population
+
+	best := func() Candidate {
+		b := pop[0]
+		for _, c := range pop[1:] {
+			if c.Score > b.Score {
+				b = c
+			}
+		}
+		return b
+	}
+
+	var history []float64
+	age := sc.Population
+	for g := 0; g < sc.Generations; g++ {
+		// Tournament: sample Tournament members, take the fittest.
+		winner := pop[r.Intn(len(pop))]
+		for i := 1; i < sc.Tournament; i++ {
+			c := pop[r.Intn(len(pop))]
+			if c.Score > winner.Score {
+				winner = c
+			}
+		}
+		// Mutate: re-sample each block with MutateProb (at least one).
+		child := winner.Subnet.Clone()
+		mutated := false
+		for b := range child.Choices {
+			if r.Float64() < sc.MutateProb {
+				child.Choices[b] = r.Intn(space.Choices)
+				mutated = true
+			}
+		}
+		if !mutated {
+			child.Choices[r.Intn(space.Blocks)] = r.Intn(space.Choices)
+		}
+		child.Seq = age
+		cand := evaluate(child)
+		cand.Age = age
+		age++
+		evaluated++
+		// Regularized evolution: replace the oldest member.
+		oldest := 0
+		for i := range pop {
+			if pop[i].Age < pop[oldest].Age {
+				oldest = i
+			}
+		}
+		pop[oldest] = cand
+		history = append(history, best().Score)
+	}
+
+	final := make([]Candidate, len(pop))
+	copy(final, pop)
+	sort.SliceStable(final, func(i, j int) bool { return final[i].Score > final[j].Score })
+	return SearchResult{Best: final[0], Evaluated: evaluated, History: history, Population: final}, nil
+}

@@ -1,0 +1,121 @@
+package explore
+
+import (
+	"fmt"
+
+	"naspipe/internal/rng"
+	"naspipe/internal/supernet"
+	"naspipe/internal/train"
+)
+
+// GreedyConfig parameterizes GreedyNAS-style supernet training (§2.1's
+// motivating example for reproducibility): at each step the explorer
+// samples several candidate subnets, ranks them by a cheap validation
+// proxy on the *current* supernet weights, and trains only the most
+// promising one, accumulating a quality-ranking log along the way.
+//
+// The paper's motivation: GreedyNAS's authors had to re-run their best
+// trial and repeatedly inspect the collected quality rankings — which is
+// only meaningful if training is reproducible, because the ranking at
+// step t depends on the weights at step t. With NASPipe-Go's CSP
+// discipline every re-run regenerates the identical ranking log.
+type GreedyConfig struct {
+	Steps             int // training steps
+	CandidatesPerStep int // subnets sampled and ranked per step
+	ValBatches        int // validation batches per ranking evaluation
+	Seed              uint64
+}
+
+// DefaultGreedyConfig returns a laptop-scale configuration.
+func DefaultGreedyConfig(seed uint64) GreedyConfig {
+	return GreedyConfig{Steps: 60, CandidatesPerStep: 4, ValBatches: 1, Seed: seed}
+}
+
+// RankEntry records one step's candidate ranking: the candidate subnets
+// in evaluated order and the index of the winner that was trained.
+type RankEntry struct {
+	Step    int
+	Losses  []float64 // candidate validation losses, sampling order
+	Winner  int       // index into the step's candidates
+	Subnets []supernet.Subnet
+}
+
+// GreedyResult reports a greedy training run.
+type GreedyResult struct {
+	Net      *supernet.Numeric
+	Rankings []RankEntry
+	Checksum uint64
+}
+
+// RankingDigest folds the full ranking log into one comparable number:
+// equal digests mean identical rankings at every step — the "collected
+// information" of a GreedyNAS trial.
+func (g GreedyResult) RankingDigest() uint64 {
+	var sums []uint64
+	for _, e := range g.Rankings {
+		sums = append(sums, uint64(e.Winner))
+		for _, s := range e.Subnets {
+			for _, c := range s.Choices {
+				sums = append(sums, uint64(c))
+			}
+		}
+	}
+	return combine(sums)
+}
+
+func combine(sums []uint64) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, s := range sums {
+		for i := 0; i < 8; i++ {
+			h ^= (s >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Greedy runs GreedyNAS-style training on a fresh numeric supernet. The
+// subnet each step trains depends on the current weights, so the
+// exploration stream itself is a function of training history — the case
+// where irreproducible training corrupts not just the result but the
+// *experiment record*. Training follows sequential semantics (what CSP
+// reproduces exactly on any cluster).
+func Greedy(cfg train.Config, gc GreedyConfig) (GreedyResult, error) {
+	if gc.Steps <= 0 || gc.CandidatesPerStep <= 0 {
+		return GreedyResult{}, fmt.Errorf("explore: invalid greedy config %+v", gc)
+	}
+	space := cfg.Space
+	net := supernet.BuildNumeric(space, cfg.Dim, cfg.Seed)
+	r := rng.Labeled(gc.Seed, "greedy/"+space.Name)
+	var rankings []RankEntry
+	for step := 0; step < gc.Steps; step++ {
+		entry := RankEntry{Step: step}
+		for c := 0; c < gc.CandidatesPerStep; c++ {
+			choices := make([]int, space.Blocks)
+			for b := range choices {
+				choices[b] = r.Intn(space.Choices)
+			}
+			sub := supernet.Subnet{Seq: step, Choices: choices}
+			entry.Subnets = append(entry.Subnets, sub)
+			entry.Losses = append(entry.Losses, train.Evaluate(cfg, net, sub, gc.ValBatches))
+		}
+		entry.Winner = 0
+		for c := 1; c < len(entry.Losses); c++ {
+			if entry.Losses[c] < entry.Losses[entry.Winner] {
+				entry.Winner = c
+			}
+		}
+		rankings = append(rankings, entry)
+		// Train the winner for one step via the sequential trainer.
+		winner := entry.Subnets[entry.Winner].Clone()
+		winner.Seq = step
+		res := trainOne(cfg, net, winner)
+		_ = res
+	}
+	return GreedyResult{Net: net, Rankings: rankings, Checksum: net.Checksum()}, nil
+}
+
+// trainOne applies one training step of sub to the live supernet.
+func trainOne(cfg train.Config, net *supernet.Numeric, sub supernet.Subnet) float32 {
+	return train.StepOn(cfg, net, sub)
+}

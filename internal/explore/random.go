@@ -1,0 +1,53 @@
+package explore
+
+import (
+	"fmt"
+
+	"naspipe/internal/rng"
+	"naspipe/internal/supernet"
+	"naspipe/internal/train"
+)
+
+// RandomSearch is the classical one-shot NAS baseline: sample budget
+// architectures uniformly, evaluate each on the trained supernet, return
+// the best. Evolution (Search) should match or beat it at equal
+// evaluation budget on structured spaces; RandomSearch provides the
+// comparison point.
+func RandomSearch(cfg train.Config, net *supernet.Numeric, budget, valBatches int, seed uint64) (SearchResult, error) {
+	if budget <= 0 {
+		return SearchResult{}, fmt.Errorf("explore: non-positive random search budget %d", budget)
+	}
+	space := cfg.Space
+	r := rng.Labeled(seed, "random-search/"+space.Name)
+	var best Candidate
+	var history []float64
+	pop := make([]Candidate, 0, budget)
+	for i := 0; i < budget; i++ {
+		choices := make([]int, space.Blocks)
+		for b := range choices {
+			choices[b] = r.Intn(space.Choices)
+		}
+		sub := supernet.Subnet{Seq: i, Choices: choices}
+		loss := train.Evaluate(cfg, net, sub, valBatches)
+		c := Candidate{Subnet: sub, Loss: loss, Score: train.Score(space.Domain, loss), Age: i}
+		pop = append(pop, c)
+		if i == 0 || c.Score > best.Score {
+			best = c
+		}
+		history = append(history, best.Score)
+	}
+	// Keep the top candidates as the "population" for parity with Search.
+	sortCandidates(pop)
+	if len(pop) > 16 {
+		pop = pop[:16]
+	}
+	return SearchResult{Best: best, Evaluated: budget, History: history, Population: pop}, nil
+}
+
+func sortCandidates(cs []Candidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Score > cs[j-1].Score; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

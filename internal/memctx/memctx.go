@@ -1,0 +1,271 @@
+// Package memctx implements NASPipe's per-stage GPU context manager
+// (§3.1, §4.2): the component that keeps only the activated subnets'
+// layers in GPU memory, prefetches forecast contexts from pinned CPU
+// storage, and evicts finished contexts.
+//
+// The manager is time-aware but not threaded: the discrete-event engine
+// advances a simulated clock (milliseconds) and the manager tracks, per
+// layer, when its asynchronous PCIe copy completes. CPU↔GPU copies
+// serialize on one PCIe channel per stage, matching the testbed's one
+// x16 link per GPU; because CPU storage is pinned (page-locked), copies
+// are asynchronous with compute — a stage only stalls when it needs a
+// layer whose copy has not finished (a cache miss, or a prefetch issued
+// too late).
+//
+// The cache-hit metric follows the paper exactly: an access counts as a
+// hit iff the layer already resides in GPU memory when activated.
+package memctx
+
+import (
+	"fmt"
+	"sort"
+
+	"naspipe/internal/supernet"
+)
+
+// Stats aggregates the manager's micro events (paper Table 2 columns
+// "Cache Hit", "CPU Mem.", and the swap traffic behind "Exec.").
+type Stats struct {
+	Hits            int     // layer accesses served from residency
+	Misses          int     // layer accesses that had to wait for a copy
+	Prefetches      int     // asynchronous fetches issued
+	LatePrefetches  int     // accesses that found the copy in flight
+	SwapInBytes     int64   // CPU->GPU traffic
+	SwapOutBytes    int64   // GPU->CPU traffic
+	StallMs         float64 // total compute stall waiting on copies
+	PeakBytes       int64   // high-water residency
+	OverCapacity    int     // forced residency beyond capacity (should stay 0)
+	EvictionsForced int     // LRU evictions triggered by capacity pressure
+}
+
+// HitRate returns hits / (hits + misses), or 1 when no accesses occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	bytes   int64
+	readyAt float64 // copy completion time; resident once now >= readyAt
+	lastUse float64
+	locked  int // lock count: concurrently executing tasks may share a layer
+}
+
+// Manager is one stage's GPU memory cache over the supernet's layers.
+type Manager struct {
+	capacity  int64 // bytes; <0 means unbounded (whole context resident)
+	bandwidth float64
+	pcieFree  float64 // time the PCIe channel frees up
+	used      int64
+	entries   map[supernet.LayerID]*entry
+	stats     Stats
+}
+
+// New returns a manager with the given byte capacity and PCIe bandwidth
+// (bytes per millisecond). A negative capacity disables eviction and
+// models systems that hold their whole context in GPU memory.
+func New(capacity int64, bandwidthBytesPerMs float64) *Manager {
+	if bandwidthBytesPerMs <= 0 {
+		panic(fmt.Sprintf("memctx: invalid bandwidth %f", bandwidthBytesPerMs))
+	}
+	return &Manager{
+		capacity:  capacity,
+		bandwidth: bandwidthBytesPerMs,
+		entries:   make(map[supernet.LayerID]*entry),
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Used returns the current resident (plus in-flight) byte count.
+func (m *Manager) Used() int64 { return m.used }
+
+// Capacity returns the configured capacity (<0 = unbounded).
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// Resident reports whether the layer is fully resident at the given time.
+func (m *Manager) Resident(id supernet.LayerID, now float64) bool {
+	e := m.entries[id]
+	return e != nil && e.readyAt <= now
+}
+
+// Preload marks layers resident immediately without PCIe traffic — the
+// initial placement before training starts (or the whole-context placement
+// of non-swapping systems).
+func (m *Manager) Preload(ids []supernet.LayerID, bytes func(supernet.LayerID) int64) {
+	for _, id := range ids {
+		if _, ok := m.entries[id]; ok {
+			continue
+		}
+		b := bytes(id)
+		m.entries[id] = &entry{bytes: b, readyAt: 0, lastUse: 0}
+		m.used += b
+	}
+	if m.used > m.stats.PeakBytes {
+		m.stats.PeakBytes = m.used
+	}
+}
+
+// Prefetch issues an asynchronous copy of the layer if it is neither
+// resident nor in flight. If capacity pressure cannot be relieved by
+// evicting unlocked entries, the prefetch is dropped (the paper's
+// "delays the operator copy"); the later Acquire will fetch it
+// synchronously.
+func (m *Manager) Prefetch(id supernet.LayerID, bytes int64, now float64) {
+	if _, ok := m.entries[id]; ok {
+		return
+	}
+	if !m.makeRoom(bytes, now) {
+		return // delayed: capacity is held by locked entries
+	}
+	start := now
+	if m.pcieFree > start {
+		start = m.pcieFree
+	}
+	done := start + float64(bytes)/m.bandwidth
+	m.pcieFree = done
+	m.entries[id] = &entry{bytes: bytes, readyAt: done, lastUse: now}
+	m.used += bytes
+	m.stats.Prefetches++
+	m.stats.SwapInBytes += bytes
+	if m.used > m.stats.PeakBytes {
+		m.stats.PeakBytes = m.used
+	}
+}
+
+// Acquire makes every listed layer resident and locked, counting hits and
+// misses, and returns the time at which all copies have completed (>= now).
+// The caller must Release the same ids when the task finishes.
+func (m *Manager) Acquire(ids []supernet.LayerID, bytes func(supernet.LayerID) int64, now float64) float64 {
+	ready := now
+	for _, id := range ids {
+		e := m.entries[id]
+		switch {
+		case e != nil && e.readyAt <= now:
+			m.stats.Hits++
+		case e != nil:
+			// In flight: a prefetch was issued but has not completed.
+			m.stats.Misses++
+			m.stats.LatePrefetches++
+			if e.readyAt > ready {
+				ready = e.readyAt
+			}
+		default:
+			// Absent: synchronous fetch, serialized on the channel.
+			m.stats.Misses++
+			b := bytes(id)
+			if !m.makeRoom(b, now) {
+				m.stats.OverCapacity++
+			}
+			start := now
+			if m.pcieFree > start {
+				start = m.pcieFree
+			}
+			done := start + float64(b)/m.bandwidth
+			m.pcieFree = done
+			e = &entry{bytes: b, readyAt: done}
+			m.entries[id] = e
+			m.used += b
+			m.stats.SwapInBytes += b
+			if done > ready {
+				ready = done
+			}
+		}
+		e = m.entries[id]
+		e.locked++
+		e.lastUse = now
+	}
+	if m.used > m.stats.PeakBytes {
+		m.stats.PeakBytes = m.used
+	}
+	m.stats.StallMs += ready - now
+	return ready
+}
+
+// Release unlocks previously acquired layers.
+func (m *Manager) Release(ids []supernet.LayerID, now float64) {
+	for _, id := range ids {
+		if e := m.entries[id]; e != nil && e.locked > 0 {
+			e.locked--
+			e.lastUse = now
+		}
+	}
+}
+
+// Evict writes the listed layers back to pinned CPU storage and frees
+// their GPU residency. Locked layers are skipped. Eviction traffic
+// occupies the PCIe channel but never stalls compute directly.
+func (m *Manager) Evict(ids []supernet.LayerID, now float64) {
+	for _, id := range ids {
+		e := m.entries[id]
+		if e == nil || e.locked > 0 {
+			continue
+		}
+		m.evictEntry(id, e, now)
+	}
+}
+
+func (m *Manager) evictEntry(id supernet.LayerID, e *entry, now float64) {
+	delete(m.entries, id)
+	m.used -= e.bytes
+	m.stats.SwapOutBytes += e.bytes
+	start := now
+	if m.pcieFree > start {
+		start = m.pcieFree
+	}
+	m.pcieFree = start + float64(e.bytes)/m.bandwidth
+}
+
+// makeRoom evicts LRU unlocked entries until newBytes fits. Returns false
+// if the capacity cannot be reached (everything resident is locked).
+// Unbounded managers always report room.
+func (m *Manager) makeRoom(newBytes int64, now float64) bool {
+	if m.capacity < 0 {
+		return true
+	}
+	if m.used+newBytes <= m.capacity {
+		return true
+	}
+	// Collect unlocked, fully-arrived entries oldest-first. In-flight
+	// entries are never evicted (their copy is still occupying the
+	// channel).
+	type cand struct {
+		id supernet.LayerID
+		e  *entry
+	}
+	var cands []cand
+	for id, e := range m.entries {
+		if e.locked == 0 && e.readyAt <= now {
+			cands = append(cands, cand{id, e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].e.lastUse != cands[j].e.lastUse {
+			return cands[i].e.lastUse < cands[j].e.lastUse
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if m.used+newBytes <= m.capacity {
+			break
+		}
+		m.evictEntry(c.id, c.e, now)
+		m.stats.EvictionsForced++
+	}
+	return m.used+newBytes <= m.capacity
+}
+
+// ResidentBytesAt returns total bytes resident (arrived) at the time.
+func (m *Manager) ResidentBytesAt(now float64) int64 {
+	var total int64
+	for _, e := range m.entries {
+		if e.readyAt <= now {
+			total += e.bytes
+		}
+	}
+	return total
+}

@@ -1,0 +1,335 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"naspipe/internal/rng"
+	"naspipe/internal/supernet"
+)
+
+func TestBalancedKnown(t *testing.T) {
+	// costs 1,1,1,1 into 2 stages -> split at 2, bottleneck 2.
+	p := Balanced([]float64{1, 1, 1, 1}, 2)
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxStageCost([]float64{1, 1, 1, 1}, p); got != 2 {
+		t.Fatalf("bottleneck %f want 2", got)
+	}
+	// A heavy head: 10,1,1,1 into 2 -> stage0={10}, stage1={1,1,1}.
+	p = Balanced([]float64{10, 1, 1, 1}, 2)
+	if p.Bounds[1] != 1 {
+		t.Fatalf("bounds %v, want cut after block 0", p.Bounds)
+	}
+}
+
+func TestBalancedSingleStage(t *testing.T) {
+	costs := []float64{3, 1, 4}
+	p := Balanced(costs, 1)
+	if err := p.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxStageCost(costs, p); got != 8 {
+		t.Fatalf("bottleneck %f want 8", got)
+	}
+}
+
+func TestBalancedMoreStagesThanBlocks(t *testing.T) {
+	costs := []float64{5, 7}
+	p := Balanced(costs, 4)
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxStageCost(costs, p); got != 7 {
+		t.Fatalf("bottleneck %f want 7 (each block alone)", got)
+	}
+}
+
+func TestBalancedEmptyCosts(t *testing.T) {
+	p := Balanced(nil, 3)
+	if err := p.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedPanicsOnBadD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Balanced([]float64{1}, 0)
+}
+
+func TestStageOfAndBlocks(t *testing.T) {
+	p := Partition{D: 3, Bounds: []int{0, 2, 2, 5}}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []int{0, 0, 2, 2, 2}
+	for b, w := range wantStages {
+		if got := p.StageOf(b); got != w {
+			t.Fatalf("StageOf(%d) = %d want %d", b, got, w)
+		}
+	}
+	lo, hi := p.Blocks(1)
+	if lo != 2 || hi != 2 {
+		t.Fatalf("empty stage bounds (%d,%d)", lo, hi)
+	}
+}
+
+func TestValidateRejectsBadPartitions(t *testing.T) {
+	bad := []Partition{
+		{D: 2, Bounds: []int{0, 3}},       // wrong length
+		{D: 2, Bounds: []int{1, 2, 5}},    // doesn't start at 0
+		{D: 2, Bounds: []int{0, 2, 4}},    // doesn't end at m=5
+		{D: 2, Bounds: []int{0, 4, 3}},    // non-monotone... ends at 3 != 5 also
+		{D: 0, Bounds: []int{0}},          // no stages
+		{D: 3, Bounds: []int{0, 4, 2, 5}}, // non-monotone
+	}
+	for i, p := range bad {
+		if err := p.Validate(5); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestStaticBalancesAverages(t *testing.T) {
+	sn := supernet.Build(supernet.NLPc3)
+	p := Static(sn, 8)
+	if err := p.Validate(supernet.NLPc3.Blocks); err != nil {
+		t.Fatal(err)
+	}
+	avg := BlockAverageCosts(sn)
+	if r := ImbalanceRatio(avg, p); r > 1.35 {
+		t.Fatalf("static partition imbalance on averages %f too high", r)
+	}
+}
+
+func TestBalancedBeatsStaticOnSubnets(t *testing.T) {
+	// NASPipe's claim: per-subnet balanced partitions have lower bottleneck
+	// than the static partition, on average (Table 2: 9.6% faster exec).
+	sn := supernet.Build(supernet.NLPc1)
+	static := Static(sn, 8)
+	var balancedSum, staticSum float64
+	subs := supernet.Sample(supernet.NLPc1, 5, 30)
+	for _, sub := range subs {
+		costs := SubnetCosts(sn, sub)
+		bp := Balanced(costs, 8)
+		balancedSum += MaxStageCost(costs, bp)
+		staticSum += MaxStageCost(costs, static)
+	}
+	if balancedSum >= staticSum {
+		t.Fatalf("balanced (%f) not better than static (%f) over 30 subnets", balancedSum, staticSum)
+	}
+}
+
+func TestMirrors(t *testing.T) {
+	balanced := Partition{D: 2, Bounds: []int{0, 3, 5}}
+	home := Partition{D: 2, Bounds: []int{0, 2, 5}}
+	got := Mirrors(balanced, home, 5)
+	// Block 2: balanced stage 0, home stage 1 -> mirrored.
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Mirrors = %v want [2]", got)
+	}
+	if m := Mirrors(home, home, 5); m != nil {
+		t.Fatalf("identical partitions should have no mirrors, got %v", m)
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	costs := []float64{1, 1, 1, 1}
+	even := Partition{D: 2, Bounds: []int{0, 2, 4}}
+	if r := ImbalanceRatio(costs, even); r != 1 {
+		t.Fatalf("even split imbalance %f want 1", r)
+	}
+	skew := Partition{D: 2, Bounds: []int{0, 3, 4}}
+	if r := ImbalanceRatio(costs, skew); r != 1.5 {
+		t.Fatalf("skew imbalance %f want 1.5", r)
+	}
+	if r := ImbalanceRatio([]float64{0, 0, 0, 0}, even); r != 1 {
+		t.Fatalf("zero-cost imbalance %f want 1", r)
+	}
+}
+
+// bruteForceBottleneck finds the optimal min-max by exhaustive search over
+// cut positions (small m only).
+func bruteForceBottleneck(costs []float64, d int) float64 {
+	m := len(costs)
+	best := math.Inf(1)
+	var recurse func(start, stagesLeft int, worst float64)
+	recurse = func(start, stagesLeft int, worst float64) {
+		if stagesLeft == 1 {
+			var sum float64
+			for _, c := range costs[start:] {
+				sum += c
+			}
+			if sum > worst {
+				worst = sum
+			}
+			if worst < best {
+				best = worst
+			}
+			return
+		}
+		for end := start; end <= m; end++ {
+			var sum float64
+			for _, c := range costs[start:end] {
+				sum += c
+			}
+			w := worst
+			if sum > w {
+				w = sum
+			}
+			recurse(end, stagesLeft-1, w)
+		}
+	}
+	recurse(0, d, 0)
+	return best
+}
+
+// Property: the DP achieves the brute-force optimal bottleneck.
+func TestQuickBalancedOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 1 + r.Intn(9)
+		d := 1 + r.Intn(4)
+		costs := make([]float64, m)
+		for i := range costs {
+			costs[i] = float64(1+r.Intn(20)) / 2
+		}
+		p := Balanced(costs, d)
+		if p.Validate(m) != nil {
+			return false
+		}
+		got := MaxStageCost(costs, p)
+		want := bruteForceBottleneck(costs, d)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Balanced is deterministic and its bounds are valid for random
+// inputs.
+func TestQuickBalancedDeterministicValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 1 + r.Intn(40)
+		d := 1 + r.Intn(16)
+		costs := make([]float64, m)
+		for i := range costs {
+			costs[i] = r.Float64()*10 + 0.01
+		}
+		p1 := Balanced(costs, d)
+		p2 := Balanced(costs, d)
+		if p1.Validate(m) != nil {
+			return false
+		}
+		for i := range p1.Bounds {
+			if p1.Bounds[i] != p2.Bounds[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every block belongs to exactly one stage (StageOf agrees with
+// Bounds coverage).
+func TestQuickCoverage(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 1 + r.Intn(30)
+		d := 1 + r.Intn(8)
+		costs := make([]float64, m)
+		for i := range costs {
+			costs[i] = r.Float64() + 0.1
+		}
+		p := Balanced(costs, d)
+		counts := make([]int, d)
+		for b := 0; b < m; b++ {
+			counts[p.StageOf(b)]++
+		}
+		total := 0
+		for k := 0; k < d; k++ {
+			lo, hi := p.Blocks(k)
+			if counts[k] != hi-lo {
+				return false
+			}
+			total += counts[k]
+		}
+		return total == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBalanced48x8(b *testing.B) {
+	r := rng.New(1)
+	costs := make([]float64, 48)
+	for i := range costs {
+		costs[i] = r.Float64()*20 + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Balanced(costs, 8)
+	}
+}
+
+// Property: BalancedFast achieves the DP's optimal bottleneck (within
+// float tolerance) on random inputs, with valid bounds.
+func TestQuickBalancedFastMatchesDP(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 1 + r.Intn(40)
+		d := 1 + r.Intn(16)
+		costs := make([]float64, m)
+		for i := range costs {
+			costs[i] = r.Float64()*10 + 0.01
+		}
+		fast := BalancedFast(costs, d)
+		if fast.Validate(m) != nil {
+			return false
+		}
+		want := MaxStageCost(costs, Balanced(costs, d))
+		got := MaxStageCost(costs, fast)
+		return got <= want*(1+1e-6)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedFastEdgeCases(t *testing.T) {
+	p := BalancedFast(nil, 3)
+	if err := p.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	p = BalancedFast([]float64{5}, 4)
+	if err := p.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxStageCost([]float64{5}, p); got != 5 {
+		t.Fatalf("single block bottleneck %f", got)
+	}
+}
+
+func BenchmarkBalancedFast48x8(b *testing.B) {
+	r := rng.New(1)
+	costs := make([]float64, 48)
+	for i := range costs {
+		costs[i] = r.Float64()*20 + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BalancedFast(costs, 8)
+	}
+}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"naspipe/internal/engine"
+)
+
+// catalog maps canonical policy names to fresh-instance constructors.
+// Policies are stateful, so every run needs a new instance.
+var catalog = map[string]func() engine.Policy{
+	"naspipe":    func() engine.Policy { return NewNASPipe() },
+	"gpipe":      func() engine.Policy { return NewGPipe() },
+	"pipedream":  func() engine.Policy { return NewPipeDream() },
+	"vpipe":      func() engine.Policy { return NewVPipe() },
+	"sequential": func() engine.Policy { return NewSequential() },
+	"naspipe-noscheduler": func() engine.Policy {
+		o := DefaultNASPipeOptions()
+		o.Reorder = false
+		return NewNASPipeWith("NASPipe w/o scheduler", o)
+	},
+	"naspipe-nopredictor": func() engine.Policy {
+		o := DefaultNASPipeOptions()
+		o.Predictor = false
+		return NewNASPipeWith("NASPipe w/o predictor", o)
+	},
+	"naspipe-nomirroring": func() engine.Policy {
+		o := DefaultNASPipeOptions()
+		o.Mirroring = false
+		return NewNASPipeWith("NASPipe w/o mirroring", o)
+	},
+}
+
+// New returns a fresh policy instance by canonical name.
+func New(name string) (engine.Policy, error) {
+	ctor, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (known: %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists the canonical policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

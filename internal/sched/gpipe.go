@@ -1,0 +1,135 @@
+package sched
+
+import "naspipe/internal/engine"
+
+// BSPPolicy implements bulk synchronous parallel pipelining: GPipe applied
+// to inter-subnet task generation, the synchronization pattern Retiarii
+// also adopts (§2.3 Challenge-1). Subnets are processed in bulks of D; all
+// forwards of a bulk flow through the pipeline, then backwards run in
+// reverse order, then a flush barrier applies parameter updates in bulk
+// before the next bulk is admitted. Causal dependencies *within* a bulk
+// are not preserved — the source of BSP's irreproducibility (Figure 1,
+// Table 4).
+//
+// The same schedule with VPipe's memory regime (parameter swapping to CPU
+// with a one-subnet cache and a static partition) gives the VPipe
+// baseline.
+type BSPPolicy struct {
+	engine.BasePolicy
+	traits engine.Traits
+	w      *engine.World
+	bulk   int
+
+	curBulk     int
+	fwdDoneLast int // forwards of the current bulk completed at the last stage
+	doneAt0     int // backwards completed at stage 0 (== subnets flushed)
+}
+
+// NewGPipe returns the GPipe baseline: BSP schedule, whole supernet
+// resident in GPU memory, activation recomputation enabled.
+func NewGPipe() *BSPPolicy {
+	return &BSPPolicy{traits: engine.Traits{
+		Name:           "GPipe",
+		Reproducible:   false,
+		Partition:      engine.PartitionStatic,
+		CacheFactor:    0,
+		ActStashFactor: 1,
+	}}
+}
+
+// NewVPipe returns the VPipe baseline: BSP schedule with parameter
+// swapping (one-subnet cache) and a static partition. VPipe's swap
+// machinery targets a static DNN, so it neither predicts the next subnet
+// nor prefetches on arrival — layers are swapped in on demand, and cache
+// hits occur only when consecutive subnets happen to reuse a layer
+// (matching the 1–8% hit rates of Table 2).
+func NewVPipe() *BSPPolicy {
+	return &BSPPolicy{traits: engine.Traits{
+		Name:           "VPipe",
+		Reproducible:   false,
+		Partition:      engine.PartitionStatic,
+		CacheFactor:    1.2,
+		ActStashFactor: 1,
+	}}
+}
+
+// Traits implements engine.Policy.
+func (p *BSPPolicy) Traits() engine.Traits { return p.traits }
+
+// Init implements engine.Policy.
+func (p *BSPPolicy) Init(w *engine.World) {
+	p.w = w
+	p.bulk = w.D
+	if p.bulk < 1 {
+		p.bulk = 1
+	}
+}
+
+// bulkEnd returns one past the last subnet of bulk b.
+func (p *BSPPolicy) bulkEnd(b int) int {
+	end := (b + 1) * p.bulk
+	if n := len(p.w.Subnets); end > n {
+		end = n
+	}
+	return end
+}
+
+// bulkSize returns the number of subnets in bulk b.
+func (p *BSPPolicy) bulkSize(b int) int {
+	start := b * p.bulk
+	return p.bulkEnd(b) - start
+}
+
+// SelectForward admits forwards FIFO, but only subnets of the current
+// bulk; the next bulk waits for the flush barrier.
+func (p *BSPPolicy) SelectForward(stage int, queue []int, now float64) int {
+	if len(queue) == 0 {
+		return -1
+	}
+	if queue[0] >= p.bulkEnd(p.curBulk) {
+		return -1
+	}
+	return 0
+}
+
+// SelectBackward holds all backwards at the last stage until every
+// forward of the bulk has arrived there (the bulk's synchronous turn),
+// then releases them in reverse order. Other stages drain gradients in
+// the reverse order they arrive.
+func (p *BSPPolicy) SelectBackward(stage int, ready []int, now float64) int {
+	if len(ready) == 0 {
+		return -1
+	}
+	if stage == p.w.D-1 && p.fwdDoneLast < p.bulkSize(p.curBulk) {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(ready); i++ {
+		if ready[i] > ready[best] { // reverse order: highest seq first
+			best = i
+		}
+	}
+	return best
+}
+
+// OnForwardDone counts forwards reaching the last stage.
+func (p *BSPPolicy) OnForwardDone(stage, seq int, now float64) {
+	if stage == p.w.D-1 {
+		p.fwdDoneLast++
+	}
+}
+
+// OnBackwardDone advances the flush barrier when a whole bulk has drained
+// back to stage 0.
+func (p *BSPPolicy) OnBackwardDone(stage, seq int, now float64) {
+	if stage != 0 {
+		return
+	}
+	p.doneAt0++
+	if p.doneAt0 >= p.bulkEnd(p.curBulk) {
+		p.curBulk++
+		p.fwdDoneLast = 0
+	}
+}
+
+var _ engine.Policy = (*BSPPolicy)(nil)

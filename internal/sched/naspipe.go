@@ -1,0 +1,173 @@
+// Package sched implements the scheduling policies the paper evaluates on
+// the engine: NASPipe's CSP (with its three ablations), GPipe's BSP,
+// PipeDream's ASP (1F1B), VPipe, and a sequential reference.
+//
+// A policy instance is stateful and single-use: construct a fresh one per
+// engine.Run.
+package sched
+
+import (
+	"naspipe/internal/csp"
+	"naspipe/internal/engine"
+)
+
+// NASPipeOptions toggle the three components ablated in §5.3.
+type NASPipeOptions struct {
+	// Reorder enables Algorithm 2's queue scan (the "scheduler"
+	// component). Disabled, forwards are admitted strictly FIFO and a
+	// blocked head stalls the stage (NASPipe w/o scheduler).
+	Reorder bool
+	// Predictor enables context switching with Algorithm 3 prefetch.
+	// Disabled, the whole supernet stays in GPU memory (NASPipe w/o
+	// predictor), shrinking the batch.
+	Predictor bool
+	// Mirroring enables per-subnet balanced partitions (NASPipe w/o
+	// mirroring falls back to the static partition).
+	Mirroring bool
+	// CacheFactor sizes the parameter cache in subnet-partition multiples
+	// when Predictor is on. The paper's configuration is 3 (current +
+	// previous + prefetched).
+	CacheFactor float64
+}
+
+// DefaultNASPipeOptions returns the paper's configuration.
+func DefaultNASPipeOptions() NASPipeOptions {
+	return NASPipeOptions{Reorder: true, Predictor: true, Mirroring: true, CacheFactor: 3}
+}
+
+// CSPPolicy is NASPipe's causal synchronous parallel policy.
+type CSPPolicy struct {
+	engine.BasePolicy
+	name   string
+	opts   NASPipeOptions
+	w      *engine.World
+	scheds []*csp.Scheduler
+	preds  []*csp.Predictor
+}
+
+// NewNASPipe returns the full NASPipe policy.
+func NewNASPipe() *CSPPolicy {
+	return &CSPPolicy{name: "NASPipe", opts: DefaultNASPipeOptions()}
+}
+
+// NewNASPipeWith returns a named NASPipe variant with the given options
+// (used for the §5.3 ablations).
+func NewNASPipeWith(name string, opts NASPipeOptions) *CSPPolicy {
+	if opts.CacheFactor <= 0 && opts.Predictor {
+		opts.CacheFactor = 3
+	}
+	return &CSPPolicy{name: name, opts: opts}
+}
+
+// Traits implements engine.Policy.
+func (p *CSPPolicy) Traits() engine.Traits {
+	t := engine.Traits{
+		Name:              p.name,
+		Reproducible:      true,
+		Partition:         engine.PartitionBalanced,
+		UsePredictor:      p.opts.Predictor,
+		PrefetchOnArrival: p.opts.Predictor,
+		ActStashFactor:    1,
+	}
+	if !p.opts.Mirroring {
+		t.Partition = engine.PartitionStatic
+	}
+	if p.opts.Predictor {
+		t.CacheFactor = p.opts.CacheFactor
+	} else {
+		t.CacheFactor = 0 // whole supernet resident
+	}
+	return t
+}
+
+// Init implements engine.Policy: one decentralized scheduler (and
+// predictor) per stage, all subnets registered in sequence order.
+func (p *CSPPolicy) Init(w *engine.World) {
+	p.w = w
+	p.scheds = make([]*csp.Scheduler, w.D)
+	p.preds = make([]*csp.Predictor, w.D)
+	for k := 0; k < w.D; k++ {
+		s := csp.New(k)
+		for i := range w.Subnets {
+			if err := s.AddSubnet(csp.SubnetInfo{
+				Seq:         i,
+				AllLayers:   w.AllLayerIDs(i),
+				StageLayers: w.StageLayerIDs(i, k),
+			}); err != nil {
+				panic(err)
+			}
+		}
+		p.scheds[k] = s
+		p.preds[k] = csp.NewPredictor(s)
+	}
+}
+
+// SelectBackward prefers the lowest sequence ID (backward tasks always
+// carry the highest priority, §3.2 heuristic 1).
+func (p *CSPPolicy) SelectBackward(stage int, ready []int, now float64) int {
+	if len(ready) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(ready); i++ {
+		if ready[i] < ready[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SelectForward runs Algorithm 2 over the stage queue; without Reorder it
+// degenerates to head-of-line FIFO with dependency stalls.
+func (p *CSPPolicy) SelectForward(stage int, queue []int, now float64) int {
+	if len(queue) == 0 {
+		return -1
+	}
+	if !p.opts.Reorder {
+		if p.scheds[stage].Blocked(queue[0]) {
+			return -1
+		}
+		return 0
+	}
+	qidx, _ := p.scheds[stage].Schedule(queue)
+	return qidx
+}
+
+// OnBackwardDone broadcasts the stage's completed WRITEs to every stage's
+// scheduler (the mirroring push of §4.2 doubles as the dependency-release
+// notification), and retires the subnet once its backward reaches stage 0.
+func (p *CSPPolicy) OnBackwardDone(stage, seq int, now float64) {
+	written := p.w.StageLayerIDs(seq, stage)
+	for _, s := range p.scheds {
+		s.MarkWritten(seq, written)
+	}
+	if stage == 0 {
+		for _, s := range p.scheds {
+			s.MarkFinished(seq)
+		}
+	}
+}
+
+// PredictBackward implements the Algorithm 3 call before a backward pass.
+func (p *CSPPolicy) PredictBackward(stage int, queue []int, seq int, now float64) []int {
+	return fetchSeqs(p.preds[stage].OnBackward(queue, seq, nil))
+}
+
+// PredictForward implements the Algorithm 3 call before a forward pass.
+func (p *CSPPolicy) PredictForward(stage int, queue []int, seq int, now float64) []int {
+	return fetchSeqs(p.preds[stage].OnForward(queue, seq))
+}
+
+func fetchSeqs(fetches []csp.Fetch) []int {
+	if len(fetches) == 0 {
+		return nil
+	}
+	out := make([]int, len(fetches))
+	for i, f := range fetches {
+		out[i] = f.Seq
+	}
+	return out
+}
+
+// Guard: CSPPolicy must satisfy engine.Policy.
+var _ engine.Policy = (*CSPPolicy)(nil)

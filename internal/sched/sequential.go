@@ -1,0 +1,53 @@
+package sched
+
+import "naspipe/internal/engine"
+
+// SequentialPolicy trains one subnet at a time: subnet y's forward is not
+// admitted until subnet y−1's backward has flushed at stage 0. This is
+// the semantics every exploration algorithm assumes (§2.1) and the
+// reference against which CSP's reproducibility is defined; it is also
+// the slowest schedule (one pipeline fill/drain per subnet).
+type SequentialPolicy struct {
+	engine.BasePolicy
+	inflight int
+}
+
+// NewSequential returns the sequential reference policy.
+func NewSequential() *SequentialPolicy { return &SequentialPolicy{} }
+
+// Traits implements engine.Policy. Sequential runs with NASPipe's memory
+// machinery (balanced partitions, cached context) so that throughput
+// differences against NASPipe isolate scheduling, not memory.
+func (p *SequentialPolicy) Traits() engine.Traits {
+	return engine.Traits{
+		Name:              "Sequential",
+		Reproducible:      true,
+		Partition:         engine.PartitionBalanced,
+		CacheFactor:       3,
+		PrefetchOnArrival: true,
+		ActStashFactor:    1,
+	}
+}
+
+// SelectForward admits the next subnet only when the pipeline is empty.
+func (p *SequentialPolicy) SelectForward(stage int, queue []int, now float64) int {
+	if len(queue) == 0 {
+		return -1
+	}
+	if stage == 0 {
+		if p.inflight > 0 {
+			return -1
+		}
+		p.inflight++
+	}
+	return 0
+}
+
+// OnBackwardDone opens the gate for the next subnet.
+func (p *SequentialPolicy) OnBackwardDone(stage, seq int, now float64) {
+	if stage == 0 {
+		p.inflight--
+	}
+}
+
+var _ engine.Policy = (*SequentialPolicy)(nil)

@@ -1,0 +1,72 @@
+package supernet
+
+import (
+	"fmt"
+
+	"naspipe/internal/layers"
+	"naspipe/internal/rng"
+	"naspipe/internal/tensor"
+)
+
+// Numeric is the trainable instantiation of a (usually scaled-down) space:
+// one real layers.Layer per candidate layer. The numeric plane uses it to
+// demonstrate bitwise reproducibility — the weights here are the "training
+// result" of Definition 1.
+type Numeric struct {
+	Space Space
+	Dim   int
+	Layer []*layers.Layer // indexed by LayerID
+}
+
+// BuildNumeric instantiates trainable parameters for every candidate layer
+// in the space. Initialization derives from (seed, space name, layer ID)
+// only, so two runs with equal seeds start from bitwise-equal supernets
+// regardless of cluster shape.
+func BuildNumeric(space Space, dim int, seed uint64) *Numeric {
+	if err := space.Validate(); err != nil {
+		panic(err)
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("supernet: invalid numeric dim %d", dim))
+	}
+	kinds := layers.Kinds(space.Domain)
+	n := &Numeric{Space: space, Dim: dim, Layer: make([]*layers.Layer, space.NumLayers())}
+	for b := 0; b < space.Blocks; b++ {
+		for c := 0; c < space.Choices; c++ {
+			id := space.ID(b, c)
+			kind := kinds[c%len(kinds)]
+			r := rng.Labeled(seed, fmt.Sprintf("init/%s/%d", space.Name, int(id)))
+			n.Layer[id] = layers.NewLayer(kind, dim, r)
+		}
+	}
+	return n
+}
+
+// At returns the trainable layer for (block, choice).
+func (n *Numeric) At(block, choice int) *layers.Layer {
+	return n.Layer[n.Space.ID(block, choice)]
+}
+
+// ByID returns the trainable layer for a dense ID.
+func (n *Numeric) ByID(id LayerID) *layers.Layer { return n.Layer[id] }
+
+// Checksum returns a single bitwise digest over every parameter of every
+// candidate layer, in layer-ID order. Equal checksums mean bitwise-equal
+// supernets (Definition 1's equality test).
+func (n *Numeric) Checksum() uint64 {
+	sums := make([]uint64, len(n.Layer))
+	for i, l := range n.Layer {
+		sums[i] = l.Checksum()
+	}
+	return tensor.CombineChecksums(sums)
+}
+
+// Clone deep-copies the numeric supernet (used by replay trainers to keep
+// pristine initial states).
+func (n *Numeric) Clone() *Numeric {
+	out := &Numeric{Space: n.Space, Dim: n.Dim, Layer: make([]*layers.Layer, len(n.Layer))}
+	for i, l := range n.Layer {
+		out.Layer[i] = l.Clone()
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package task defines NASPipe's minimal scheduling and execution unit.
+//
+// Per §3.2 of the paper, the basic unit in NASPipe's runtime is a task: a
+// subnet stage's forward pass or backward pass for one input batch. Each
+// task is identified by its execution property (forward or backward), its
+// subnet sequence ID, and its stage ID. Forward passes READ the stage's
+// layer parameters; backward passes WRITE them (gradient + optimizer
+// step), which is what creates causal dependencies between subnets.
+package task
+
+import "fmt"
+
+// Kind is a task's execution property.
+type Kind int
+
+// Task kinds.
+const (
+	Forward Kind = iota
+	Backward
+)
+
+func (k Kind) String() string {
+	if k == Forward {
+		return "F"
+	}
+	return "B"
+}
+
+// Task identifies one unit of pipeline work.
+type Task struct {
+	Subnet int  // subnet sequence ID in exploration order
+	Stage  int  // pipeline stage (GPU) index
+	Kind   Kind // forward or backward
+}
+
+// String renders like the paper's Table 4 notation: "5F@2" is subnet 5's
+// forward on stage 2.
+func (t Task) String() string {
+	return fmt.Sprintf("%d%v@%d", t.Subnet, t.Kind, t.Stage)
+}
+
+// Queue is a FIFO of subnet sequence IDs, the L_q of Algorithm 1. It
+// preserves arrival order; the scheduler may pop from any position (the
+// CSP scheduler skips blocked heads).
+type Queue struct {
+	ids []int
+}
+
+// Push appends a subnet ID.
+func (q *Queue) Push(id int) { q.ids = append(q.ids, id) }
+
+// Len returns the number of queued IDs.
+func (q *Queue) Len() int { return len(q.ids) }
+
+// At returns the ID at position i.
+func (q *Queue) At(i int) int { return q.ids[i] }
+
+// Pop removes and returns the ID at position i.
+func (q *Queue) Pop(i int) int {
+	id := q.ids[i]
+	q.ids = append(q.ids[:i], q.ids[i+1:]...)
+	return id
+}
+
+// IDs returns a copy of the queue contents in order.
+func (q *Queue) IDs() []int {
+	out := make([]int, len(q.ids))
+	copy(out, q.ids)
+	return out
+}
+
+// Contains reports whether id is queued.
+func (q *Queue) Contains(id int) bool {
+	for _, v := range q.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+// Package tensor implements the small deterministic float32 numeric
+// substrate that NASPipe-Go trains on.
+//
+// The paper's reproducibility definition (Definition 1) demands bitwise
+// equality of all layer parameters across repeated runs. Floating-point
+// addition is not associative, so bitwise reproducibility requires a fixed
+// reduction order. Every reduction in this package is a strict
+// left-to-right sequential loop; no parallelism, no reassociation, no
+// fused-multiply-add intrinsics. This mirrors the role of Nvidia's
+// framework-determinism configuration in the original artifact
+// (CUBLAS_WORKSPACE_CONFIG=:4096:8): it makes the *intra-subnet*
+// computation deterministic so that the only remaining source of
+// nondeterminism is the *inter-subnet* read/write interleaving, which the
+// CSP scheduler then controls.
+package tensor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Vector is a dense float32 vector.
+type Vector []float32
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix of the given shape. It panics on
+// non-positive dimensions: shapes are static configuration in this system,
+// so a bad shape is a programming error, not a runtime condition.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src's contents into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero resets all elements of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Equal reports whether m and o have identical shape and bitwise identical
+// contents. NaNs with equal bit patterns compare equal: this is a bitwise
+// comparison, the reproducibility criterion of Definition 1.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Float32bits(m.Data[i]) != math.Float32bits(o.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatVec computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols; dst and x must not alias.
+func MatVec(dst Vector, m *Matrix, x Vector) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch dst=%d m=%dx%d x=%d",
+			len(dst), m.Rows, m.Cols, len(x)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		var sum float32
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		dst[r] = sum
+	}
+}
+
+// MatTVec computes dst = mᵀ * x. dst must have length m.Cols and x length
+// m.Rows. The loop order is fixed (row-major accumulation) for determinism.
+func MatTVec(dst Vector, m *Matrix, x Vector) {
+	if len(dst) != m.Cols || len(x) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatTVec shape mismatch dst=%d m=%dx%d x=%d",
+			len(dst), m.Rows, m.Cols, len(x)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			dst[c] += v * xr
+		}
+	}
+}
+
+// OuterAccum accumulates dst += scale * (a ⊗ b), i.e. dst[r][c] +=
+// scale*a[r]*b[c]. Used to accumulate weight gradients.
+func OuterAccum(dst *Matrix, a, b Vector, scale float32) {
+	if len(a) != dst.Rows || len(b) != dst.Cols {
+		panic(fmt.Sprintf("tensor: OuterAccum shape mismatch a=%d b=%d dst=%dx%d",
+			len(a), len(b), dst.Rows, dst.Cols))
+	}
+	for r := 0; r < dst.Rows; r++ {
+		ar := a[r] * scale
+		row := dst.Data[r*dst.Cols : (r+1)*dst.Cols]
+		for c := range row {
+			row[c] += ar * b[c]
+		}
+	}
+}
+
+// AXPY computes dst += alpha * x elementwise.
+func AXPY(dst Vector, alpha float32, x Vector) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: AXPY length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// MatAXPY computes dst += alpha * x for matrices of equal shape.
+func MatAXPY(dst *Matrix, alpha float32, x *Matrix) {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("tensor: MatAXPY shape mismatch %dx%d vs %dx%d",
+			dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// Dot returns the sequential dot product of a and b.
+func Dot(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float32
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// SumSquares returns Σ a[i]², accumulated left to right.
+func SumSquares(a Vector) float32 {
+	var sum float32
+	for _, v := range a {
+		sum += v * v
+	}
+	return sum
+}
+
+// Tanh applies tanh elementwise into dst (dst may alias x).
+func Tanh(dst, x Vector) {
+	if len(dst) != len(x) {
+		panic("tensor: Tanh length mismatch")
+	}
+	for i, v := range x {
+		dst[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// TanhGrad computes dst = g * (1 - y²) elementwise, where y = tanh(x) is
+// the saved activation. dst may alias g or y.
+func TanhGrad(dst, g, y Vector) {
+	if len(dst) != len(g) || len(dst) != len(y) {
+		panic("tensor: TanhGrad length mismatch")
+	}
+	for i := range dst {
+		dst[i] = g[i] * (1 - y[i]*y[i])
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// EqualBits reports bitwise equality of two vectors.
+func (v Vector) EqualBits(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if math.Float32bits(v[i]) != math.Float32bits(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Checksum returns an FNV-64a hash over the exact bit patterns of the
+// elements. Two vectors have equal checksums iff (with overwhelming
+// probability) they are bitwise identical; this is the primitive used to
+// compare whole-supernet states across runs (Table 3).
+func (v Vector) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, f := range v {
+		bits := math.Float32bits(f)
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		buf[2] = byte(bits >> 16)
+		buf[3] = byte(bits >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Checksum returns an FNV-64a hash over the matrix's shape and bit
+// patterns.
+func (m *Matrix) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(m.Rows)
+	buf[1] = byte(m.Rows >> 8)
+	buf[2] = byte(m.Rows >> 16)
+	buf[3] = byte(m.Rows >> 24)
+	buf[4] = byte(m.Cols)
+	buf[5] = byte(m.Cols >> 8)
+	buf[6] = byte(m.Cols >> 16)
+	buf[7] = byte(m.Cols >> 24)
+	h.Write(buf[:])
+	var b4 [4]byte
+	for _, f := range m.Data {
+		bits := math.Float32bits(f)
+		b4[0] = byte(bits)
+		b4[1] = byte(bits >> 8)
+		b4[2] = byte(bits >> 16)
+		b4[3] = byte(bits >> 24)
+		h.Write(b4[:])
+	}
+	return h.Sum64()
+}
+
+// CombineChecksums folds a sequence of checksums into one, order
+// sensitively. Used to derive a single digest for a whole supernet.
+func CombineChecksums(sums []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range sums {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(s >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"naspipe/internal/layers"
+	"naspipe/internal/supernet"
+)
+
+// Record is a serializable training schedule: the run's identity plus the
+// full parameter access order. Together with the global seed it contains
+// everything needed to re-derive the subnet stream and deterministically
+// replay the training — the paper's "simple and deterministic training
+// replay" for debugging and post-training analysis (§2.1), persisted.
+type Record struct {
+	SpaceName string `json:"space"`
+	Domain    int    `json:"domain"` // layers.Domain
+	Blocks    int    `json:"blocks"`
+	Choices   int    `json:"choices"`
+	Dataset   string `json:"dataset"`
+
+	Policy     string `json:"policy"`
+	GPUs       int    `json:"gpus"`
+	Seed       uint64 `json:"seed"`
+	NumSubnets int    `json:"num_subnets"`
+
+	Events []Event `json:"events"`
+}
+
+// NewRecord assembles a record from a run's identity and trace.
+func NewRecord(space supernet.Space, policy string, gpus int, seed uint64, numSubnets int, tr *Trace) *Record {
+	return &Record{
+		SpaceName: space.Name, Domain: int(space.Domain),
+		Blocks: space.Blocks, Choices: space.Choices, Dataset: space.Dataset,
+		Policy: policy, GPUs: gpus, Seed: seed, NumSubnets: numSubnets,
+		Events: tr.Events,
+	}
+}
+
+// Space reconstructs the search space the record was captured on.
+func (r *Record) Space() supernet.Space {
+	return supernet.Space{
+		Name:    r.SpaceName,
+		Domain:  layers.Domain(r.Domain),
+		Blocks:  r.Blocks,
+		Choices: r.Choices,
+		Dataset: r.Dataset,
+	}
+}
+
+// Trace returns the recorded access order.
+func (r *Record) Trace() *Trace { return &Trace{Events: r.Events} }
+
+// Subnets re-derives the subnet stream the record trained on (a pure
+// function of space and seed).
+func (r *Record) Subnets() []supernet.Subnet {
+	return supernet.Sample(r.Space(), r.Seed, r.NumSubnets)
+}
+
+// Validate performs structural checks before a replay.
+func (r *Record) Validate() error {
+	if r.Blocks <= 0 || r.Choices <= 0 {
+		return fmt.Errorf("trace: record has invalid space geometry %dx%d", r.Blocks, r.Choices)
+	}
+	if r.NumSubnets <= 0 {
+		return fmt.Errorf("trace: record has no subnets")
+	}
+	maxLayer := supernet.LayerID(r.Blocks * r.Choices)
+	for i, ev := range r.Events {
+		if ev.Layer < 0 || ev.Layer >= maxLayer {
+			return fmt.Errorf("trace: event %d references layer %d outside the space", i, ev.Layer)
+		}
+		if ev.Subnet < 0 || ev.Subnet >= r.NumSubnets {
+			return fmt.Errorf("trace: event %d references subnet %d outside the stream", i, ev.Subnet)
+		}
+	}
+	return nil
+}
+
+// Save serializes the record as JSON.
+func (r *Record) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r)
+}
+
+// ReadRecord deserializes a record written by Save.
+func ReadRecord(rd io.Reader) (*Record, error) {
+	var r Record
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("trace: decoding record: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"naspipe/internal/supernet"
+)
+
+func sampleRecord() *Record {
+	sp := supernet.NLPc3.Scaled(4, 2)
+	var tr Trace
+	tr.Append(1.0, sp.ID(0, 1), 0, 0, Read)
+	tr.Append(2.0, sp.ID(0, 1), 0, 0, Write)
+	return NewRecord(sp, "naspipe", 4, 7, 3, &tr)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpaceName != r.SpaceName || got.Seed != 7 || got.GPUs != 4 || got.Policy != "naspipe" {
+		t.Fatalf("round trip lost identity: %+v", got)
+	}
+	if !got.Trace().Equal(r.Trace()) {
+		t.Fatal("round trip lost events")
+	}
+	sp := got.Space()
+	if sp.Blocks != 4 || sp.Choices != 2 {
+		t.Fatalf("space reconstruction: %+v", sp)
+	}
+	if len(got.Subnets()) != 3 {
+		t.Fatal("subnet stream not re-derivable")
+	}
+}
+
+func TestRecordSubnetsMatchOriginalStream(t *testing.T) {
+	r := sampleRecord()
+	want := supernet.Sample(r.Space(), r.Seed, r.NumSubnets)
+	got := r.Subnets()
+	for i := range want {
+		for b := range want[i].Choices {
+			if want[i].Choices[b] != got[i].Choices[b] {
+				t.Fatal("re-derived stream differs")
+			}
+		}
+	}
+}
+
+func TestReadRecordRejectsGarbage(t *testing.T) {
+	if _, err := ReadRecord(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	// Valid JSON, invalid record: layer out of range.
+	bad := `{"space":"x","blocks":2,"choices":2,"num_subnets":1,
+	  "events":[{"Layer":99,"Subnet":0}]}`
+	if _, err := ReadRecord(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected validation error for out-of-range layer")
+	}
+	bad2 := `{"space":"x","blocks":2,"choices":2,"num_subnets":1,
+	  "events":[{"Layer":1,"Subnet":5}]}`
+	if _, err := ReadRecord(strings.NewReader(bad2)); err == nil {
+		t.Fatal("expected validation error for out-of-range subnet")
+	}
+	bad3 := `{"space":"x","blocks":0,"choices":2,"num_subnets":1,"events":[]}`
+	if _, err := ReadRecord(strings.NewReader(bad3)); err == nil {
+		t.Fatal("expected validation error for bad geometry")
+	}
+}

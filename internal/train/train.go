@@ -1,0 +1,217 @@
+// Package train is the numeric plane of NASPipe-Go: it turns scheduled
+// parameter-access orders into actual float32 weights, making the paper's
+// reproducibility claims mechanically checkable.
+//
+// Two trainers exist. Sequential trains the subnet stream strictly in
+// order — the semantics every exploration algorithm assumes (§2.1) and
+// the definition of the "correct" result. Replay executes an engine
+// trace: at each READ event it snapshots the layer's current parameters
+// into the subnet's forward context, and at each WRITE event it applies
+// that subnet's gradient for the layer to the live parameters. A CSP
+// trace replays to bitwise the same weights as Sequential on any GPU
+// count (Definition 1); BSP and ASP traces read stale parameters and
+// diverge as the cluster size changes the interleaving (Table 3).
+package train
+
+import (
+	"fmt"
+
+	"naspipe/internal/data"
+	"naspipe/internal/layers"
+	"naspipe/internal/supernet"
+	"naspipe/internal/tensor"
+	"naspipe/internal/trace"
+)
+
+// Config describes a numeric training run.
+type Config struct {
+	Space     supernet.Space
+	Dim       int     // model dimension of the numeric layers
+	Seed      uint64  // weight init + data seed
+	BatchSize int     // items per subnet step
+	LR        float32 // SGD learning rate
+	Dataset   data.Kind
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 12
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	return c
+}
+
+// Result of a numeric training run.
+type Result struct {
+	Net      *supernet.Numeric
+	Losses   []float32 // per-subnet average training loss, in sequence order
+	Checksum uint64    // bitwise digest of every final parameter
+}
+
+// FinalLoss returns the mean loss over the last quarter of the run — the
+// "supernet loss" of Table 3.
+func (r Result) FinalLoss() float64 {
+	n := len(r.Losses)
+	if n == 0 {
+		return 0
+	}
+	start := n - n/4
+	if start >= n {
+		start = n - 1
+	}
+	var sum float64
+	for _, l := range r.Losses[start:] {
+		sum += float64(l)
+	}
+	return sum / float64(n-start)
+}
+
+// step runs one subnet's forward/backward on the given parameter views
+// and returns the average loss plus per-block gradients. views[b] is the
+// parameter state the forward READ of block b observed.
+func step(cfg Config, src *data.Source, sub supernet.Subnet, views []*layers.Layer) (float32, []*layers.Grads) {
+	m := len(sub.Choices)
+	grads := make([]*layers.Grads, m)
+	for b := 0; b < m; b++ {
+		grads[b] = views[b].NewGrads()
+	}
+	batch := src.Batch(sub.Seq)
+	var lossSum float32
+	for i := range batch.Inputs {
+		// Forward, saving inputs and activations per block.
+		xs := make([]tensor.Vector, m+1)
+		xs[0] = batch.Inputs[i]
+		for b := 0; b < m; b++ {
+			xs[b+1] = views[b].Forward(xs[b])
+		}
+		// Loss: 0.5·‖y − target‖².
+		out := xs[m]
+		dy := make(tensor.Vector, len(out))
+		for j := range out {
+			d := out[j] - batch.Targets[i][j]
+			dy[j] = d
+			lossSum += 0.5 * d * d
+		}
+		// Backward.
+		for b := m - 1; b >= 0; b-- {
+			dy = views[b].Backward(xs[b], xs[b+1], dy, grads[b])
+		}
+	}
+	return lossSum / float32(len(batch.Inputs)), grads
+}
+
+// Sequential trains the subnets strictly in exploration order on a fresh
+// numeric supernet.
+func Sequential(cfg Config, subnets []supernet.Subnet) Result {
+	cfg = cfg.withDefaults()
+	net := supernet.BuildNumeric(cfg.Space, cfg.Dim, cfg.Seed)
+	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
+	losses := make([]float32, len(subnets))
+	for i, sub := range subnets {
+		views := make([]*layers.Layer, len(sub.Choices))
+		for b, c := range sub.Choices {
+			views[b] = net.At(b, c)
+		}
+		loss, grads := step(cfg, src, sub, views)
+		losses[i] = loss
+		for b, c := range sub.Choices {
+			net.At(b, c).ApplySGD(grads[b], cfg.LR)
+		}
+	}
+	return Result{Net: net, Losses: losses, Checksum: net.Checksum()}
+}
+
+// pendingSubnet tracks one subnet's in-flight replay state.
+type pendingSubnet struct {
+	sub        supernet.Subnet
+	views      []*layers.Layer // snapshots, one per block, filled by READs
+	seen       int
+	grads      []*layers.Grads
+	loss       float32
+	computed   bool
+	writesLeft int
+}
+
+// Replay executes the parameter access order of an engine trace on a
+// fresh numeric supernet. The trace must contain exactly one READ and one
+// WRITE per (subnet, block); engine runs with RecordTrace produce this.
+func Replay(cfg Config, subnets []supernet.Subnet, tr *trace.Trace) (Result, error) {
+	cfg = cfg.withDefaults()
+	net := supernet.BuildNumeric(cfg.Space, cfg.Dim, cfg.Seed)
+	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
+
+	pend := make(map[int]*pendingSubnet, len(subnets))
+	for _, sub := range subnets {
+		pend[sub.Seq] = &pendingSubnet{
+			sub:        sub,
+			views:      make([]*layers.Layer, len(sub.Choices)),
+			writesLeft: len(sub.Choices),
+		}
+	}
+	losses := make([]float32, len(subnets))
+
+	for _, ev := range tr.Events {
+		p := pend[ev.Subnet]
+		if p == nil {
+			return Result{}, fmt.Errorf("train: trace references unknown subnet %d", ev.Subnet)
+		}
+		block, choice := cfg.Space.BlockChoice(ev.Layer)
+		if block >= len(p.sub.Choices) || p.sub.Choices[block] != choice {
+			return Result{}, fmt.Errorf("train: trace event %v does not match subnet %d's choice", ev, ev.Subnet)
+		}
+		switch ev.Kind {
+		case trace.Read:
+			if p.views[block] != nil {
+				return Result{}, fmt.Errorf("train: duplicate READ of block %d by subnet %d", block, ev.Subnet)
+			}
+			p.views[block] = net.At(block, choice).Clone()
+			p.seen++
+		case trace.Write:
+			if !p.computed {
+				if p.seen != len(p.sub.Choices) {
+					return Result{}, fmt.Errorf("train: subnet %d writes before completing reads (%d/%d)",
+						ev.Subnet, p.seen, len(p.sub.Choices))
+				}
+				p.loss, p.grads = step(cfg, src, p.sub, p.views)
+				p.computed = true
+				losses[ev.Subnet] = p.loss
+			}
+			net.At(block, choice).ApplySGD(p.grads[block], cfg.LR)
+			p.writesLeft--
+			if p.writesLeft == 0 {
+				// Free the snapshots; the subnet is done.
+				p.views = nil
+				p.grads = nil
+			}
+		}
+	}
+	for seq, p := range pend {
+		if p.writesLeft != 0 {
+			return Result{}, fmt.Errorf("train: subnet %d has %d unwritten blocks at trace end", seq, p.writesLeft)
+		}
+	}
+	return Result{Net: net, Losses: losses, Checksum: net.Checksum()}, nil
+}
+
+// StepOn runs one training step of the subnet against the live supernet
+// — sequential semantics, the building block interactive explorers (e.g.
+// GreedyNAS-style greedy sampling) use when the next subnet depends on
+// the current weights. Returns the batch's average training loss.
+func StepOn(cfg Config, net *supernet.Numeric, sub supernet.Subnet) float32 {
+	cfg = cfg.withDefaults()
+	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
+	views := make([]*layers.Layer, len(sub.Choices))
+	for b, c := range sub.Choices {
+		views[b] = net.At(b, c)
+	}
+	loss, grads := step(cfg, src, sub, views)
+	for b, c := range sub.Choices {
+		net.At(b, c).ApplySGD(grads[b], cfg.LR)
+	}
+	return loss
+}
