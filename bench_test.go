@@ -55,7 +55,7 @@ func benchPolicyRun(b *testing.B, space supernet.Space, policy engine.Policy, mk
 	var last engine.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last = engine.Run(cfg, mk())
+		last, _ = engine.Run(cfg, mk())
 	}
 	b.StopTimer()
 	if last.Failed {
@@ -98,7 +98,7 @@ func benchCacheFactor(b *testing.B, factor float64) {
 	var last engine.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last = engine.Run(cfg, mk())
+		last, _ = engine.Run(cfg, mk())
 	}
 	b.StopTimer()
 	b.ReportMetric(last.CacheHitRate, "hit-rate")
@@ -143,7 +143,7 @@ func benchWindow(b *testing.B, window int) {
 	var last engine.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last = engine.Run(cfg, sched.NewNASPipe())
+		last, _ = engine.Run(cfg, sched.NewNASPipe())
 	}
 	b.StopTimer()
 	b.ReportMetric(last.SamplesPerSec, "sim-samples/s")

@@ -17,7 +17,7 @@ func runTraced(t testing.TB, policy string, d int) *trace.Trace {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := engine.Run(engine.Config{
+	res, _ := engine.Run(engine.Config{
 		Space: supernet.NLPc3, Spec: cluster.Default(d), Seed: 1,
 		NumSubnets: 24, RecordTrace: true,
 	}, p)
@@ -121,7 +121,7 @@ func TestQuickStalenessConsistent(t *testing.T) {
 	f := func(seed uint64, dRaw uint8) bool {
 		d := int(dRaw)%4 + 1
 		p, _ := sched.New("pipedream")
-		res := engine.Run(engine.Config{
+		res, _ := engine.Run(engine.Config{
 			Space: supernet.CVc3.Scaled(6, 2), Spec: cluster.Default(d), Seed: seed,
 			NumSubnets: 10, RecordTrace: true,
 		}, p)

@@ -50,6 +50,13 @@ type Scheduler struct {
 	// users maps each layer to the set of *active* (registered, not yet
 	// eliminated) subnet sequence IDs that select it.
 	users map[supernet.LayerID]map[int]bool
+
+	// Scheduling-pressure counters (see Stats). A Scheduler is owned by a
+	// single stage — one simulator loop or one stage goroutine — so plain
+	// ints suffice; cross-stage communication happens via MarkWritten/
+	// MarkFinished calls delivered to the owner, never via shared access.
+	scheduleCalls int
+	emptyScans    int
 }
 
 // New returns an empty scheduler for the given stage.
@@ -201,12 +208,23 @@ func (s *Scheduler) BlockingWriter(seq int) int {
 // or (-1, -1) if every queued task is blocked. The queue is the stage's
 // L_q; entries are subnet sequence IDs whose forward input has arrived.
 func (s *Scheduler) Schedule(queue []int) (qidx, qval int) {
+	s.scheduleCalls++
 	for i, seq := range queue {
 		if !s.Blocked(seq) {
 			return i, seq
 		}
 	}
+	if len(queue) > 0 {
+		s.emptyScans++
+	}
 	return -1, -1
+}
+
+// Stats reports scheduling-pressure counters: how many Schedule scans ran
+// and how many scanned a non-empty queue without finding an admissible
+// forward (every candidate blocked by an unfinished earlier subnet).
+func (s *Scheduler) Stats() (scheduleCalls, emptyScans int) {
+	return s.scheduleCalls, s.emptyScans
 }
 
 // ScheduleAssuming runs Schedule as if the given extra subnets were

@@ -1,0 +1,389 @@
+// The concurrent execution plane: a goroutine-per-stage CSP executor.
+//
+// Where the simulator (engine.go) models the paper's runtime on a
+// discrete-event clock, RunConcurrent *is* the runtime, at Go scale: every
+// pipeline stage runs in its own goroutine, activations flow downstream
+// and gradients upstream over channels, and each stage admits forward
+// tasks by consulting its own csp.Scheduler — the paper's decentralized
+// synchronization (§3.3), with no global clock and no central scheduler.
+// Dependency releases propagate as write/finish notifications, exactly the
+// role the mirroring push plays in §4.2.
+//
+// Determinism under real parallelism is the point. The raw interleaving of
+// parameter accesses across stages is wall-clock-nondeterministic — it
+// changes with GOMAXPROCS, scheduling noise, and injected timing jitter.
+// CSP's guarantee (Definition 1) is that the *per-layer projection* of
+// that interleaving — the only thing the training result depends on — is
+// always the sequential order. RunConcurrent therefore returns two traces:
+// Result.ObservedTrace, the raw emission order, and Result.Trace, the
+// canonical causal order (each subnet's READs in stage order, then its
+// WRITEs in backward stage order — byte-for-byte what a sequential run
+// emits). After a complete run it verifies that the observed per-layer
+// order equals the canonical one and fails loudly otherwise, making every
+// call a mechanical check of Definition 1 on a genuinely parallel
+// execution.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"naspipe/internal/csp"
+	"naspipe/internal/metrics"
+	"naspipe/internal/rng"
+	"naspipe/internal/supernet"
+	"naspipe/internal/task"
+	"naspipe/internal/trace"
+)
+
+// ccNote is a cross-stage dependency-release notification: subnet seq's
+// WRITE of ids has flushed on some stage; finished additionally marks the
+// subnet's backward as having reached stage 0 (whole-subnet retirement,
+// which advances the elimination frontier).
+type ccNote struct {
+	seq      int
+	ids      []supernet.LayerID
+	finished bool
+}
+
+// ccStage is one stage goroutine's private state. Only the owning
+// goroutine touches any field after the run starts; all cross-stage
+// communication goes through the channels.
+type ccStage struct {
+	k     int
+	sched *csp.Scheduler
+
+	fwdIn chan int    // activation arrivals from stage k-1 (nil at stage 0)
+	bwdIn chan int    // gradient arrivals from stage k+1 (nil at stage D-1)
+	notes chan ccNote // write/finish notifications from other stages
+
+	fwdQ     []int // L_q: subnets whose forward input has arrived
+	bwdReady []int // subnets whose backward input has arrived
+	fwdDone  int
+	bwdDone  int
+
+	retrieved int // stage 0 only: subnets pulled from the exploration stream
+
+	cont metrics.StageContention
+}
+
+// ccRun is the shared, read-only-after-start context of one concurrent
+// run, plus the mutex-guarded trace collector.
+type ccRun struct {
+	cfg    Config
+	w      *World
+	stages []*ccStage
+
+	mu  sync.Mutex
+	obs *trace.Trace // raw interleaving; nil unless RecordTrace
+}
+
+// ccParkPoll bounds how long a stage goroutine parks before rescanning its
+// queues — insurance against protocol bugs turning into silent hangs (the
+// notification protocol never drops wakeups, so in a correct run this
+// timer only fires around cancellation races).
+const ccParkPoll = 5 * time.Millisecond
+
+// RunConcurrent executes the configuration on the concurrent CSP
+// execution plane. It is inherently a NASPipe (CSP) run: admission is
+// Algorithm 2 on a per-stage scheduler, backward tasks carry priority, and
+// subnets use balanced per-subnet partitions as in the full system.
+//
+// The returned Result carries scheduling/trace fields only: Completed,
+// TotalMs (wall clock), Trace (canonical causal order), ObservedTrace,
+// and per-stage Contention counters. Memory-model fields (Batch, GPUMem*,
+// CacheHitRate, ...) stay zero — the memory plane is the simulator's job.
+//
+// Cancellation: stage goroutines check ctx between tasks; on cancellation
+// the partial Result (Deadlock set, Completed < N) returns with ctx.Err().
+func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return Result{}, fmt.Errorf("engine: invalid cluster spec: %w", err)
+	}
+	w, err := NewWorld(cfg, PartitionBalanced)
+	if err != nil {
+		return Result{}, err
+	}
+	c := &ccRun{cfg: cfg, w: w}
+	if cfg.RecordTrace {
+		c.obs = &trace.Trace{}
+	}
+	n := len(w.Subnets)
+	c.stages = make([]*ccStage, w.D)
+	for k := 0; k < w.D; k++ {
+		s := &ccStage{
+			k:     k,
+			sched: csp.New(k),
+			notes: make(chan ccNote, (w.D+1)*n),
+			cont:  metrics.StageContention{Stage: k},
+		}
+		if k > 0 {
+			s.fwdIn = make(chan int, n)
+		}
+		if k < w.D-1 {
+			s.bwdIn = make(chan int, n)
+		}
+		for i := range w.Subnets {
+			if err := s.sched.AddSubnet(csp.SubnetInfo{
+				Seq:         i,
+				AllLayers:   w.AllLayerIDs(i),
+				StageLayers: w.StageLayerIDs(i, k),
+			}); err != nil {
+				return Result{}, fmt.Errorf("engine: concurrent scheduler init: %w", err)
+			}
+		}
+		c.stages[k] = s
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, s := range c.stages {
+		wg.Add(1)
+		go func(s *ccStage) {
+			defer wg.Done()
+			c.stageLoop(ctx, s)
+		}(s)
+	}
+	wg.Wait() // establishes happens-before: stage state is safe to read below
+
+	res := Result{
+		Policy: "NASPipe-CC", Space: cfg.Space.Name, D: w.D,
+		SupernetBytes: w.Net.TotalParamBytes(),
+	}
+	res.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+	res.Completed = c.stages[0].bwdDone
+	res.Deadlock = res.Completed < n
+	res.Contention = make([]metrics.StageContention, w.D)
+	for k, s := range c.stages {
+		_, empty := s.sched.Stats()
+		s.cont.BlockedScans = int64(empty)
+		res.Contention[k] = s.cont
+	}
+	if res.TotalMs > 0 {
+		res.SubnetsPerHour = float64(res.Completed) / (res.TotalMs / 3.6e6)
+	}
+	if c.obs != nil {
+		res.ObservedTrace = c.obs
+		res.Trace = CanonicalTrace(w)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if res.Deadlock {
+		return res, fmt.Errorf("engine: concurrent run stalled at %d/%d subnets", res.Completed, n)
+	}
+	if c.obs != nil {
+		if !c.obs.PerLayerEqual(res.Trace) {
+			return res, fmt.Errorf("engine: concurrent execution violated CSP: observed per-layer access order diverges from the sequential reference")
+		}
+	}
+	return res, nil
+}
+
+// stageLoop is the body of one stage goroutine: drain inputs, run the
+// highest-priority admissible task, park when nothing is runnable.
+func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
+	n := len(c.w.Subnets)
+	for s.fwdDone < n || s.bwdDone < n {
+		if ctx.Err() != nil {
+			return
+		}
+		s.drain()
+		if s.k == 0 {
+			s.refill(c.cfg.InflightLimit, n)
+		}
+		// Backward tasks always run first (§3.2): they retire dependencies
+		// and widen every stage's schedulable set.
+		if c.runBackward(s) {
+			continue
+		}
+		if c.runForward(s) {
+			continue
+		}
+		// Nothing admissible: park until an input or notification arrives.
+		s.cont.Parks++
+		timer := time.NewTimer(ccParkPoll)
+		select {
+		case note := <-s.notes:
+			s.apply(note)
+		case seq := <-s.fwdIn:
+			s.fwdQ = append(s.fwdQ, seq)
+		case seq := <-s.bwdIn:
+			s.bwdReady = append(s.bwdReady, seq)
+		case <-ctx.Done():
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// drain non-blockingly absorbs every pending notification and arrival.
+func (s *ccStage) drain() {
+	for {
+		select {
+		case note := <-s.notes:
+			s.apply(note)
+			continue
+		default:
+		}
+		if s.fwdIn != nil {
+			select {
+			case seq := <-s.fwdIn:
+				s.fwdQ = append(s.fwdQ, seq)
+				continue
+			default:
+			}
+		}
+		if s.bwdIn != nil {
+			select {
+			case seq := <-s.bwdIn:
+				s.bwdReady = append(s.bwdReady, seq)
+				continue
+			default:
+			}
+		}
+		return
+	}
+}
+
+// apply folds a cross-stage notification into the local scheduler.
+func (s *ccStage) apply(n ccNote) {
+	s.cont.Notes++
+	s.sched.MarkWritten(n.seq, n.ids)
+	if n.finished {
+		s.sched.MarkFinished(n.seq)
+	}
+}
+
+// refill keeps stage 0's forward queue stocked from the exploration
+// stream, bounded by the inflight window (retrieve() of Algorithm 1).
+func (s *ccStage) refill(inflightLimit, n int) {
+	for s.retrieved < n && s.retrieved-s.bwdDone < inflightLimit {
+		s.fwdQ = append(s.fwdQ, s.retrieved)
+		s.retrieved++
+	}
+}
+
+// runBackward executes the lowest-sequence ready backward, emits its
+// WRITEs, and broadcasts the dependency release. Returns false if no
+// backward is ready.
+func (c *ccRun) runBackward(s *ccStage) bool {
+	if len(s.bwdReady) == 0 {
+		return false
+	}
+	best := 0
+	for i := 1; i < len(s.bwdReady); i++ {
+		if s.bwdReady[i] < s.bwdReady[best] {
+			best = i
+		}
+	}
+	seq := s.bwdReady[best]
+	s.bwdReady = append(s.bwdReady[:best], s.bwdReady[best+1:]...)
+	ids := c.w.stageIDs[seq][s.k]
+
+	c.compute(seq, s.k, task.Backward)
+	// The WRITE must be visible in the trace before any dependent learns
+	// of the release: append first, notify after. The channel send/receive
+	// pair then carries the happens-before edge to every dependent READ.
+	c.emit(ids, seq, s.k, trace.Write)
+	finished := s.k == 0
+	s.apply(ccNote{seq: seq, ids: ids, finished: finished})
+	s.cont.Notes-- // self-application is not cross-stage traffic
+	for _, t := range c.stages {
+		if t != s {
+			t.notes <- ccNote{seq: seq, ids: ids, finished: finished}
+		}
+	}
+	if s.k > 0 {
+		c.stages[s.k-1].bwdIn <- seq
+	}
+	s.bwdDone++
+	s.cont.Tasks++
+	return true
+}
+
+// runForward admits the first CSP-admissible queued forward (Algorithm 2),
+// emits its READs, and forwards the activation downstream. Returns false
+// if the queue is empty or every queued subnet is blocked.
+func (c *ccRun) runForward(s *ccStage) bool {
+	if len(s.fwdQ) == 0 {
+		return false
+	}
+	qidx, seq := s.sched.Schedule(s.fwdQ)
+	if qidx < 0 {
+		return false
+	}
+	s.fwdQ = append(s.fwdQ[:qidx], s.fwdQ[qidx+1:]...)
+	ids := c.w.stageIDs[seq][s.k]
+	// The READ happens at admission — after the CSP check, before compute —
+	// mirroring the simulator's context-acquire semantics.
+	c.emit(ids, seq, s.k, trace.Read)
+	c.compute(seq, s.k, task.Forward)
+	if s.k < c.w.D-1 {
+		c.stages[s.k+1].fwdIn <- seq
+	} else {
+		// Loss computed: the backward is immediately ready locally.
+		s.bwdReady = append(s.bwdReady, seq)
+	}
+	s.fwdDone++
+	s.cont.Tasks++
+	return true
+}
+
+// compute stands in for the stage's kernel work. With TimingJitter set it
+// sleeps a deterministic pseudo-random duration (up to ~50µs scaled by the
+// jitter magnitude) keyed by (JitterSeed, task) — real wall-clock
+// perturbation, modeling foreign hardware exactly as the simulator's
+// jitter does. Without jitter it still yields to the Go scheduler so
+// stage interleavings stay adversarial rather than lockstep.
+func (c *ccRun) compute(seq, stage int, kind task.Kind) {
+	if c.cfg.TimingJitter > 0 {
+		r := rng.Labeled(c.cfg.JitterSeed, fmt.Sprintf("ccjitter/%d/%d/%d", seq, stage, int(kind)))
+		d := time.Duration(c.cfg.TimingJitter * r.Float64() * float64(50*time.Microsecond))
+		if d > 0 {
+			time.Sleep(d)
+		}
+		return
+	}
+	runtime.Gosched()
+}
+
+// emit appends one access per layer to the observed trace, in stage-index
+// order, under the collector lock.
+func (c *ccRun) emit(ids []supernet.LayerID, seq, stage int, kind trace.AccessKind) {
+	if c.obs == nil {
+		return
+	}
+	c.mu.Lock()
+	for _, id := range ids {
+		c.obs.Append(0, id, seq, stage, kind)
+	}
+	c.mu.Unlock()
+}
+
+// CanonicalTrace builds the causal (sequential-reference) parameter-access
+// order for a world: for each subnet in sequence order, its READs stage by
+// stage downstream, then its WRITEs stage by stage back upstream — exactly
+// the emission order of a sequential run, and the deterministic
+// normalization of every CSP-compliant interleaving. The replay trainer
+// consumes it directly.
+func CanonicalTrace(w *World) *trace.Trace {
+	tr := &trace.Trace{}
+	for seq := range w.Subnets {
+		for k := 0; k < w.D; k++ {
+			for _, id := range w.stageIDs[seq][k] {
+				tr.Append(0, id, seq, k, trace.Read)
+			}
+		}
+		for k := w.D - 1; k >= 0; k-- {
+			for _, id := range w.stageIDs[seq][k] {
+				tr.Append(0, id, seq, k, trace.Write)
+			}
+		}
+	}
+	return tr
+}

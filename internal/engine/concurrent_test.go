@@ -1,0 +1,204 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"naspipe/internal/cluster"
+	"naspipe/internal/data"
+	"naspipe/internal/engine"
+	"naspipe/internal/supernet"
+	"naspipe/internal/train"
+)
+
+// ccCfg is the shared configuration of the equivalence matrix: a scaled
+// space small enough for numeric replay, dependency-dense enough that CSP
+// admission actually blocks subnets.
+func ccCfg(d int, jitter bool) engine.Config {
+	cfg := engine.Config{
+		Space:       supernet.NLPc3.Scaled(8, 3),
+		Spec:        cluster.Default(d),
+		Seed:        7,
+		NumSubnets:  18,
+		RecordTrace: true,
+	}
+	if jitter {
+		cfg.TimingJitter = 0.3
+		cfg.JitterSeed = 11
+	}
+	return cfg
+}
+
+// TestConcurrentTraceEquivalenceMatrix is the PR's core guarantee: across
+// pipeline depths and with timing jitter on or off, the concurrent
+// executor's trace is bitwise-equal to the sequential reference (as
+// produced by the simulator's sequential policy), its observed raw
+// interleaving projects to the same per-layer order, and replaying either
+// trace through the numeric trainer lands on bitwise-identical weights.
+func TestConcurrentTraceEquivalenceMatrix(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 8} {
+		for _, jitter := range []bool{false, true} {
+			t.Run(fmt.Sprintf("gpus=%d/jitter=%v", d, jitter), func(t *testing.T) {
+				cfg := ccCfg(d, jitter)
+				seq := run(t, "sequential", cfg)
+				if seq.Failed {
+					t.Fatalf("sequential reference failed: %s", seq.FailReason)
+				}
+				sim := run(t, "naspipe", cfg)
+				if sim.Failed {
+					t.Fatalf("simulated naspipe failed: %s", sim.FailReason)
+				}
+				cc, err := engine.RunConcurrent(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("concurrent run: %v", err)
+				}
+				if cc.Completed != cfg.NumSubnets {
+					t.Fatalf("concurrent completed %d/%d", cc.Completed, cfg.NumSubnets)
+				}
+				if !cc.Trace.Equal(seq.Trace) {
+					t.Fatal("concurrent canonical trace diverges from sequential reference")
+				}
+				if cc.ObservedTrace == nil {
+					t.Fatal("no observed trace recorded")
+				}
+				if !cc.ObservedTrace.PerLayerEqual(seq.Trace) {
+					t.Fatal("observed per-layer access order diverges from sequential reference")
+				}
+				if !sim.Trace.PerLayerEqual(cc.Trace) {
+					t.Fatal("simulated and concurrent planes disagree on per-layer order")
+				}
+
+				// Numeric ground truth: all three schedules replay to the
+				// bitwise-identical weights of strict sequential training.
+				tc := train.Config{Space: cfg.Space, Dim: 8, Seed: cfg.Seed,
+					BatchSize: 2, LR: 0.05, Dataset: data.WNMT}
+				subs := supernet.Sample(cfg.Space, cfg.Seed, cfg.NumSubnets)
+				want := train.Sequential(tc, subs).Checksum
+				for name, tr := range map[string]*engine.Result{
+					"sequential-sim": &seq, "naspipe-sim": &sim, "concurrent": &cc,
+				} {
+					got, err := train.Replay(tc, subs, tr.Trace)
+					if err != nil {
+						t.Fatalf("%s replay: %v", name, err)
+					}
+					if got.Checksum != want {
+						t.Fatalf("%s replay checksum %016x, want %016x", name, got.Checksum, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentStableAcrossGOMAXPROCS pins Definition 1 against the Go
+// scheduler itself: the canonical trace (and hence the training result)
+// is identical whether the stage goroutines run on one core or all of
+// them.
+func TestConcurrentStableAcrossGOMAXPROCS(t *testing.T) {
+	cfg := ccCfg(4, true)
+	ref, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		got, err := engine.RunConcurrent(context.Background(), cfg)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if !got.Trace.Equal(ref.Trace) {
+			t.Fatalf("GOMAXPROCS=%d changed the canonical trace", procs)
+		}
+		if !got.ObservedTrace.PerLayerEqual(ref.Trace) {
+			t.Fatalf("GOMAXPROCS=%d violated the per-layer order", procs)
+		}
+	}
+}
+
+// TestConcurrentRepeatedRunsDeterministic hammers the executor: many
+// back-to-back runs under jitter must all verify and produce the same
+// canonical trace (the observed interleavings are free to differ).
+func TestConcurrentRepeatedRunsDeterministic(t *testing.T) {
+	cfg := ccCfg(4, true)
+	cfg.NumSubnets = 12
+	ref, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		got, err := engine.RunConcurrent(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !got.Trace.Equal(ref.Trace) {
+			t.Fatalf("run %d changed the canonical trace", i)
+		}
+	}
+}
+
+// TestConcurrentContentionCounters checks the per-stage instrumentation:
+// every stage reports one forward and one backward task per subnet, and
+// cross-stage notifications flow on multi-stage pipelines.
+func TestConcurrentContentionCounters(t *testing.T) {
+	cfg := ccCfg(4, false)
+	res, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contention) != res.D {
+		t.Fatalf("contention rows %d, want %d", len(res.Contention), res.D)
+	}
+	for _, c := range res.Contention {
+		if c.Tasks != int64(2*cfg.NumSubnets) {
+			t.Fatalf("stage %d ran %d tasks, want %d", c.Stage, c.Tasks, 2*cfg.NumSubnets)
+		}
+	}
+	var notes int64
+	for _, c := range res.Contention {
+		notes += c.Notes
+	}
+	// Every backward broadcasts to the other D-1 stages, but a stage that
+	// has finished its own work exits without applying late notifications,
+	// so the applied count is bounded, not exact.
+	max := int64(cfg.NumSubnets * res.D * (res.D - 1))
+	if notes == 0 || notes > max {
+		t.Fatalf("total notes %d, want in (0, %d]", notes, max)
+	}
+}
+
+// TestConcurrentCancellation: a pre-cancelled context returns promptly
+// with a partial result and ctx.Err().
+func TestConcurrentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := engine.RunConcurrent(ctx, ccCfg(4, false))
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Completed != 0 || !res.Deadlock {
+		t.Fatalf("cancelled run reported %d completed, deadlock=%v", res.Completed, res.Deadlock)
+	}
+}
+
+// TestConcurrentInvalidSpec: config validation errors, not panics.
+func TestConcurrentInvalidSpec(t *testing.T) {
+	cfg := ccCfg(2, false)
+	cfg.Spec.GPUsPerHost = 0
+	if _, err := engine.RunConcurrent(context.Background(), cfg); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// BenchmarkConcurrentExecutor measures the real-goroutine pipeline.
+func BenchmarkConcurrentExecutor(b *testing.B) {
+	cfg := ccCfg(4, false)
+	cfg.RecordTrace = false
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RunConcurrent(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

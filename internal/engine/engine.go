@@ -2,11 +2,13 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
 	"naspipe/internal/cluster"
 	"naspipe/internal/memctx"
+	"naspipe/internal/metrics"
 	"naspipe/internal/partition"
 	"naspipe/internal/rng"
 	"naspipe/internal/supernet"
@@ -103,6 +105,18 @@ type Result struct {
 	Spans []TaskSpan
 
 	Trace *trace.Trace // nil unless Config.RecordTrace
+
+	// ObservedTrace is filled only by the concurrent execution plane
+	// (RunConcurrent): the raw parameter-access interleaving as the stage
+	// goroutines actually emitted it, wall-clock-nondeterministic across
+	// runs. Trace above then holds the canonical causal order, which CSP
+	// guarantees is the deterministic per-layer-equivalent of this one;
+	// RunConcurrent fails loudly if the guarantee was violated.
+	ObservedTrace *trace.Trace
+
+	// Contention carries per-stage scheduling-pressure counters from the
+	// concurrent execution plane; nil on the simulated plane.
+	Contention []metrics.StageContention
 }
 
 // TaskSpan is one task's timeline extent on its stage. Start is the
@@ -218,14 +232,33 @@ type Engine struct {
 	mirrorB      int64
 }
 
-// Run simulates the policy on the config and returns the result.
-func Run(cfg Config, policy Policy) Result {
+// Run simulates the policy on the config and returns the result. Invalid
+// configurations (bad cluster spec, malformed injected subnet streams)
+// surface as errors. A Result with Failed set is not an error: it means a
+// valid configuration that this system cannot run (e.g. parameters exceed
+// GPU memory), which the paper's tables report as a data point.
+func Run(cfg Config, policy Policy) (Result, error) {
+	return RunContext(context.Background(), cfg, policy)
+}
+
+// ctxCheckInterval is how many simulator events pass between cooperative
+// cancellation checks in RunContext's event loop.
+const ctxCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx between simulated events and, when cancelled, returns the partial
+// Result accumulated so far together with ctx.Err(). The partial result
+// has Deadlock set (the run did not complete) and Completed reflecting
+// the subnets that finished before cancellation.
+func RunContext(ctx context.Context, cfg Config, policy Policy) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
-		panic(err)
+		return Result{}, fmt.Errorf("engine: invalid cluster spec: %w", err)
 	}
 	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits()}
-	e.buildWorld()
+	if err := e.buildWorld(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Policy: e.traits.Name, Space: cfg.Space.Name, D: cfg.Spec.GPUs,
 		SupernetBytes: e.w.Net.TotalParamBytes(),
@@ -233,25 +266,41 @@ func Run(cfg Config, policy Policy) Result {
 	if failReason := e.sizeBatch(&res); failReason != "" {
 		res.Failed = true
 		res.FailReason = failReason
-		return res
+		return res, nil
 	}
 	e.setup()
-	e.loop()
+	e.loop(ctx)
 	e.finish(&res)
-	return res
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
-func (e *Engine) buildWorld() {
-	cfg := e.cfg
+func (e *Engine) buildWorld() error {
+	w, err := NewWorld(e.cfg, e.traits.Partition)
+	if err != nil {
+		return err
+	}
+	e.w = w
+	return nil
+}
+
+// NewWorld validates the config's subnet stream and builds the run
+// context shared by the simulated and concurrent execution planes.
+func NewWorld(cfg Config, mode PartitionMode) (*World, error) {
 	net := supernet.Build(cfg.Space)
 	subs := cfg.Subnets
 	if len(subs) == 0 {
 		subs = supernet.Sample(cfg.Space, cfg.Seed, cfg.NumSubnets)
 	} else {
 		for i, sub := range subs {
-			if sub.Seq != i || len(sub.Choices) != cfg.Space.Blocks {
-				panic(fmt.Sprintf("engine: injected subnet %d malformed (seq %d, %d choices)",
-					i, sub.Seq, len(sub.Choices)))
+			if sub.Seq != i {
+				return nil, fmt.Errorf("engine: injected subnet stream has gapped sequence IDs: position %d carries seq %d", i, sub.Seq)
+			}
+			if len(sub.Choices) != cfg.Space.Blocks {
+				return nil, fmt.Errorf("engine: injected subnet %d has %d choices, space %s has %d blocks",
+					i, len(sub.Choices), cfg.Space.Name, cfg.Space.Blocks)
 			}
 		}
 	}
@@ -259,7 +308,7 @@ func (e *Engine) buildWorld() {
 	home := partition.Static(net, d)
 	parts := make([]partition.Partition, len(subs))
 	for i, sub := range subs {
-		if e.traits.Partition == PartitionBalanced {
+		if mode == PartitionBalanced {
 			parts[i] = partition.BalancedForSubnet(net, sub, d)
 		} else {
 			parts[i] = home
@@ -270,7 +319,7 @@ func (e *Engine) buildWorld() {
 		Subnets: subs, Home: home, Parts: parts,
 	}
 	w.BuildIndexes()
-	e.w = w
+	return w, nil
 }
 
 // stageBytes returns the parameter footprint of subnet seq's stage-k
@@ -453,13 +502,16 @@ func (e *Engine) push(ev event) {
 	heap.Push(&e.events, ev)
 }
 
-func (e *Engine) loop() {
+func (e *Engine) loop(ctx context.Context) {
 	guard := 0
 	maxEvents := len(e.w.Subnets)*e.w.D*(2*e.w.Space.Blocks+40) + 1000
 	for e.events.Len() > 0 {
 		guard++
 		if guard > maxEvents {
 			return // deadlock guard; finish() flags incompleteness
+		}
+		if guard%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return // cancelled; finish() reports the partial run
 		}
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.time

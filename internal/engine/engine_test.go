@@ -17,7 +17,11 @@ func run(t *testing.T, policyName string, cfg engine.Config) engine.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return engine.Run(cfg, p)
+	res, err := engine.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func smallCfg(space supernet.Space, d, n int) engine.Config {
@@ -283,7 +287,10 @@ func TestQuickCSPAlwaysCorrect(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res := engine.Run(cfg, p)
+		res, err := engine.Run(cfg, p)
+		if err != nil {
+			return false
+		}
 		if res.Failed {
 			return true // tiny spaces can legitimately fail batch sizing? (should not, but not a CSP property)
 		}
@@ -306,8 +313,11 @@ func TestQuickDeterminism(t *testing.T) {
 		cfg := engine.Config{Space: supernet.CVc3, Spec: cluster.Default(4), Seed: seed, NumSubnets: 10}
 		p1, _ := sched.New(name)
 		p2, _ := sched.New(name)
-		a := engine.Run(cfg, p1)
-		b := engine.Run(cfg, p2)
+		a, errA := engine.Run(cfg, p1)
+		b, errB := engine.Run(cfg, p2)
+		if errA != nil || errB != nil {
+			return false
+		}
 		return a.TotalMs == b.TotalMs && a.Completed == b.Completed &&
 			a.BubbleRatio == b.BubbleRatio && a.CacheHitRate == b.CacheHitRate
 	}
@@ -320,7 +330,7 @@ func BenchmarkEngineNASPipe(b *testing.B) {
 	cfg := engine.Config{Space: supernet.NLPc1, Spec: cluster.Default(8), Seed: 1, NumSubnets: 60}
 	for i := 0; i < b.N; i++ {
 		p, _ := sched.New("naspipe")
-		engine.Run(cfg, p)
+		_, _ = engine.Run(cfg, p)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"naspipe/internal/metrics"
@@ -13,7 +14,7 @@ import (
 // NLP.c0, comparing all training-step outputs in full floating-point
 // precision. Expected: every step's loss matches bitwise, and the final
 // supernet weights are bitwise identical.
-func ArtifactCompare(o Options) string {
+func ArtifactCompare(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	steps := 500
 	if o.Quick {
@@ -23,11 +24,11 @@ func ArtifactCompare(o Options) string {
 	oo.NumericSubnets = steps
 	sp := supernet.NLPc0
 
-	single, err := oo.numericRun(sp, "naspipe", 1)
+	single, err := oo.numericRun(ctx, sp, "naspipe", 1)
 	if err != nil {
 		return fmt.Sprintf("Artifact Experiment 1: ERROR: %v\n", err)
 	}
-	quad, err := oo.numericRun(sp, "naspipe", 4)
+	quad, err := oo.numericRun(ctx, sp, "naspipe", 4)
 	if err != nil {
 		return fmt.Sprintf("Artifact Experiment 1: ERROR: %v\n", err)
 	}
@@ -52,7 +53,7 @@ func ArtifactCompare(o Options) string {
 // training throughput on NLP.c0–c3 with four GPUs, expecting
 // T(c0) > T(c1) > T(c2) > T(c3): larger spaces manifest fewer causal
 // dependencies and pipeline better.
-func ArtifactThroughput(o Options) string {
+func ArtifactThroughput(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	spaces := []supernet.Space{supernet.NLPc0, supernet.NLPc1, supernet.NLPc2, supernet.NLPc3}
 	tb := metrics.NewTable("Artifact Experiment 2: NASPipe throughput ordering on 4 GPUs",
@@ -60,7 +61,7 @@ func ArtifactThroughput(o Options) string {
 	prev := -1.0
 	ordered := true
 	for _, sp := range spaces {
-		res := runPerf(o, sp, "naspipe", 4, false)
+		res := runPerf(ctx, o, sp, "naspipe", 4, false)
 		if res.Failed {
 			tb.AddRow(sp.Name, "-", "-", "(failed)")
 			ordered = false

@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"naspipe/internal/cluster"
 	"naspipe/internal/data"
 	"naspipe/internal/engine"
+	"naspipe/internal/parallel"
 	"naspipe/internal/sched"
 	"naspipe/internal/supernet"
 	"naspipe/internal/train"
@@ -33,6 +35,13 @@ type Options struct {
 	NumericBatch   int
 	NumericSubnets int
 	NumericLR      float32
+
+	// Parallelism bounds the worker pool used by All/AllContext when
+	// fanning out independent experiments. Zero means GOMAXPROCS; one
+	// recovers the serial harness. The rendered report is byte-identical
+	// at every setting — results are assembled in experiment order, not
+	// completion order.
+	Parallelism int
 
 	Quick bool
 }
@@ -101,13 +110,16 @@ func syncName(policy string) string {
 	return "?"
 }
 
-// runPerf executes one performance-plane run.
-func runPerf(o Options, space supernet.Space, policy string, gpus int, recordTrace bool) engine.Result {
+// runPerf executes one performance-plane run. Engine errors (including
+// cancellation) surface as a Failed result so table/figure renderers can
+// report them as data points without every call site growing an error
+// branch; genuine errors also reach the caller via ctx or the facade.
+func runPerf(ctx context.Context, o Options, space supernet.Space, policy string, gpus int, recordTrace bool) engine.Result {
 	p, err := sched.New(policy)
 	if err != nil {
-		panic(err)
+		return engine.Result{Policy: policy, Space: space.Name, Failed: true, FailReason: err.Error()}
 	}
-	return engine.Run(engine.Config{
+	res, err := engine.RunContext(ctx, engine.Config{
 		Space:         space,
 		Spec:          cluster.Default(gpus),
 		Seed:          o.Seed,
@@ -115,6 +127,11 @@ func runPerf(o Options, space supernet.Space, policy string, gpus int, recordTra
 		InflightLimit: o.Inflight,
 		RecordTrace:   recordTrace,
 	}, p)
+	if err != nil && !res.Failed {
+		res.Failed = true
+		res.FailReason = err.Error()
+	}
+	return res
 }
 
 // clusterSpec builds the default cluster at the options' GPU count.
@@ -145,13 +162,13 @@ func (o Options) numericCfg(space supernet.Space) train.Config {
 
 // numericRun trains the scaled space under the given policy's schedule at
 // the given GPU count and returns the numeric result.
-func (o Options) numericRun(space supernet.Space, policy string, gpus int) (train.Result, error) {
+func (o Options) numericRun(ctx context.Context, space supernet.Space, policy string, gpus int) (train.Result, error) {
 	cfg := o.numericCfg(space)
 	p, err := sched.New(policy)
 	if err != nil {
 		return train.Result{}, err
 	}
-	res := engine.Run(engine.Config{
+	res, err := engine.RunContext(ctx, engine.Config{
 		Space:         cfg.Space,
 		Spec:          cluster.Default(gpus),
 		Seed:          o.Seed,
@@ -159,6 +176,9 @@ func (o Options) numericRun(space supernet.Space, policy string, gpus int) (trai
 		InflightLimit: o.Inflight,
 		RecordTrace:   true,
 	}, p)
+	if err != nil {
+		return train.Result{}, err
+	}
 	if res.Failed {
 		return train.Result{}, fmt.Errorf("%s failed on %s: %s", policy, cfg.Space.Name, res.FailReason)
 	}
@@ -194,56 +214,84 @@ func Names() []string {
 
 // Run dispatches an experiment by name.
 func Run(name string, o Options) (string, error) {
+	return RunContext(context.Background(), name, o)
+}
+
+// RunContext dispatches an experiment by name under a context. A
+// cancelled context returns whatever partial report the experiment
+// rendered (possibly empty) along with the context's error.
+func RunContext(ctx context.Context, name string, o Options) (string, error) {
+	var out string
 	switch name {
 	case "table1":
-		return Table1(o), nil
+		out = Table1(ctx, o)
 	case "table2":
-		return Table2(o), nil
+		out = Table2(ctx, o)
 	case "table3":
-		return Table3(o), nil
+		out = Table3(ctx, o)
 	case "table4":
-		return Table4(o), nil
+		out = Table4(ctx, o)
 	case "table5":
-		return Table5(o), nil
+		out = Table5(ctx, o)
 	case "figure1":
-		return Figure1(o), nil
+		out = Figure1(ctx, o)
 	case "figure4":
-		return Figure4(o), nil
+		out = Figure4(ctx, o)
 	case "figure5":
-		return Figure5(o), nil
+		out = Figure5(ctx, o)
 	case "figure6":
-		return Figure6(o), nil
+		out = Figure6(ctx, o)
 	case "figure7":
-		return Figure7(o), nil
+		out = Figure7(ctx, o)
 	case "artifact-compare":
-		return ArtifactCompare(o), nil
+		out = ArtifactCompare(ctx, o)
 	case "artifact-throughput":
-		return ArtifactThroughput(o), nil
+		out = ArtifactThroughput(ctx, o)
 	case "ext-hybrid":
-		return ExtHybrid(o), nil
+		out = ExtHybrid(ctx, o)
 	case "ext-moe":
-		return ExtMoE(o), nil
+		out = ExtMoE(ctx, o)
 	case "ext-analysis":
-		return ExtAnalysis(o), nil
+		out = ExtAnalysis(ctx, o)
 	case "ext-hardware":
-		return ExtHardware(o), nil
+		out = ExtHardware(ctx, o)
 	case "ext-jitter":
-		return ExtJitter(o), nil
+		out = ExtJitter(ctx, o)
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %s)", name, strings.Join(Names(), ", "))
 	}
-	return "", fmt.Errorf("experiments: unknown experiment %q (known: %s)", name, strings.Join(Names(), ", "))
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // All runs every experiment and concatenates the reports.
 func All(o Options) string {
-	var b strings.Builder
-	for _, name := range Names() {
-		out, err := Run(name, o)
+	out, _ := AllContext(context.Background(), o)
+	return out
+}
+
+// AllContext runs every experiment on a bounded worker pool (see
+// Options.Parallelism) and concatenates the reports in canonical Names()
+// order. The output is byte-identical to the serial harness regardless of
+// worker count or completion order: each experiment renders into its own
+// slot and the slots are joined in order at the end. Per-experiment
+// failures are embedded in the report exactly as the serial loop embeds
+// them; only cancellation is returned as an error, alongside the partial
+// report assembled so far.
+func AllContext(ctx context.Context, o Options) (string, error) {
+	names := Names()
+	workers := parallel.Workers(o.Parallelism, len(names))
+	parts, err := parallel.Map(ctx, workers, len(names), func(i int) (string, error) {
+		out, err := RunContext(ctx, names[i], o)
 		if err != nil {
-			fmt.Fprintf(&b, "%s: ERROR: %v\n", name, err)
-			continue
+			if ctx.Err() != nil {
+				return out, err
+			}
+			return fmt.Sprintf("%s: ERROR: %v\n", names[i], err), nil
 		}
-		b.WriteString(out)
-		b.WriteByte('\n')
-	}
-	return b.String()
+		return out + "\n", nil
+	})
+	return strings.Join(parts, ""), err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestNamesDispatch(t *testing.T) {
 }
 
 func TestTable1ListsSevenSpaces(t *testing.T) {
-	out := Table1(Quick())
+	out := Table1(context.Background(), Quick())
 	for _, sp := range []string{"NLP.c0", "NLP.c1", "NLP.c2", "NLP.c3", "CV.c1", "CV.c2", "CV.c3"} {
 		if !strings.Contains(out, sp) {
 			t.Errorf("Table 1 missing %s", sp)
@@ -26,7 +27,7 @@ func TestTable1ListsSevenSpaces(t *testing.T) {
 }
 
 func TestTable5ListsEightLayers(t *testing.T) {
-	out := Table5(Quick())
+	out := Table5(context.Background(), Quick())
 	for _, l := range []string{"Conv 3x1", "Sep Conv 7x1", "Light Conv 5x1", "8 Head Attention",
 		"Conv 3x3", "Sep Conv 3x3", "Sep Conv 5x5", "Dil Conv 3x3"} {
 		if !strings.Contains(out, l) {
@@ -40,7 +41,7 @@ func TestTable5ListsEightLayers(t *testing.T) {
 }
 
 func TestFigure1CSPOnlyPreserves(t *testing.T) {
-	out := Figure1(Quick())
+	out := Figure1(context.Background(), Quick())
 	lines := strings.Split(out, "\n")
 	sawCSPYes, sawBSPNo := false, false
 	for _, l := range lines {
@@ -57,7 +58,7 @@ func TestFigure1CSPOnlyPreserves(t *testing.T) {
 }
 
 func TestTable3CSPReproducibleOthersNot(t *testing.T) {
-	out := Table3(Quick())
+	out := Table3(context.Background(), Quick())
 	for _, line := range strings.Split(out, "\n") {
 		if strings.Contains(line, "CSP") && !strings.Contains(line, "yes") {
 			t.Errorf("CSP row not reproducible: %s", line)
@@ -70,7 +71,7 @@ func TestTable3CSPReproducibleOthersNot(t *testing.T) {
 }
 
 func TestTable4SequentialOrderForNASPipe(t *testing.T) {
-	out := Table4(Quick())
+	out := Table4(context.Background(), Quick())
 	var nasLine, seqNote string
 	for _, line := range strings.Split(out, "\n") {
 		if strings.HasPrefix(line, "NASPipe") {
@@ -90,7 +91,7 @@ func TestTable4SequentialOrderForNASPipe(t *testing.T) {
 }
 
 func TestArtifactCompareMatches(t *testing.T) {
-	out := ArtifactCompare(Quick())
+	out := ArtifactCompare(context.Background(), Quick())
 	if !strings.Contains(out, "50/50") {
 		t.Errorf("artifact compare did not match all steps:\n%s", out)
 	}
@@ -102,7 +103,7 @@ func TestArtifactCompareMatches(t *testing.T) {
 func TestArtifactThroughputOrderingHolds(t *testing.T) {
 	o := Default() // ordering needs steady-state runs; Quick is too noisy
 	o.Subnets = 160
-	out := ArtifactThroughput(o)
+	out := ArtifactThroughput(context.Background(), o)
 	if !strings.Contains(out, "HOLDS") {
 		t.Errorf("throughput ordering failed:\n%s", out)
 	}
@@ -110,7 +111,7 @@ func TestArtifactThroughputOrderingHolds(t *testing.T) {
 
 func TestFigure5NASPipeOnlySurvivorOnC0(t *testing.T) {
 	o := Quick()
-	out := Figure5(o)
+	out := Figure5(context.Background(), o)
 	if !strings.Contains(out, "exceeds GPU memory") {
 		t.Errorf("Figure 5 should show baseline failures on NLP.c0:\n%s", out)
 	}

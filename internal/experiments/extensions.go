@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"naspipe/internal/analysis"
@@ -18,7 +19,7 @@ import (
 // search spaces": two NLP spaces interleave through one CSP pipeline;
 // cross-space subnets never share layers, so the hybrid outperforms
 // either space alone while remaining reproducible.
-func ExtHybrid(o Options) string {
+func ExtHybrid(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	u, err := hybrid.NewUnion("NLP.c2+c3", supernet.NLPc2, supernet.NLPc3)
 	if err != nil {
@@ -28,11 +29,11 @@ func ExtHybrid(o Options) string {
 		"Traverse", "Bubble", "Subnets/hour", "Samples/s")
 	run := func(space supernet.Space, subs []supernet.Subnet, label string) {
 		p, _ := sched.New("naspipe")
-		res := engine.Run(engine.Config{
+		res, err := engine.RunContext(ctx, engine.Config{
 			Space: space, Spec: clusterSpec(o), Seed: o.Seed,
 			NumSubnets: o.Subnets, Subnets: subs, InflightLimit: o.Inflight,
 		}, p)
-		if res.Failed {
+		if err != nil || res.Failed {
 			tb.AddRow(label, "-", "-", "(failed)")
 			return
 		}
@@ -49,7 +50,7 @@ func ExtHybrid(o Options) string {
 // ExtMoE demonstrates the paper's §5.5 dynamic-network / MoE direction:
 // popularity-skewed routing densifies dependencies; the CSP pipeline
 // degrades gracefully and stays deterministic.
-func ExtMoE(o Options) string {
+func ExtMoE(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	tb := metrics.NewTable("Extension: MoE-style skewed routing (§5.5, NLP.c1, 8 GPUs)",
 		"Routing skew", "Dep. rate", "Bubble", "Subnets/hour")
@@ -59,11 +60,11 @@ func ExtMoE(o Options) string {
 			return fmt.Sprintf("ext-moe: %v\n", err)
 		}
 		p, _ := sched.New("naspipe")
-		res := engine.Run(engine.Config{
+		res, err := engine.RunContext(ctx, engine.Config{
 			Space: supernet.NLPc1, Spec: clusterSpec(o), Seed: o.Seed,
 			Subnets: subs, InflightLimit: o.Inflight,
 		}, p)
-		if res.Failed {
+		if err != nil || res.Failed {
 			tb.AddRow(fmt.Sprintf("%.1f", skew), "-", "-", "(failed)")
 			continue
 		}
@@ -81,7 +82,7 @@ func ExtMoE(o Options) string {
 // fraction of parameter reads that missed at least one earlier subnet's
 // update. CSP is 0 by construction; BSP/ASP staleness grows with the
 // cluster size, which is exactly why their results are irreproducible.
-func ExtAnalysis(o Options) string {
+func ExtAnalysis(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	sp := supernet.NLPc3 // dependency-dense
 	tb := metrics.NewTable("Extension: stale-read analysis of the three disciplines (NLP.c3)",
@@ -90,7 +91,7 @@ func ExtAnalysis(o Options) string {
 		for _, d := range []int{4, 8} {
 			oo := o
 			oo.Subnets = 48
-			res := runPerf(oo, sp, policy, d, true)
+			res := runPerf(ctx, oo, sp, policy, d, true)
 			if res.Failed {
 				tb.AddRow(policyLabel(policy), d, "-", "-", "-", "(failed)")
 				continue
@@ -111,7 +112,7 @@ func ExtAnalysis(o Options) string {
 // baselines' batch handicap vanishes and NASPipe's advantage reduces to
 // scheduling + reproducibility — locating the regime where context
 // switching is the decisive mechanism.
-func ExtHardware(o Options) string {
+func ExtHardware(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	tb := metrics.NewTable("Extension: hardware sensitivity on NLP.c1 (8 GPUs)",
 		"Testbed", "System", "Batch", "Samples/s", "Bubble", "Cache Hit")
@@ -124,11 +125,11 @@ func ExtHardware(o Options) string {
 	} {
 		for _, policy := range []string{"naspipe", "gpipe"} {
 			p, _ := sched.New(policy)
-			res := engine.Run(engine.Config{
+			res, err := engine.RunContext(ctx, engine.Config{
 				Space: supernet.NLPc1, Spec: hw.spec, Seed: o.Seed,
 				NumSubnets: o.Subnets, InflightLimit: o.Inflight,
 			}, p)
-			if res.Failed {
+			if err != nil || res.Failed {
 				tb.AddRow(hw.name, policyLabel(policy), "-", "-", "-", "(failed)")
 				continue
 			}
@@ -149,7 +150,7 @@ func ExtHardware(o Options) string {
 // every jitter seed; under ASP (PipeDream) the interleaving is a
 // function of timing, so the weights drift. (BSP is timing-robust but
 // cluster-size-dependent — its failure mode is Table 3's, not this one.)
-func ExtJitter(o Options) string {
+func ExtJitter(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	sp := supernet.NLPc3.Scaled(o.NumericBlocks, 3)
 	subs := supernet.Sample(sp, o.Seed, o.NumericSubnets)
@@ -169,7 +170,11 @@ func ExtJitter(o Options) string {
 				ecfg.TimingJitter = 0.3
 				ecfg.JitterSeed = js
 			}
-			res := engine.Run(ecfg, p)
+			res, err := engine.RunContext(ctx, ecfg, p)
+			if err != nil {
+				tb.AddRow(policyLabel(policy), js, "-", "-", fmt.Sprintf("error: %v", err))
+				continue
+			}
 			num, err := train.Replay(cfg, subs, res.Trace)
 			if err != nil {
 				tb.AddRow(policyLabel(policy), js, "-", "-", fmt.Sprintf("error: %v", err))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"naspipe/internal/engine"
@@ -14,7 +15,7 @@ import (
 // a short ordered subnet list with dense causal dependencies: CSP is the
 // only discipline that retains every dependency, at a bubble rate between
 // ASP's (none enforced) and a fully serialized execution.
-func Figure1(o Options) string {
+func Figure1(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	sp := supernet.NLPc3.Scaled(6, 2) // dense dependencies, like the figure
 	oo := o
@@ -23,7 +24,7 @@ func Figure1(o Options) string {
 		"Discipline", "System", "Bubble", "Dependencies preserved", "First violation")
 	timelines := ""
 	for _, policy := range []string{"pipedream", "gpipe", "naspipe"} {
-		res := runPerf(oo, sp, policy, 3, true)
+		res := runPerf(ctx, oo, sp, policy, 3, true)
 		violation := "-"
 		preserved := "yes"
 		if v := res.Trace.FirstViolation(); v != nil {
@@ -48,7 +49,7 @@ var figure4Spaces = []supernet.Space{
 // the training-loss trajectory and final validation score of CSP
 // (NASPipe) versus BSP (GPipe) and ASP (PipeDream) schedules, all
 // executed on the numeric plane.
-func Figure4(o Options) string {
+func Figure4(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	spaces := figure4Spaces
 	if o.Quick {
@@ -58,7 +59,7 @@ func Figure4(o Options) string {
 		"Space", "Sync.", "Loss@25%", "Loss@50%", "Loss@75%", "Final Val Loss", "Score")
 	for _, sp := range spaces {
 		for _, policy := range []string{"naspipe", "gpipe", "pipedream"} {
-			num, err := o.numericRun(sp, policy, o.GPUs)
+			num, err := o.numericRun(ctx, sp, policy, o.GPUs)
 			if err != nil {
 				tb.AddRow(sp.Name, syncName(policy), "-", "-", "-", "-", "-")
 				continue
@@ -84,14 +85,14 @@ func Figure4(o Options) string {
 // Figure5 reproduces the normalized-throughput comparison across all
 // seven spaces, with NASPipe's subnets/hour annotated (the red-bar
 // values).
-func Figure5(o Options) string {
+func Figure5(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	tb := metrics.NewTable("Figure 5: throughput of four systems on seven search spaces (8 GPUs)",
 		"Space", "System", "Samples/s", "vs GPipe", "Subnets/hour", "Bubble")
 	for _, sp := range supernet.Spaces() {
-		gpipe := runPerf(o, sp, "gpipe", o.GPUs, false)
+		gpipe := runPerf(ctx, o, sp, "gpipe", o.GPUs, false)
 		for _, policy := range perfSystems {
-			res := runPerf(o, sp, policy, o.GPUs, false)
+			res := runPerf(ctx, o, sp, policy, o.GPUs, false)
 			if res.Failed {
 				tb.AddRow(sp.Name, policyLabel(policy), "-", "-", "-", "(exceeds GPU memory)")
 				continue
@@ -112,14 +113,14 @@ func Figure5(o Options) string {
 
 // Figure6 reproduces the component ablation: full NASPipe against the
 // w/o-scheduler, w/o-predictor, and w/o-mirroring variants.
-func Figure6(o Options) string {
+func Figure6(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	systems := []string{"naspipe", "naspipe-noscheduler", "naspipe-nopredictor", "naspipe-nomirroring"}
 	tb := metrics.NewTable("Figure 6: ablation of NASPipe's components (8 GPUs)",
 		"Space", "System", "Samples/s", "Batch", "Bubble", "Subnets/hour")
 	for _, sp := range supernet.Spaces() {
 		for _, policy := range systems {
-			res := runPerf(o, sp, policy, o.GPUs, false)
+			res := runPerf(ctx, o, sp, policy, o.GPUs, false)
 			if res.Failed {
 				tb.AddRow(sp.Name, res.Policy, "-", "-", "-", "(exceeds GPU memory)")
 				continue
@@ -136,7 +137,7 @@ func Figure6(o Options) string {
 
 // Figure7 reproduces the scalability study: total ALU utilization of the
 // four systems from 4 to 16 GPUs on NLP.c1.
-func Figure7(o Options) string {
+func Figure7(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	gpuCounts := []int{4, 8, 12, 16}
 	if o.Quick {
@@ -149,7 +150,7 @@ func Figure7(o Options) string {
 		for _, d := range gpuCounts {
 			oo := o
 			oo.Inflight = 6 * d
-			res := runPerf(oo, supernet.NLPc1, policy, d, false)
+			res := runPerf(ctx, oo, supernet.NLPc1, policy, d, false)
 			if res.Failed {
 				s.Add(fmt.Sprintf("%d GPUs", d), 0)
 				continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,7 +14,7 @@ import (
 )
 
 // Table1 prints the seven search-space configurations (paper Table 1).
-func Table1(o Options) string {
+func Table1(ctx context.Context, o Options) string {
 	tb := metrics.NewTable("Table 1: default evaluation setup of seven search spaces",
 		"Search Space", "# Choice Blocks", "# Layer/Block", "Dataset", "Supernet Params")
 	for _, sp := range supernet.Spaces() {
@@ -32,7 +33,7 @@ var table2Spaces = []supernet.Space{
 }
 
 // Table2 reproduces the resource-consumption and micro-event table.
-func Table2(o Options) string {
+func Table2(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	tb := metrics.NewTable("Table 2: resource consumption and micro events (8 GPUs)",
 		"Space", "System", "Para.", "Score", "Batch", "GPU Mem.", "GPU ALU", "CPU Mem.", "Exec.(s)", "Bub.", "Cache Hit")
@@ -40,7 +41,7 @@ func Table2(o Options) string {
 		// Score column: numeric plane, one run per system class.
 		scores := map[string]string{}
 		for _, policy := range perfSystems {
-			num, err := o.numericRun(sp, policy, o.GPUs)
+			num, err := o.numericRun(ctx, sp, policy, o.GPUs)
 			if err != nil {
 				scores[policy] = "-"
 				continue
@@ -49,7 +50,7 @@ func Table2(o Options) string {
 			scores[policy] = fmt.Sprintf("%.2f", train.Score(sp.Domain, loss))
 		}
 		for _, policy := range perfSystems {
-			res := runPerf(o, sp, policy, o.GPUs, false)
+			res := runPerf(ctx, o, sp, policy, o.GPUs, false)
 			if res.Failed {
 				tb.AddRow(sp.Name, res.Policy, "-", "-", "-", "-", "-", "-", "-", "-", "(exceeds GPU memory)")
 				continue
@@ -78,7 +79,7 @@ func Table2(o Options) string {
 
 // Table3 reproduces the reproducibility table: supernet loss and search
 // accuracy across 4/8/16 GPUs under CSP, BSP, and ASP.
-func Table3(o Options) string {
+func Table3(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	gpuCounts := []int{4, 8, 16}
 	spaces := table2Spaces
@@ -97,7 +98,7 @@ func Table3(o Options) string {
 			var sums []uint64
 			ok := true
 			for _, d := range gpuCounts {
-				num, err := o.numericRun(sp, policy, d)
+				num, err := o.numericRun(ctx, sp, policy, d)
 				if err != nil {
 					losses = append(losses, "-")
 					accs = append(accs, "-")
@@ -155,7 +156,7 @@ func accHeaders(gpus []int) []string {
 
 // Table4 reproduces the access-and-update order of one shared layer under
 // the three synchronization disciplines on 4 and 8 GPUs.
-func Table4(o Options) string {
+func Table4(ctx context.Context, o Options) string {
 	o = o.withDefaults()
 	sp := supernet.NLPc3
 	n := 10
@@ -187,7 +188,7 @@ func Table4(o Options) string {
 		for _, d := range []int{4, 8} {
 			oo := o
 			oo.Subnets = n
-			res := runPerf(oo, sp, policy, d, true)
+			res := runPerf(ctx, oo, sp, policy, d, true)
 			if res.Failed {
 				orders = append(orders, "(failed)")
 				continue
@@ -228,7 +229,7 @@ func policyLabel(policy string) string {
 }
 
 // Table5 reproduces the per-layer computation and swap-time profile.
-func Table5(o Options) string {
+func Table5(ctx context.Context, o Options) string {
 	spec := cluster.Default(8)
 	tb := metrics.NewTable("Table 5: computation vs swap time for eight representative layers",
 		"Domain", "Input Size", "Layer", "Comp. (fwd/bwd ms)", "Swap (ms)")

@@ -14,6 +14,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,6 +63,14 @@ type SearchResult struct {
 
 // Search runs regularized evolution over the trained numeric supernet.
 func Search(cfg train.Config, net *supernet.Numeric, sc SearchConfig) (SearchResult, error) {
+	return SearchContext(context.Background(), cfg, net, sc)
+}
+
+// SearchContext is Search under a context. Cancellation is checked
+// between generations (each generation is one fitness evaluation — the
+// expensive unit); on cancellation the best-so-far result is returned
+// together with ctx.Err(), so callers can keep a truncated search.
+func SearchContext(ctx context.Context, cfg train.Config, net *supernet.Numeric, sc SearchConfig) (SearchResult, error) {
 	if sc.Population < 2 || sc.Tournament < 1 || sc.Tournament > sc.Population {
 		return SearchResult{}, fmt.Errorf("explore: invalid search config %+v", sc)
 	}
@@ -95,7 +104,12 @@ func Search(cfg train.Config, net *supernet.Numeric, sc SearchConfig) (SearchRes
 
 	var history []float64
 	age := sc.Population
+	cancelled := false
 	for g := 0; g < sc.Generations; g++ {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		// Tournament: sample Tournament members, take the fittest.
 		winner := pop[r.Intn(len(pop))]
 		for i := 1; i < sc.Tournament; i++ {
@@ -135,5 +149,9 @@ func Search(cfg train.Config, net *supernet.Numeric, sc SearchConfig) (SearchRes
 	final := make([]Candidate, len(pop))
 	copy(final, pop)
 	sort.SliceStable(final, func(i, j int) bool { return final[i].Score > final[j].Score })
-	return SearchResult{Best: final[0], Evaluated: evaluated, History: history, Population: final}, nil
+	res := SearchResult{Best: final[0], Evaluated: evaluated, History: history, Population: final}
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }

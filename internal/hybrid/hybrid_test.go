@@ -102,7 +102,7 @@ func TestHybridRunsAndIsReproducible(t *testing.T) {
 	var sums []uint64
 	for _, d := range []int{2, 4} {
 		p, _ := sched.New("naspipe")
-		res := engine.Run(engine.Config{
+		res, _ := engine.Run(engine.Config{
 			Space: u.Space, Spec: cluster.Default(d), Seed: 3,
 			Subnets: subs, RecordTrace: true,
 		}, p)
@@ -126,10 +126,11 @@ func TestHybridDilutesDependencies(t *testing.T) {
 	// member's solo bubble.
 	run := func(space supernet.Space, subs []supernet.Subnet) engine.Result {
 		p, _ := sched.New("naspipe")
-		return engine.Run(engine.Config{
+		res, _ := engine.Run(engine.Config{
 			Space: space, Spec: cluster.Default(8), Seed: 5,
 			NumSubnets: 120, Subnets: subs, InflightLimit: 48,
 		}, p)
+		return res
 	}
 	solo := run(supernet.NLPc3, nil)
 	u := mustUnion(t, supernet.NLPc3, supernet.NLPc2)

@@ -121,6 +121,36 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// StageContention aggregates one pipeline stage's scheduling-pressure
+// counters on the concurrent execution plane: how often the stage worker
+// ran tasks, parked with nothing admissible, applied cross-stage
+// dependency notifications, and scanned a queue where every forward was
+// CSP-blocked. The simulated plane leaves these nil (a simulated stage
+// never contends — it is woken exactly when something is runnable).
+type StageContention struct {
+	Stage        int
+	Tasks        int64 // forward + backward tasks executed
+	Parks        int64 // blocking waits with nothing admissible
+	Notes        int64 // write/finish notifications applied
+	BlockedScans int64 // admission scans finding every queued forward blocked
+}
+
+// ContentionTable renders per-stage contention counters with totals.
+func ContentionTable(cs []StageContention) string {
+	tb := NewTable("per-stage contention (concurrent execution plane)",
+		"Stage", "Tasks", "Parks", "Notes", "Blocked scans")
+	var tasks, parks, notes, blocked int64
+	for _, c := range cs {
+		tb.AddRow(c.Stage, c.Tasks, c.Parks, c.Notes, c.BlockedScans)
+		tasks += c.Tasks
+		parks += c.Parks
+		notes += c.Notes
+		blocked += c.BlockedScans
+	}
+	tb.AddRow("total", tasks, parks, notes, blocked)
+	return tb.Render()
+}
+
 // Series is a named sequence of (label, value) points, used for figure
 // reproduction output.
 type Series struct {

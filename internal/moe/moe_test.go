@@ -95,7 +95,7 @@ func TestMoEStreamTrainsReproducibly(t *testing.T) {
 	var sums []uint64
 	for _, d := range []int{2, 4} {
 		p, _ := sched.New("naspipe")
-		res := engine.Run(engine.Config{
+		res, _ := engine.Run(engine.Config{
 			Space: sp, Spec: cluster.Default(d), Seed: 5, Subnets: subs, RecordTrace: true,
 		}, p)
 		if res.Failed || res.Deadlock {
@@ -121,7 +121,7 @@ func TestSkewDegradesThroughputGracefully(t *testing.T) {
 			t.Fatal(err)
 		}
 		p, _ := sched.New("naspipe")
-		res := engine.Run(engine.Config{
+		res, _ := engine.Run(engine.Config{
 			Space: supernet.NLPc1, Spec: cluster.Default(8), Seed: 7,
 			Subnets: subs, InflightLimit: 48,
 		}, p)

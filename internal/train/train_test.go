@@ -23,7 +23,7 @@ func traceFor(t testing.TB, policy string, space supernet.Space, d, n int, seed 
 		t.Fatal(err)
 	}
 	cfg := engine.Config{Space: space, Spec: cluster.Default(d), Seed: seed, NumSubnets: n, RecordTrace: true}
-	res := engine.Run(cfg, p)
+	res, _ := engine.Run(cfg, p)
 	if res.Failed || res.Deadlock {
 		t.Fatalf("%s on %s D=%d: failed=%v deadlock=%v", policy, space.Name, d, res.Failed, res.Deadlock)
 	}
@@ -186,7 +186,7 @@ func TestQuickCSPReproducibility(t *testing.T) {
 		sp := supernet.NLPc3.Scaled(6, 2)
 		cfg := Config{Space: sp, Dim: 6, Seed: seed, BatchSize: 2, LR: 0.05, Dataset: data.WNMT}
 		p, _ := sched.New("naspipe")
-		res := engine.Run(engine.Config{
+		res, _ := engine.Run(engine.Config{
 			Space: sp, Spec: cluster.Default(d), Seed: seed, NumSubnets: 10, RecordTrace: true,
 		}, p)
 		if res.Failed || res.Deadlock {

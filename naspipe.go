@@ -29,6 +29,7 @@
 package naspipe
 
 import (
+	"context"
 	"io"
 
 	"naspipe/internal/analysis"
@@ -37,6 +38,7 @@ import (
 	"naspipe/internal/experiments"
 	"naspipe/internal/explore"
 	"naspipe/internal/hybrid"
+	"naspipe/internal/metrics"
 	"naspipe/internal/moe"
 	"naspipe/internal/sched"
 	"naspipe/internal/supernet"
@@ -83,6 +85,9 @@ type (
 	// MoEStreamConfig parameterizes popularity-skewed (MoE/dynamic
 	// network) subnet routing (the paper's other §5.5 application).
 	MoEStreamConfig = moe.StreamConfig
+	// StageContention reports one stage's scheduling pressure on the
+	// concurrent execution plane (see Result.Contention).
+	StageContention = metrics.StageContention
 	// StalenessReport quantifies causal-order violations in a trace.
 	StalenessReport = analysis.StalenessReport
 	// DepStats characterizes a subnet stream's dependency structure.
@@ -128,15 +133,26 @@ func PolicyNames() []string { return sched.Names() }
 func NewPolicy(name string) (Policy, error) { return sched.New(name) }
 
 // Run executes one pipeline training run under the given policy.
-func Run(cfg Config, policy Policy) Result { return engine.Run(cfg, policy) }
+// Invalid configurations (malformed cluster spec, gapped injected subnet
+// stream) return an error; a run that fails for modeled reasons (e.g.
+// parameters exceed GPU memory) returns a Result with Failed set and no
+// error.
+//
+// Deprecated: build a Runner instead — it adds executor selection,
+// context cancellation, and bounded fan-out. Run remains as a thin
+// wrapper over the simulated plane.
+func Run(cfg Config, policy Policy) (Result, error) { return engine.Run(cfg, policy) }
 
 // RunPolicy is Run with policy construction by name.
+//
+// Deprecated: use NewRunner(WithPolicy(name)) and Runner.Run, which add
+// executor selection and context cancellation.
 func RunPolicy(cfg Config, policyName string) (Result, error) {
 	p, err := sched.New(policyName)
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.Run(cfg, p), nil
+	return engine.Run(cfg, p)
 }
 
 // BuildNumeric instantiates trainable parameters for a (typically scaled)
@@ -176,6 +192,12 @@ func DefaultSearch(seed uint64) SearchConfig { return explore.DefaultSearchConfi
 // the best discovered architecture.
 func Search(cfg TrainConfig, net *Numeric, sc SearchConfig) (SearchResult, error) {
 	return explore.Search(cfg, net, sc)
+}
+
+// SearchContext is Search under a context: cancellation is honored
+// between generations and returns the best-so-far result with ctx.Err().
+func SearchContext(ctx context.Context, cfg TrainConfig, net *Numeric, sc SearchConfig) (SearchResult, error) {
+	return explore.SearchContext(ctx, cfg, net, sc)
 }
 
 // NewSpaceUnion combines same-geometry search spaces into one supernet
@@ -228,5 +250,19 @@ func Experiment(name string, o ExperimentOptions) (string, error) {
 	return experiments.Run(name, o)
 }
 
-// AllExperiments runs the full evaluation suite.
+// ExperimentContext is Experiment under a context; cancellation returns
+// the partial report with ctx.Err().
+func ExperimentContext(ctx context.Context, name string, o ExperimentOptions) (string, error) {
+	return experiments.RunContext(ctx, name, o)
+}
+
+// AllExperiments runs the full evaluation suite on a bounded worker pool
+// (ExperimentOptions.Parallelism; default GOMAXPROCS). The report is
+// byte-identical to a serial run at any worker count.
 func AllExperiments(o ExperimentOptions) string { return experiments.All(o) }
+
+// AllExperimentsContext is AllExperiments under a context; cancellation
+// returns the partial report with ctx.Err().
+func AllExperimentsContext(ctx context.Context, o ExperimentOptions) (string, error) {
+	return experiments.AllContext(ctx, o)
+}

@@ -1,0 +1,138 @@
+package naspipe
+
+import (
+	"context"
+	"fmt"
+
+	"naspipe/internal/engine"
+	"naspipe/internal/parallel"
+	"naspipe/internal/sched"
+)
+
+// ExecutorKind selects which execution plane a Runner drives.
+type ExecutorKind int
+
+const (
+	// ExecutorSimulated runs on the deterministic discrete-event
+	// simulator: full memory model (batch sizing, context cache, swap),
+	// any scheduling policy, simulated time.
+	ExecutorSimulated ExecutorKind = iota
+	// ExecutorConcurrent runs on the goroutine-per-stage CSP executor:
+	// every pipeline stage is a real goroutine, activations/gradients
+	// flow over channels, and each stage admits work through its own CSP
+	// scheduler. Wall-clock timing, race-clean, and — the point —
+	// provably order-deterministic: the run fails if the observed
+	// per-layer access order ever diverges from the sequential reference.
+	// Only the "naspipe" (CSP) policy is available on this plane.
+	ExecutorConcurrent
+)
+
+// String names the executor kind for reports and errors.
+func (k ExecutorKind) String() string {
+	switch k {
+	case ExecutorSimulated:
+		return "simulated"
+	case ExecutorConcurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("ExecutorKind(%d)", int(k))
+}
+
+// Runner is the configured entry point for pipeline training runs. Build
+// one with NewRunner and functional options; the zero configuration is
+// the paper's default (CSP policy on the simulated plane):
+//
+//	r, err := naspipe.NewRunner(
+//	        naspipe.WithPolicy("naspipe"),
+//	        naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+//	        naspipe.WithTrace(true),
+//	)
+//	res, err := r.Run(ctx, cfg)
+//
+// A Runner is immutable after construction and safe for concurrent use;
+// it builds a fresh policy instance per run.
+type Runner struct {
+	policy      string
+	executor    ExecutorKind
+	trace       bool
+	traceSet    bool
+	parallelism int
+}
+
+// RunnerOption configures a Runner under construction.
+type RunnerOption func(*Runner)
+
+// WithPolicy selects the scheduling policy by name (see PolicyNames).
+// Default: "naspipe".
+func WithPolicy(name string) RunnerOption {
+	return func(r *Runner) { r.policy = name }
+}
+
+// WithExecutor selects the execution plane. Default: ExecutorSimulated.
+func WithExecutor(kind ExecutorKind) RunnerOption {
+	return func(r *Runner) { r.executor = kind }
+}
+
+// WithTrace forces parameter-access trace recording on or off for every
+// run, overriding Config.RecordTrace. Unset, Config.RecordTrace decides.
+func WithTrace(record bool) RunnerOption {
+	return func(r *Runner) { r.trace = record; r.traceSet = true }
+}
+
+// WithParallelism bounds the worker pool RunMany uses to fan out
+// independent runs. Zero (the default) means GOMAXPROCS.
+func WithParallelism(n int) RunnerOption {
+	return func(r *Runner) { r.parallelism = n }
+}
+
+// NewRunner validates the option set and returns an immutable Runner.
+func NewRunner(opts ...RunnerOption) (*Runner, error) {
+	r := &Runner{policy: "naspipe"}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if _, err := sched.New(r.policy); err != nil {
+		return nil, err
+	}
+	if r.executor == ExecutorConcurrent && r.policy != "naspipe" {
+		return nil, fmt.Errorf("naspipe: the concurrent executor implements CSP only; policy %q requires the simulated executor", r.policy)
+	}
+	if r.executor != ExecutorSimulated && r.executor != ExecutorConcurrent {
+		return nil, fmt.Errorf("naspipe: unknown executor %v", r.executor)
+	}
+	if r.parallelism < 0 {
+		return nil, fmt.Errorf("naspipe: negative parallelism %d", r.parallelism)
+	}
+	return r, nil
+}
+
+// Run executes one pipeline training run on the configured plane. It
+// honors ctx between pipeline steps; on cancellation it returns the
+// partial Result together with ctx.Err().
+func (r *Runner) Run(ctx context.Context, cfg Config) (Result, error) {
+	if r.traceSet {
+		cfg.RecordTrace = r.trace
+	}
+	switch r.executor {
+	case ExecutorConcurrent:
+		return engine.RunConcurrent(ctx, cfg)
+	default:
+		p, err := sched.New(r.policy)
+		if err != nil {
+			return Result{}, err
+		}
+		return engine.RunContext(ctx, cfg, p)
+	}
+}
+
+// RunMany fans the configurations out over a bounded worker pool (see
+// WithParallelism) and returns results in input order — deterministically,
+// regardless of worker count or completion order. The first error by
+// input index is returned; on cancellation the partial results come back
+// with ctx.Err().
+func (r *Runner) RunMany(ctx context.Context, cfgs []Config) ([]Result, error) {
+	workers := parallel.Workers(r.parallelism, len(cfgs))
+	return parallel.Map(ctx, workers, len(cfgs), func(i int) (Result, error) {
+		return r.Run(ctx, cfgs[i])
+	})
+}

@@ -1,0 +1,201 @@
+package naspipe_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"naspipe"
+)
+
+func runnerCfg(gpus, n int) naspipe.Config {
+	return naspipe.Config{
+		Space:       naspipe.NLPc3.Scaled(8, 3),
+		Spec:        naspipe.DefaultCluster(gpus),
+		Seed:        3,
+		NumSubnets:  n,
+		RecordTrace: true,
+	}
+}
+
+func TestRunnerDefaultsMatchRunPolicy(t *testing.T) {
+	cfg := runnerCfg(4, 16)
+	r, err := naspipe.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naspipe.RunPolicy(cfg, "naspipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalMs != want.TotalMs || got.Completed != want.Completed ||
+		!got.Trace.Equal(want.Trace) {
+		t.Fatal("default Runner diverges from RunPolicy(naspipe)")
+	}
+}
+
+func TestRunnerExecutorPlanesAgree(t *testing.T) {
+	cfg := runnerCfg(4, 16)
+	sim, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorSimulated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorConcurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccRes, err := cc.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simRes.Trace.PerLayerEqual(ccRes.Trace) {
+		t.Fatal("execution planes disagree on the per-layer access order")
+	}
+	if ccRes.ObservedTrace == nil || len(ccRes.Contention) != ccRes.D {
+		t.Fatal("concurrent plane did not report observed trace / contention")
+	}
+	if simRes.ObservedTrace != nil || simRes.Contention != nil {
+		t.Fatal("simulated plane should not fill concurrent-only fields")
+	}
+}
+
+func TestRunnerOptionValidation(t *testing.T) {
+	if _, err := naspipe.NewRunner(naspipe.WithPolicy("bogus")); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := naspipe.NewRunner(
+		naspipe.WithPolicy("gpipe"),
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+	); err == nil {
+		t.Fatal("concurrent executor must reject non-CSP policies")
+	} else if !strings.Contains(err.Error(), "CSP") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorKind(99))); err == nil {
+		t.Fatal("unknown executor accepted")
+	}
+	if _, err := naspipe.NewRunner(naspipe.WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}
+
+func TestRunnerWithTraceOverride(t *testing.T) {
+	cfg := runnerCfg(2, 8)
+	cfg.RecordTrace = false
+	r, err := naspipe.NewRunner(naspipe.WithTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("WithTrace(true) did not force trace recording")
+	}
+}
+
+func TestRunnerRunManyDeterministicOrder(t *testing.T) {
+	cfgs := make([]naspipe.Config, 6)
+	for i := range cfgs {
+		cfgs[i] = runnerCfg(2+i%3, 8)
+		cfgs[i].Seed = uint64(i + 1)
+	}
+	serial, err := naspipe.NewRunner(naspipe.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := naspipe.NewRunner(naspipe.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := serial.RunMany(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fanned.RunMany(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].TotalMs != b[i].TotalMs || a[i].Completed != b[i].Completed ||
+			!a[i].Trace.Equal(b[i].Trace) {
+			t.Fatalf("slot %d differs between worker counts", i)
+		}
+	}
+}
+
+func TestRunInvalidConfigsAreErrors(t *testing.T) {
+	cfg := runnerCfg(4, 0)
+	subs := naspipe.SampleSubnets(cfg.Space, cfg.Seed, 4)
+	subs[2].Seq = 7 // gapped sequence IDs
+	cfg.Subnets = subs
+	if _, err := naspipe.RunPolicy(cfg, "naspipe"); err == nil {
+		t.Fatal("gapped subnet stream accepted")
+	}
+	r, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorConcurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), cfg); err == nil {
+		t.Fatal("gapped subnet stream accepted by the concurrent plane")
+	}
+	bad := runnerCfg(4, 8)
+	bad.Spec.GPUsPerHost = 0
+	if _, err := naspipe.RunPolicy(bad, "naspipe"); err == nil {
+		t.Fatal("invalid cluster spec accepted")
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := naspipe.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, runnerCfg(4, 64)); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestAllExperimentsParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	o := naspipe.QuickExperimentOptions()
+	o.Parallelism = 1
+	serial := naspipe.AllExperiments(o)
+	o.Parallelism = 4
+	fanned, err := naspipe.AllExperimentsContext(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != fanned {
+		t.Fatal("parallel experiment harness changed the report output")
+	}
+}
+
+func TestSearchContextCancellation(t *testing.T) {
+	sp := naspipe.NLPc1.Scaled(6, 2)
+	cfg := naspipe.TrainConfig{Space: sp, Dim: 8, Seed: 1, BatchSize: 2, LR: 0.05}
+	subs := naspipe.SampleSubnets(sp, 1, 8)
+	trained := naspipe.TrainSequential(cfg, subs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := naspipe.SearchContext(ctx, cfg, trained.Net, naspipe.DefaultSearch(1))
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("cancelled search should still return the seeded population")
+	}
+}
