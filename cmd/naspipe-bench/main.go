@@ -37,6 +37,8 @@ func main() {
 		subnets    = flag.Int("subnets", 0, "performance-plane subnets per run (0 = default)")
 		par        = flag.Int("parallel", 0, "experiment fan-out workers (0 = GOMAXPROCS, 1 = serial)")
 		concurrent = flag.Bool("concurrent", false, "run a goroutine-per-stage CSP smoke instead of experiments")
+		predictor  = flag.Bool("predictor", false, "with -concurrent: enable the Algorithm 3 context predictor")
+		cacheFac   = flag.Float64("cachefactor", 3, "with -concurrent: per-stage cache budget as a multiple of the average subnet footprint (0 disables the cache)")
 	)
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 	defer stop()
 
 	if *concurrent {
-		os.Exit(concurrentSmoke(ctx, *seed, *gpus))
+		os.Exit(concurrentSmoke(ctx, *seed, *gpus, *cacheFac, *predictor))
 	}
 
 	o := naspipe.DefaultExperimentOptions()
@@ -87,12 +89,19 @@ func main() {
 }
 
 // concurrentSmoke exercises the goroutine-per-stage execution plane once
-// and prints its verification verdict and contention profile.
-func concurrentSmoke(ctx context.Context, seed uint64, gpus int) int {
-	r, err := naspipe.NewRunner(
+// and prints its verification verdict, contention profile, and — with the
+// cache enabled — the memory-context profile. With the predictor on, a
+// hit rate at or below zero is a regression and fails the smoke.
+func concurrentSmoke(ctx context.Context, seed uint64, gpus int, cacheFactor float64, predictor bool) int {
+	opts := []naspipe.RunnerOption{
 		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
 		naspipe.WithTrace(true),
-	)
+		naspipe.WithCache(cacheFactor),
+	}
+	if predictor {
+		opts = append(opts, naspipe.WithPredictor(true))
+	}
+	r, err := naspipe.NewRunner(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -114,5 +123,15 @@ func concurrentSmoke(ctx context.Context, seed uint64, gpus int) int {
 	fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
 		len(res.ObservedTrace.Events))
 	fmt.Print(metrics.ContentionTable(res.Contention))
+	if res.CacheStats != nil {
+		fmt.Print(metrics.CacheTable(res.CacheStats))
+		fmt.Printf("cache hit rate %s (budget %s of %s supernet, predictor %v)\n",
+			metrics.Percent(res.CacheHitRate), metrics.Gigabytes(res.CachedParamBytes),
+			metrics.Gigabytes(res.CPUMemBytes), predictor)
+		if predictor && res.CacheHitRate <= 0 {
+			fmt.Fprintf(os.Stderr, "concurrent: predictor enabled but cache hit rate is %v\n", res.CacheHitRate)
+			return 1
+		}
+	}
 	return 0
 }

@@ -40,6 +40,21 @@ func NewPredictor(s *Scheduler) *Predictor {
 // PendingCount returns the number of tracked blocked backwards.
 func (p *Predictor) PendingCount() int { return len(p.blocked) }
 
+// Retire drops every pending record for the given subnet: once its
+// backward has actually executed on this stage the forecast is moot.
+// The concurrent plane calls this on backward execution so records whose
+// releasing forward ran before the record arrived (a carry that lost the
+// pipeline race) cannot accumulate.
+func (p *Predictor) Retire(seq int) {
+	kept := p.blocked[:0]
+	for _, b := range p.blocked {
+		if b.Seq != seq {
+			kept = append(kept, b)
+		}
+	}
+	p.blocked = kept
+}
+
 // OnBackward runs before executing backward recvSeq (Algorithm 1 line 6).
 // It pre-adds the backward to a copy of the finished list, re-runs
 // SCHEDULE, and prefetches the forward that becomes schedulable; it also

@@ -101,6 +101,33 @@ func TestPendingBackwardKeptUntilPrecedence(t *testing.T) {
 	}
 }
 
+func TestRetireDropsPendingRecords(t *testing.T) {
+	s := New(0)
+	mustAdd(t, s, info(0, 1), info(1, 2), info(2, 3))
+	p := NewPredictor(s)
+	_ = p.OnBackward(nil, 0, []PendingBackward{
+		{Seq: 1, Precedence: 1},
+		{Seq: 2, Precedence: 2},
+		{Seq: 1, Precedence: 0},
+	})
+	if p.PendingCount() != 3 {
+		t.Fatalf("pending = %d want 3", p.PendingCount())
+	}
+	p.Retire(1) // backward of 1 executed: both its records go
+	if p.PendingCount() != 1 {
+		t.Fatalf("pending after retire = %d want 1", p.PendingCount())
+	}
+	// The surviving record still releases normally.
+	fetches := p.OnForward(nil, 2)
+	if len(fetches) != 1 || fetches[0].Seq != 2 || fetches[0].Kind != task.Backward {
+		t.Fatalf("fetches = %+v", fetches)
+	}
+	p.Retire(7) // unknown subnet: harmless
+	if p.PendingCount() != 0 {
+		t.Fatalf("pending = %d want 0", p.PendingCount())
+	}
+}
+
 func TestPredictionAccuracyOnDrain(t *testing.T) {
 	// Simulate a single-stage drain loop and measure how often the
 	// predictor's forward forecast matches the next actually scheduled

@@ -9,6 +9,20 @@
 // Dependency releases propagate as write/finish notifications, exactly the
 // role the mirroring push plays in §4.2.
 //
+// With Config.ConcurrentMem enabled, each stage additionally owns a
+// thread-safe prefetching layer cache (internal/prefetch) and an async
+// prefetcher goroutine. Prefetch requests come from three sources, the
+// same three the simulator models: arrival of a task's input message,
+// cross-stage notification at a neighbour's admission (§3.3 context
+// push), and the Algorithm 3 predictor (csp.Predictor), including
+// pending-backward records carried upstream with gradient transfers
+// (Algorithm 3 lines 10–11). Each forward/backward brackets its compute
+// with Acquire/Release on the cache, counting the paper's hit/miss/
+// stall/drop micro events. Prefetching moves data only — admission
+// decisions never consult the cache — so the causal schedule, and with it
+// the Definition 1 guarantee below, is invariant under any cache
+// configuration; every traced run still verifies it mechanically.
+//
 // Determinism under real parallelism is the point. The raw interleaving of
 // parameter accesses across stages is wall-clock-nondeterministic — it
 // changes with GOMAXPROCS, scheduling noise, and injected timing jitter.
@@ -33,6 +47,7 @@ import (
 
 	"naspipe/internal/csp"
 	"naspipe/internal/metrics"
+	"naspipe/internal/prefetch"
 	"naspipe/internal/rng"
 	"naspipe/internal/supernet"
 	"naspipe/internal/task"
@@ -49,16 +64,33 @@ type ccNote struct {
 	finished bool
 }
 
+// ccBwd is a gradient transfer from stage k+1 to stage k: the backward's
+// subnet plus any pending-backward records the sending stage announces
+// upstream (Algorithm 3 lines 10–11).
+type ccBwd struct {
+	seq     int
+	carried []csp.PendingBackward
+}
+
 // ccStage is one stage goroutine's private state. Only the owning
-// goroutine touches any field after the run starts; all cross-stage
-// communication goes through the channels.
+// goroutine touches the scheduling fields after the run starts; the
+// cache is thread-safe and shared with the stage's prefetcher goroutine
+// and with neighbouring stages; all other cross-stage communication goes
+// through the channels.
 type ccStage struct {
 	k     int
 	sched *csp.Scheduler
 
 	fwdIn chan int    // activation arrivals from stage k-1 (nil at stage 0)
-	bwdIn chan int    // gradient arrivals from stage k+1 (nil at stage D-1)
+	bwdIn chan ccBwd  // gradient arrivals from stage k+1 (nil at stage D-1)
 	notes chan ccNote // write/finish notifications from other stages
+
+	// Memory-context plane (nil/empty when ConcurrentMem is disabled).
+	cache     *prefetch.Cache
+	fetchQ    chan int                      // subnet prefetch requests for this stage
+	pred      *csp.Predictor                // Algorithm 3 (nil unless Predictor)
+	carriedBy map[int][]csp.PendingBackward // pending records received per gradient
+	announced map[int]bool                  // subnets already carried upstream
 
 	fwdQ     []int // L_q: subnets whose forward input has arrived
 	bwdReady []int // subnets whose backward input has arrived
@@ -92,10 +124,14 @@ const ccParkPoll = 5 * time.Millisecond
 // Algorithm 2 on a per-stage scheduler, backward tasks carry priority, and
 // subnets use balanced per-subnet partitions as in the full system.
 //
-// The returned Result carries scheduling/trace fields only: Completed,
-// TotalMs (wall clock), Trace (canonical causal order), ObservedTrace,
-// and per-stage Contention counters. Memory-model fields (Batch, GPUMem*,
-// CacheHitRate, ...) stay zero — the memory plane is the simulator's job.
+// The returned Result carries scheduling/trace fields (Completed, TotalMs
+// wall clock, Trace, ObservedTrace, per-stage Contention) and — when
+// Config.ConcurrentMem enables the cache — the memory-context fields:
+// per-stage CacheStats, aggregate CacheHitRate (or -1/N-A with no
+// accesses), StallMs, DroppedPrefetches, CachedParamBytes (the summed
+// cache budget), and CPUMemBytes (the pinned supernet stash). With the
+// cache disabled the memory fields stay zero and CacheHitRate is -1, as
+// in PR 1.
 //
 // Cancellation: stage goroutines check ctx between tasks; on cancellation
 // the partial Result (Deadlock set, Completed < N) returns with ctx.Err().
@@ -103,6 +139,13 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return Result{}, fmt.Errorf("engine: invalid cluster spec: %w", err)
+	}
+	mem := cfg.ConcurrentMem
+	if mem.Predictor && !mem.Enabled() {
+		return Result{}, fmt.Errorf("engine: the concurrent predictor requires a cache (ConcurrentMem.CacheFactor > 0)")
+	}
+	if mem.CacheFactor < 0 || mem.FetchMsScale < 0 {
+		return Result{}, fmt.Errorf("engine: negative ConcurrentMem parameters: %+v", mem)
 	}
 	w, err := NewWorld(cfg, PartitionBalanced)
 	if err != nil {
@@ -125,7 +168,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 			s.fwdIn = make(chan int, n)
 		}
 		if k < w.D-1 {
-			s.bwdIn = make(chan int, n)
+			s.bwdIn = make(chan ccBwd, n)
 		}
 		for i := range w.Subnets {
 			if err := s.sched.AddSubnet(csp.SubnetInfo{
@@ -136,10 +179,44 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 				return Result{}, fmt.Errorf("engine: concurrent scheduler init: %w", err)
 			}
 		}
+		if mem.Enabled() {
+			// Capacity follows the simulator's provisioning: CacheFactor ×
+			// the stage's average subnet-partition footprint (the paper's 3
+			// = executing + evicting + prefetched subnet).
+			var sum int64
+			for i := range w.Subnets {
+				for _, id := range w.stageIDs[i][k] {
+					sum += w.Net.Meta[id].ParamBytes
+				}
+			}
+			capacity := int64(mem.CacheFactor * float64(sum) / float64(n))
+			s.cache = prefetch.New(capacity, cfg.Spec.PCIeBytesPerMs, mem.FetchMsScale)
+			s.fetchQ = make(chan int, 4*n+8)
+			if mem.Predictor {
+				s.pred = csp.NewPredictor(s.sched)
+				s.carriedBy = make(map[int][]csp.PendingBackward)
+				s.announced = make(map[int]bool)
+			}
+		}
 		c.stages[k] = s
 	}
 
 	start := time.Now()
+	// Async prefetcher goroutines: one per stage, alive for the whole run,
+	// applying subnet prefetch requests to the stage cache concurrently
+	// with that stage's compute.
+	stopFetch := make(chan struct{})
+	var fwg sync.WaitGroup
+	for _, s := range c.stages {
+		if s.fetchQ == nil {
+			continue
+		}
+		fwg.Add(1)
+		go func(s *ccStage) {
+			defer fwg.Done()
+			c.prefetchLoop(s, stopFetch)
+		}(s)
+	}
 	var wg sync.WaitGroup
 	for _, s := range c.stages {
 		wg.Add(1)
@@ -149,6 +226,8 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		}(s)
 	}
 	wg.Wait() // establishes happens-before: stage state is safe to read below
+	close(stopFetch)
+	fwg.Wait()
 
 	res := Result{
 		Policy: "NASPipe-CC", Space: cfg.Space.Name, D: w.D,
@@ -163,6 +242,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		s.cont.BlockedScans = int64(empty)
 		res.Contention[k] = s.cont
 	}
+	c.collectCacheStats(&res)
 	if res.TotalMs > 0 {
 		res.SubnetsPerHour = float64(res.Completed) / (res.TotalMs / 3.6e6)
 	}
@@ -184,6 +264,100 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// collectCacheStats folds each stage cache's counters into the result's
+// per-stage and aggregate memory fields.
+func (c *ccRun) collectCacheStats(res *Result) {
+	res.CacheHitRate = -1 // no cache, or no accesses: N/A
+	if !c.cfg.ConcurrentMem.Enabled() {
+		return
+	}
+	res.CacheStats = make([]metrics.StageCache, c.w.D)
+	var hits, misses int
+	var budget int64
+	for k, s := range c.stages {
+		st := s.cache.Stats()
+		res.CacheStats[k] = metrics.StageCache{
+			Stage:             k,
+			Hits:              st.Hits,
+			Misses:            st.Misses,
+			Prefetches:        st.Prefetches,
+			LatePrefetches:    st.LatePrefetches,
+			DroppedPrefetches: st.DroppedPrefetches,
+			EvictionsForced:   st.EvictionsForced,
+			OverCapacity:      st.OverCapacity,
+			SwapInBytes:       st.SwapInBytes,
+			SwapOutBytes:      st.SwapOutBytes,
+			PeakBytes:         st.PeakBytes,
+			StallMs:           st.StallMs,
+		}
+		hits += st.Hits
+		misses += st.Misses
+		res.StallMs += st.StallMs
+		res.DroppedPrefetches += st.DroppedPrefetches
+		budget += s.cache.Capacity()
+	}
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	res.CachedParamBytes = budget
+	res.CPUMemBytes = c.w.Net.TotalParamBytes()
+}
+
+// prefetchLoop is the body of one stage's async prefetcher goroutine: it
+// expands subnet prefetch requests into layer copies on the stage cache,
+// concurrently with the stage's compute. The stage worker opportunistically
+// drains the same queue at its scheduling boundary (the point where the
+// simulator delivers arrival events), so a request enqueued before a task
+// is admitted is applied even if this goroutine is starved.
+func (c *ccRun) prefetchLoop(s *ccStage, stop <-chan struct{}) {
+	for {
+		select {
+		case seq := <-s.fetchQ:
+			c.applyFetch(s, seq)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// applyFetch prefetches every layer of subnet seq's partition on the stage.
+func (c *ccRun) applyFetch(s *ccStage, seq int) {
+	for _, id := range c.w.stageIDs[seq][s.k] {
+		s.cache.Prefetch(id, c.w.Net.Meta[id].ParamBytes)
+	}
+}
+
+// requestFetch enqueues a subnet prefetch for the stage without ever
+// blocking the caller (which may be a neighbouring stage goroutine). A
+// saturated queue drops the request and counts it: the later miss stays
+// attributable.
+func (s *ccStage) requestFetch(seq int) {
+	if s.fetchQ == nil {
+		return
+	}
+	select {
+	case s.fetchQ <- seq:
+	default:
+		s.cache.NoteDropped()
+	}
+}
+
+// stealFetches non-blockingly applies every pending prefetch request on
+// the stage's own queue (see prefetchLoop).
+func (c *ccRun) stealFetches(s *ccStage) {
+	if s.fetchQ == nil {
+		return
+	}
+	for {
+		select {
+		case seq := <-s.fetchQ:
+			c.applyFetch(s, seq)
+		default:
+			return
+		}
+	}
+}
+
 // stageLoop is the body of one stage goroutine: drain inputs, run the
 // highest-priority admissible task, park when nothing is runnable.
 func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
@@ -192,9 +366,10 @@ func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
 		if ctx.Err() != nil {
 			return
 		}
-		s.drain()
+		c.drain(s)
 		if s.k == 0 {
 			s.refill(c.cfg.InflightLimit, n)
+			c.stealFetches(s) // make refill's prefetches effective this iteration
 		}
 		// Backward tasks always run first (§3.2): they retire dependencies
 		// and widen every stage's schedulable set.
@@ -211,9 +386,9 @@ func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
 		case note := <-s.notes:
 			s.apply(note)
 		case seq := <-s.fwdIn:
-			s.fwdQ = append(s.fwdQ, seq)
-		case seq := <-s.bwdIn:
-			s.bwdReady = append(s.bwdReady, seq)
+			s.acceptFwd(seq)
+		case b := <-s.bwdIn:
+			s.acceptBwd(b)
 		case <-ctx.Done():
 		case <-timer.C:
 		}
@@ -221,8 +396,9 @@ func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
 	}
 }
 
-// drain non-blockingly absorbs every pending notification and arrival.
-func (s *ccStage) drain() {
+// drain non-blockingly absorbs every pending notification, arrival, and
+// prefetch request.
+func (c *ccRun) drain(s *ccStage) {
 	for {
 		select {
 		case note := <-s.notes:
@@ -233,21 +409,47 @@ func (s *ccStage) drain() {
 		if s.fwdIn != nil {
 			select {
 			case seq := <-s.fwdIn:
-				s.fwdQ = append(s.fwdQ, seq)
+				s.acceptFwd(seq)
 				continue
 			default:
 			}
 		}
 		if s.bwdIn != nil {
 			select {
-			case seq := <-s.bwdIn:
-				s.bwdReady = append(s.bwdReady, seq)
+			case b := <-s.bwdIn:
+				s.acceptBwd(b)
+				continue
+			default:
+			}
+		}
+		if s.fetchQ != nil {
+			select {
+			case seq := <-s.fetchQ:
+				c.applyFetch(s, seq)
 				continue
 			default:
 			}
 		}
 		return
 	}
+}
+
+// acceptFwd queues an activation arrival and prefetches its context (the
+// simulator's prefetch-on-arrival).
+func (s *ccStage) acceptFwd(seq int) {
+	s.fwdQ = append(s.fwdQ, seq)
+	s.requestFetch(seq)
+}
+
+// acceptBwd queues a gradient arrival, stashes its carried pending-
+// backward records for the predictor, and prefetches the backward's
+// context.
+func (s *ccStage) acceptBwd(b ccBwd) {
+	s.bwdReady = append(s.bwdReady, b.seq)
+	if len(b.carried) > 0 && s.carriedBy != nil {
+		s.carriedBy[b.seq] = append(s.carriedBy[b.seq], b.carried...)
+	}
+	s.requestFetch(b.seq)
 }
 
 // apply folds a cross-stage notification into the local scheduler.
@@ -259,13 +461,40 @@ func (s *ccStage) apply(n ccNote) {
 	}
 }
 
+// sendNote delivers a cross-stage notification without ever blocking: the
+// (D+1)*n buffer sizing is a never-block invariant (each stage emits at
+// most n notes to every other stage), and a blocked send here would
+// deadlock the pipeline silently. A full buffer is therefore a protocol
+// bug, and the send fails loudly instead.
+func (s *ccStage) sendNote(n ccNote) {
+	select {
+	case s.notes <- n:
+	default:
+		panic(fmt.Sprintf(
+			"engine: stage %d notes buffer full (cap %d): cross-stage notification would block; the (D+1)*n sizing invariant is violated",
+			s.k, cap(s.notes)))
+	}
+}
+
 // refill keeps stage 0's forward queue stocked from the exploration
-// stream, bounded by the inflight window (retrieve() of Algorithm 1).
+// stream, bounded by the inflight window (retrieve() of Algorithm 1). Only
+// the near-term retrievals are prefetched: the inflight window is wider
+// than the cache budget, and prefetching all of it would LRU-evict exactly
+// the contexts needed soonest. Later retrievals are fetched by the
+// predictor's forward forecast as execution approaches them.
 func (s *ccStage) refill(inflightLimit, n int) {
 	for s.retrieved < n && s.retrieved-s.bwdDone < inflightLimit {
 		s.fwdQ = append(s.fwdQ, s.retrieved)
+		if s.retrieved-s.fwdDone < 2 {
+			s.requestFetch(s.retrieved)
+		}
 		s.retrieved++
 	}
+}
+
+// bytesOf sizes a layer for the stage caches.
+func (c *ccRun) bytesOf(id supernet.LayerID) int64 {
+	return c.w.Net.Meta[id].ParamBytes
 }
 
 // runBackward executes the lowest-sequence ready backward, emits its
@@ -285,6 +514,26 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	s.bwdReady = append(s.bwdReady[:best], s.bwdReady[best+1:]...)
 	ids := c.w.stageIDs[seq][s.k]
 
+	if s.pred != nil {
+		// This backward is executing: any pending record forecasting it is
+		// moot now. Then run Algorithm 3's backward call site with the
+		// records this gradient carried from downstream.
+		s.pred.Retire(seq)
+		carried := s.carriedBy[seq]
+		delete(s.carriedBy, seq)
+		for _, f := range s.pred.OnBackward(s.fwdQ, seq, carried) {
+			s.requestFetch(f.Seq)
+		}
+	}
+	if s.cache != nil {
+		s.cache.Acquire(ids, c.bytesOf)
+	}
+	if s.k > 0 {
+		// Cross-stage context push (§3.3): the upstream stage will process
+		// this subnet's backward next; prefetch its context there, hiding
+		// the copy behind this stage's compute plus the transfer.
+		c.stages[s.k-1].requestFetch(seq)
+	}
 	c.compute(seq, s.k, task.Backward)
 	// The WRITE must be visible in the trace before any dependent learns
 	// of the release: append first, notify after. The channel send/receive
@@ -295,15 +544,44 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	s.cont.Notes-- // self-application is not cross-stage traffic
 	for _, t := range c.stages {
 		if t != s {
-			t.notes <- ccNote{seq: seq, ids: ids, finished: finished}
+			t.sendNote(ccNote{seq: seq, ids: ids, finished: finished})
 		}
 	}
 	if s.k > 0 {
-		c.stages[s.k-1].bwdIn <- seq
+		c.stages[s.k-1].bwdIn <- ccBwd{seq: seq, carried: s.pendingCarry()}
+	}
+	if s.cache != nil {
+		s.cache.Release(ids)
+		// The subnet's backward has flushed here: its context is finished
+		// on this stage and leaves the cache (the paper's eviction of
+		// finished contexts).
+		s.cache.Evict(ids)
 	}
 	s.bwdDone++
 	s.cont.Tasks++
 	return true
+}
+
+// pendingCarry collects the pending-backward records this stage announces
+// upstream with a gradient transfer (Algorithm 3 lines 10–11): every
+// queued forward currently blocked by an unfinished earlier writer, each
+// announced at most once.
+func (s *ccStage) pendingCarry() []csp.PendingBackward {
+	if s.pred == nil {
+		return nil
+	}
+	var carry []csp.PendingBackward
+	for _, q := range s.fwdQ {
+		if s.announced[q] {
+			continue
+		}
+		if w := s.sched.BlockingWriter(q); w >= 0 {
+			s.announced[q] = true
+			carry = append(carry, csp.PendingBackward{Seq: q, Precedence: w})
+		}
+	}
+	s.cont.Carried += int64(len(carry))
+	return carry
 }
 
 // runForward admits the first CSP-admissible queued forward (Algorithm 2),
@@ -319,10 +597,28 @@ func (c *ccRun) runForward(s *ccStage) bool {
 	}
 	s.fwdQ = append(s.fwdQ[:qidx], s.fwdQ[qidx+1:]...)
 	ids := c.w.stageIDs[seq][s.k]
+	if s.pred != nil {
+		// Algorithm 3's forward call site: release pending backwards whose
+		// precedence this forward satisfies, and forecast the next
+		// schedulable forward.
+		for _, f := range s.pred.OnForward(s.fwdQ, seq) {
+			s.requestFetch(f.Seq)
+		}
+	}
+	if s.cache != nil {
+		s.cache.Acquire(ids, c.bytesOf)
+	}
+	if s.k < c.w.D-1 {
+		// Cross-stage context push (§3.3), forward direction.
+		c.stages[s.k+1].requestFetch(seq)
+	}
 	// The READ happens at admission — after the CSP check, before compute —
 	// mirroring the simulator's context-acquire semantics.
 	c.emit(ids, seq, s.k, trace.Read)
 	c.compute(seq, s.k, task.Forward)
+	if s.cache != nil {
+		s.cache.Release(ids)
+	}
 	if s.k < c.w.D-1 {
 		c.stages[s.k+1].fwdIn <- seq
 	} else {

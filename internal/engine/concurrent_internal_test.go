@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSendNotePanicsInsteadOfBlocking pins the never-block invariant on
+// the cross-stage notification path: the notes buffer is sized (D+1)*n so
+// a send can never block, and an undersized buffer — the bug this guards
+// against — must fail loudly with a diagnostic rather than deadlock the
+// stage goroutines. With an artificially tiny buffer the overflowing send
+// panics; a blocking send here would hang this test forever.
+func TestSendNotePanicsInsteadOfBlocking(t *testing.T) {
+	s := &ccStage{k: 2, notes: make(chan ccNote, 1)}
+	s.sendNote(ccNote{seq: 0}) // fills the undersized buffer
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overflowing note send did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "notes buffer full") || !strings.Contains(msg, "stage 2") {
+			t.Fatalf("unhelpful overflow diagnostic: %v", r)
+		}
+	}()
+	s.sendNote(ccNote{seq: 1})
+	t.Fatal("unreachable: second send must have panicked")
+}

@@ -202,3 +202,179 @@ func BenchmarkConcurrentExecutor(b *testing.B) {
 		}
 	}
 }
+
+// ccMemCfg is ccCfg plus the paper's memory-context configuration: cache
+// factor 3 (executing + evicting + prefetched subnet) with the Algorithm 3
+// predictor driving prefetch.
+func ccMemCfg(d int, jitter bool) engine.Config {
+	cfg := ccCfg(d, jitter)
+	cfg.ConcurrentMem = engine.MemPlaneConfig{CacheFactor: 3, Predictor: true}
+	return cfg
+}
+
+// TestConcurrentMemoryPlaneMatrix drives the predictor and per-stage
+// caches across pipeline depths and jitter, checking the PR's central
+// claim: prefetching moves data, never scheduling — the canonical trace
+// (and the per-layer projection of the observed one) is identical to a
+// cache-less run, while the cache reports real hit traffic and the
+// Algorithm 3 carry path (pending-backward records travelling upstream
+// with gradients) demonstrably fires.
+func TestConcurrentMemoryPlaneMatrix(t *testing.T) {
+	for _, d := range []int{2, 4, 8} {
+		for _, jitter := range []bool{false, true} {
+			t.Run(fmt.Sprintf("gpus=%d/jitter=%v", d, jitter), func(t *testing.T) {
+				plain, err := engine.RunConcurrent(context.Background(), ccCfg(d, jitter))
+				if err != nil {
+					t.Fatalf("cache-less reference: %v", err)
+				}
+				cfg := ccMemCfg(d, jitter)
+				res, err := engine.RunConcurrent(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("memory-plane run: %v", err)
+				}
+				if res.Completed != cfg.NumSubnets {
+					t.Fatalf("completed %d/%d", res.Completed, cfg.NumSubnets)
+				}
+				if !res.Trace.Equal(plain.Trace) {
+					t.Fatal("enabling the cache changed the canonical trace")
+				}
+				if !res.ObservedTrace.PerLayerEqual(plain.Trace) {
+					t.Fatal("observed per-layer order diverges under the memory plane")
+				}
+				if len(res.CacheStats) != d {
+					t.Fatalf("cache stats rows %d, want %d", len(res.CacheStats), d)
+				}
+				var hits, misses, prefetches int
+				for _, s := range res.CacheStats {
+					hits += s.Hits
+					misses += s.Misses
+					prefetches += s.Prefetches
+				}
+				if hits+misses == 0 || prefetches == 0 {
+					t.Fatalf("cache saw no traffic: hits=%d misses=%d prefetches=%d",
+						hits, misses, prefetches)
+				}
+				if res.CacheHitRate <= 0 || res.CacheHitRate > 1 {
+					t.Fatalf("hit rate %v out of range", res.CacheHitRate)
+				}
+				if want := float64(hits) / float64(hits+misses); res.CacheHitRate != want {
+					t.Fatalf("aggregate hit rate %v inconsistent with stage stats %v",
+						res.CacheHitRate, want)
+				}
+				var carried int64
+				for _, c := range res.Contention {
+					carried += c.Carried
+				}
+				if c0 := res.Contention[0].Carried; c0 != 0 {
+					t.Fatalf("stage 0 carried %d records upstream of itself", c0)
+				}
+				// Deeper pipelines make the carry path (Algorithm 3 lines
+				// 10–11) unavoidable: blocked forwards pile up at later
+				// stages while their releasing writers are still in flight.
+				if d >= 4 && carried == 0 {
+					t.Fatal("no pending-backward records carried upstream")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentCacheHitRateMeetsPaperTarget pins Table 2's headline on
+// the default bench workload: with the Algorithm 3 predictor and a
+// 3-subnet cache footprint, the prefetcher keeps the hit rate at or above
+// 85% while the causal trace stays intact.
+func TestConcurrentCacheHitRateMeetsPaperTarget(t *testing.T) {
+	cfg := ccMemCfg(8, true)
+	cfg.NumSubnets = 48
+	res, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHitRate < 0.85 {
+		t.Fatalf("hit rate %.3f below the paper's ~0.9 target (want >= 0.85)", res.CacheHitRate)
+	}
+	if res.CachedParamBytes <= 0 || res.CachedParamBytes >= res.SupernetBytes {
+		t.Fatalf("cache budget %d not a strict subset of the supernet (%d bytes)",
+			res.CachedParamBytes, res.SupernetBytes)
+	}
+	if res.CPUMemBytes != res.SupernetBytes {
+		t.Fatalf("CPU stash %d, want whole supernet %d", res.CPUMemBytes, res.SupernetBytes)
+	}
+	if res.StallMs < 0 {
+		t.Fatalf("negative stall time %v", res.StallMs)
+	}
+}
+
+// TestConcurrentCacheWithoutPredictor: the cache alone (arrival-driven
+// prefetch only) still runs to completion with a verified trace and
+// carries no Algorithm 3 records.
+func TestConcurrentCacheWithoutPredictor(t *testing.T) {
+	cfg := ccCfg(4, false)
+	cfg.ConcurrentMem = engine.MemPlaneConfig{CacheFactor: 3}
+	res, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHitRate <= 0 {
+		t.Fatalf("arrival-driven prefetch earned no hits: %v", res.CacheHitRate)
+	}
+	for _, c := range res.Contention {
+		if c.Carried != 0 {
+			t.Fatalf("stage %d carried %d records with the predictor off", c.Stage, c.Carried)
+		}
+	}
+}
+
+// TestConcurrentCacheDisabledKeepsMemoryFieldsInert: PR 1 behaviour is
+// preserved when ConcurrentMem is zero — no cache stats, N/A hit rate.
+func TestConcurrentCacheDisabledKeepsMemoryFieldsInert(t *testing.T) {
+	res, err := engine.RunConcurrent(context.Background(), ccCfg(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHitRate != -1 {
+		t.Fatalf("hit rate %v, want -1 (N/A)", res.CacheHitRate)
+	}
+	if res.CacheStats != nil || res.DroppedPrefetches != 0 || res.StallMs != 0 {
+		t.Fatalf("memory fields not inert: %+v", res.CacheStats)
+	}
+}
+
+// TestConcurrentMemConfigValidation: the predictor needs a cache to
+// prefetch into, and negative knobs are rejected.
+func TestConcurrentMemConfigValidation(t *testing.T) {
+	cfg := ccCfg(2, false)
+	cfg.ConcurrentMem = engine.MemPlaneConfig{Predictor: true}
+	if _, err := engine.RunConcurrent(context.Background(), cfg); err == nil {
+		t.Fatal("predictor without a cache accepted")
+	}
+	cfg.ConcurrentMem = engine.MemPlaneConfig{CacheFactor: -1}
+	if _, err := engine.RunConcurrent(context.Background(), cfg); err == nil {
+		t.Fatal("negative cache factor accepted")
+	}
+	cfg.ConcurrentMem = engine.MemPlaneConfig{CacheFactor: 3, FetchMsScale: -0.5}
+	if _, err := engine.RunConcurrent(context.Background(), cfg); err == nil {
+		t.Fatal("negative fetch scale accepted")
+	}
+}
+
+// TestConcurrentMemoryPlaneDeterministicTrace: repeated memory-plane runs
+// under jitter keep producing the same canonical trace — the cache cannot
+// leak nondeterminism into the schedule.
+func TestConcurrentMemoryPlaneDeterministicTrace(t *testing.T) {
+	cfg := ccMemCfg(4, true)
+	cfg.NumSubnets = 12
+	ref, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := engine.RunConcurrent(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !got.Trace.Equal(ref.Trace) {
+			t.Fatalf("run %d changed the canonical trace", i)
+		}
+	}
+}

@@ -49,7 +49,36 @@ type Config struct {
 	// any jitter, while its wall-clock timeline is not.
 	TimingJitter float64
 	JitterSeed   uint64
+
+	// ConcurrentMem configures the concurrent execution plane's per-stage
+	// memory context (the prefetching layer cache and the Algorithm 3
+	// predictor). The simulated plane ignores it — there the memory model
+	// is declared by the policy's Traits. The zero value disables the
+	// cache: every concurrent task runs with no memory context.
+	ConcurrentMem MemPlaneConfig
 }
+
+// MemPlaneConfig is the concurrent plane's memory-context configuration.
+// Prefetching moves data only, never scheduling decisions, so any setting
+// leaves the canonical causal trace (Definition 1) untouched.
+type MemPlaneConfig struct {
+	// CacheFactor sizes each stage's GPU parameter cache as a multiple of
+	// the stage's average subnet-partition footprint — the paper's
+	// configuration is 3 (executing + evicting + prefetched subnet).
+	// 0 disables the cache (and the predictor).
+	CacheFactor float64
+	// Predictor drives each stage's async prefetcher with Algorithm 3
+	// forecasts and pending-backward carries. Requires CacheFactor > 0.
+	Predictor bool
+	// FetchMsScale converts modeled PCIe copy milliseconds into
+	// wall-clock delay: 0 models instant copies (the default — stage
+	// compute is itself only a scheduler yield), 1 plays them in real
+	// time. Used by tests to force late-prefetch and stall paths.
+	FetchMsScale float64
+}
+
+// Enabled reports whether the concurrent memory plane is active.
+func (m MemPlaneConfig) Enabled() bool { return m.CacheFactor > 0 }
 
 func (c Config) withDefaults() Config {
 	if len(c.Subnets) > 0 {
@@ -89,9 +118,15 @@ type Result struct {
 	GPUMemX        float64 // same, normalized to one GPU's capacity
 	CPUMemBytes    int64   // pinned CPU storage for the supernet stash
 	ExecMsAvg      float64 // per-subnet execution time, bubbles eliminated
-	CacheHitRate   float64 // -1 when the system does not swap
+	CacheHitRate   float64 // -1 when the system does not swap or saw no accesses (N/A)
 	StallMs        float64 // total compute stalls waiting on swaps
 	MirrorBytes    int64   // mirrored-parameter push traffic
+
+	// DroppedPrefetches counts prefetches abandoned because cache
+	// capacity was held by locked contexts (or, on the concurrent plane,
+	// because a stage's prefetch queue was saturated) — the attributable
+	// cause of otherwise-unexplained misses.
+	DroppedPrefetches int
 
 	CachedParamBytes int64 // resident parameter budget across stages ("Para.")
 	SupernetBytes    int64 // whole-supernet parameter size
@@ -117,6 +152,12 @@ type Result struct {
 	// Contention carries per-stage scheduling-pressure counters from the
 	// concurrent execution plane; nil on the simulated plane.
 	Contention []metrics.StageContention
+
+	// CacheStats carries per-stage memory-context counters from the
+	// concurrent execution plane's prefetching layer cache; nil when the
+	// cache is disabled or on the simulated plane (which reports the
+	// aggregate fields above instead).
+	CacheStats []metrics.StageCache
 }
 
 // TaskSpan is one task's timeline extent on its stage. Start is the
@@ -796,6 +837,7 @@ func (e *Engine) finish(res *Result) {
 		ms := e.mem[k].Stats()
 		hits += ms.Hits
 		misses += ms.Misses
+		res.DroppedPrefetches += ms.DroppedPrefetches
 	}
 	res.StallMs = stall
 	res.AvgInflight = e.inflightArea / e.now
@@ -804,11 +846,11 @@ func (e *Engine) finish(res *Result) {
 	res.ALUTotal = busy / e.now * eff * e.cfg.Spec.MaxALU
 	res.SamplesPerSec = float64(e.completed*e.batch) / (e.now / 1000)
 	res.SubnetsPerHour = float64(e.completed) / (e.now / 3.6e6)
-	if e.traits.CacheFactor > 0 {
-		if hits+misses > 0 {
-			res.CacheHitRate = float64(hits) / float64(hits+misses)
-		}
+	if e.traits.CacheFactor > 0 && hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
 	} else {
+		// No swapping, or a swap system whose stages never accessed the
+		// cache (idle/degenerate run): N/A, not a perfect or zero rate.
 		res.CacheHitRate = -1
 	}
 	var execSum float64

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"naspipe/internal/cluster"
+	"naspipe/internal/engine"
 	"naspipe/internal/layers"
 	"naspipe/internal/metrics"
 	"naspipe/internal/supernet"
@@ -68,13 +69,25 @@ func Table2(ctx context.Context, o Options) string {
 				metrics.Gigabytes(res.CPUMemBytes),
 				fmt.Sprintf("%.2f", res.ExecMsAvg/1000),
 				fmt.Sprintf("%.2f", res.BubbleRatio),
-				metrics.Percent(res.CacheHitRate),
+				cacheHitCell(res),
 			)
 		}
 	}
 	tb.AddNote("Score from the scaled numeric plane (monotone proxy units, see train.Score)")
 	tb.AddNote("bubble ratios run above the paper's: this engine charges full causal-wait time (see EXPERIMENTS.md)")
 	return tb.Render()
+}
+
+// cacheHitCell renders the Table 2 cache-hit column: N/A for systems that
+// never swap (or saw no cache accesses), and an explicit drop annotation
+// when prefetches were abandoned because capacity was pinned by locked
+// contexts — previously those drops were silent.
+func cacheHitCell(res engine.Result) string {
+	cell := metrics.Percent(res.CacheHitRate)
+	if res.DroppedPrefetches > 0 {
+		cell += fmt.Sprintf(" (%d dropped)", res.DroppedPrefetches)
+	}
+	return cell
 }
 
 // Table3 reproduces the reproducibility table: supernet loss and search

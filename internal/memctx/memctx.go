@@ -26,26 +26,34 @@ import (
 // Stats aggregates the manager's micro events (paper Table 2 columns
 // "Cache Hit", "CPU Mem.", and the swap traffic behind "Exec.").
 type Stats struct {
-	Hits            int     // layer accesses served from residency
-	Misses          int     // layer accesses that had to wait for a copy
-	Prefetches      int     // asynchronous fetches issued
-	LatePrefetches  int     // accesses that found the copy in flight
-	SwapInBytes     int64   // CPU->GPU traffic
-	SwapOutBytes    int64   // GPU->CPU traffic
-	StallMs         float64 // total compute stall waiting on copies
-	PeakBytes       int64   // high-water residency
-	OverCapacity    int     // forced residency beyond capacity (should stay 0)
-	EvictionsForced int     // LRU evictions triggered by capacity pressure
+	Hits              int     // layer accesses served from residency
+	Misses            int     // layer accesses that had to wait for a copy
+	Prefetches        int     // asynchronous fetches issued
+	LatePrefetches    int     // accesses that found the copy in flight
+	DroppedPrefetches int     // prefetches abandoned: capacity held by locked entries
+	SwapInBytes       int64   // CPU->GPU traffic
+	SwapOutBytes      int64   // GPU->CPU traffic
+	StallMs           float64 // total compute stall waiting on copies
+	PeakBytes         int64   // high-water residency
+	OverCapacity      int     // forced residency beyond capacity (should stay 0)
+	EvictionsForced   int     // LRU evictions triggered by capacity pressure
 }
 
-// HitRate returns hits / (hits + misses), or 1 when no accesses occurred.
+// HitRate returns hits / (hits + misses). With no accesses it returns 0:
+// an idle or degenerate stage has earned no hits, and reporting 1.0 would
+// inflate aggregate hit-rate cells (Table 2) for stages that never ran.
+// Callers that want to distinguish "no accesses" from "all misses" should
+// check Hits+Misses themselves (the tables render such cells as N/A).
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
-		return 1
+		return 0
 	}
 	return float64(s.Hits) / float64(total)
 }
+
+// Accesses returns the total layer accesses counted (hits + misses).
+func (s Stats) Accesses() int { return s.Hits + s.Misses }
 
 type entry struct {
 	bytes   int64
@@ -120,7 +128,11 @@ func (m *Manager) Prefetch(id supernet.LayerID, bytes int64, now float64) {
 		return
 	}
 	if !m.makeRoom(bytes, now) {
-		return // delayed: capacity is held by locked entries
+		// Delayed: capacity is held by locked entries. Count the drop so
+		// the later synchronous miss is attributable to capacity pressure
+		// rather than a predictor failure.
+		m.stats.DroppedPrefetches++
+		return
 	}
 	start := now
 	if m.pcieFree > start {

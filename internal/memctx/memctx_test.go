@@ -175,12 +175,47 @@ func TestUnboundedManagerNeverEvicts(t *testing.T) {
 }
 
 func TestHitRate(t *testing.T) {
-	if (Stats{}).HitRate() != 1 {
-		t.Fatal("empty stats hit rate should be 1")
+	// Regression: zero accesses must NOT report a perfect hit rate — an
+	// idle/degenerate stage earned nothing, and 1.0 inflated Table 2
+	// aggregates. Such cells render as N/A (callers check Accesses()).
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Fatalf("empty stats hit rate = %f, want 0", got)
+	}
+	if (Stats{}).Accesses() != 0 {
+		t.Fatal("empty stats should report zero accesses")
 	}
 	s := Stats{Hits: 9, Misses: 1}
 	if s.HitRate() != 0.9 {
 		t.Fatalf("hit rate %f", s.HitRate())
+	}
+	if s.Accesses() != 10 {
+		t.Fatalf("accesses %d want 10", s.Accesses())
+	}
+	if got := (Stats{Misses: 4}).HitRate(); got != 0 {
+		t.Fatalf("all-miss hit rate = %f, want 0", got)
+	}
+}
+
+func TestDroppedPrefetchCounted(t *testing.T) {
+	// Regression: a prefetch abandoned because capacity is held by locked
+	// entries used to vanish silently, leaving the later miss
+	// unattributable. It must now be counted.
+	m := New(2000, bw)
+	m.Acquire(ids(1, 2), constBytes(1000), 0) // both locked, cache full
+	m.Prefetch(3, 1000, 1)
+	st := m.Stats()
+	if st.DroppedPrefetches != 1 {
+		t.Fatalf("DroppedPrefetches = %d want 1", st.DroppedPrefetches)
+	}
+	if st.Prefetches != 0 {
+		t.Fatalf("dropped prefetch still counted as issued: %+v", st)
+	}
+	// A prefetch that finds room is not a drop.
+	m.Release(ids(1, 2), 2)
+	m.Prefetch(4, 1000, 3)
+	st = m.Stats()
+	if st.DroppedPrefetches != 1 || st.Prefetches != 1 {
+		t.Fatalf("stats after successful prefetch %+v", st)
 	}
 }
 

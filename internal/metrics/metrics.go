@@ -133,21 +133,87 @@ type StageContention struct {
 	Parks        int64 // blocking waits with nothing admissible
 	Notes        int64 // write/finish notifications applied
 	BlockedScans int64 // admission scans finding every queued forward blocked
+	Carried      int64 // pending-backward records announced upstream (Algorithm 3)
 }
 
 // ContentionTable renders per-stage contention counters with totals.
 func ContentionTable(cs []StageContention) string {
 	tb := NewTable("per-stage contention (concurrent execution plane)",
-		"Stage", "Tasks", "Parks", "Notes", "Blocked scans")
-	var tasks, parks, notes, blocked int64
+		"Stage", "Tasks", "Parks", "Notes", "Blocked scans", "Carried")
+	var tasks, parks, notes, blocked, carried int64
 	for _, c := range cs {
-		tb.AddRow(c.Stage, c.Tasks, c.Parks, c.Notes, c.BlockedScans)
+		tb.AddRow(c.Stage, c.Tasks, c.Parks, c.Notes, c.BlockedScans, c.Carried)
 		tasks += c.Tasks
 		parks += c.Parks
 		notes += c.Notes
 		blocked += c.BlockedScans
+		carried += c.Carried
 	}
-	tb.AddRow("total", tasks, parks, notes, blocked)
+	tb.AddRow("total", tasks, parks, notes, blocked, carried)
+	return tb.Render()
+}
+
+// StageCache aggregates one pipeline stage's memory-context counters on
+// the concurrent execution plane: the prefetching layer cache's hits,
+// misses, prefetch traffic, attributable drops, and compute stalls. The
+// shape mirrors memctx.Stats (the simulated plane's manager), flattened
+// here so table/bench rendering stays dependency-free.
+type StageCache struct {
+	Stage             int
+	Hits              int
+	Misses            int
+	Prefetches        int
+	LatePrefetches    int
+	DroppedPrefetches int
+	EvictionsForced   int
+	OverCapacity      int
+	SwapInBytes       int64
+	SwapOutBytes      int64
+	PeakBytes         int64
+	StallMs           float64
+}
+
+// HitRate returns the stage's hits/(hits+misses), or 0 with no accesses
+// (an idle stage has earned no hits; render such cells as N/A).
+func (c StageCache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// CacheTable renders per-stage memory-context counters with totals and
+// an aggregate hit rate. Stages with no accesses render their hit-rate
+// cell as N/A rather than 0% or 100%.
+func CacheTable(cs []StageCache) string {
+	tb := NewTable("per-stage memory context (concurrent execution plane)",
+		"Stage", "Hits", "Misses", "Hit rate", "Prefetches", "Late", "Dropped", "Evictions", "Stall (ms)", "Peak")
+	var tot StageCache
+	for _, c := range cs {
+		rate := "N/A"
+		if c.Hits+c.Misses > 0 {
+			rate = Percent(c.HitRate())
+		}
+		tb.AddRow(c.Stage, c.Hits, c.Misses, rate, c.Prefetches,
+			c.LatePrefetches, c.DroppedPrefetches, c.EvictionsForced,
+			fmt.Sprintf("%.2f", c.StallMs), Gigabytes(c.PeakBytes))
+		tot.Hits += c.Hits
+		tot.Misses += c.Misses
+		tot.Prefetches += c.Prefetches
+		tot.LatePrefetches += c.LatePrefetches
+		tot.DroppedPrefetches += c.DroppedPrefetches
+		tot.EvictionsForced += c.EvictionsForced
+		tot.StallMs += c.StallMs
+		tot.PeakBytes += c.PeakBytes
+	}
+	totalRate := "N/A"
+	if tot.Hits+tot.Misses > 0 {
+		totalRate = Percent(tot.HitRate())
+	}
+	tb.AddRow("total", tot.Hits, tot.Misses, totalRate, tot.Prefetches,
+		tot.LatePrefetches, tot.DroppedPrefetches, tot.EvictionsForced,
+		fmt.Sprintf("%.2f", tot.StallMs), Gigabytes(tot.PeakBytes))
 	return tb.Render()
 }
 

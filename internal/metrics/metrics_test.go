@@ -78,3 +78,40 @@ func TestSeriesEmptySafe(t *testing.T) {
 		t.Fatal("empty series render broken")
 	}
 }
+
+func TestStageCacheHitRate(t *testing.T) {
+	if got := (StageCache{}).HitRate(); got != 0 {
+		t.Fatalf("idle stage hit rate %v, want 0", got)
+	}
+	if got := (StageCache{Hits: 9, Misses: 1}).HitRate(); got != 0.9 {
+		t.Fatalf("hit rate %v, want 0.9", got)
+	}
+}
+
+func TestCacheTable(t *testing.T) {
+	out := CacheTable([]StageCache{
+		{Stage: 0, Hits: 90, Misses: 10, Prefetches: 80, DroppedPrefetches: 3,
+			StallMs: 1.25, PeakBytes: 1 << 30},
+		{Stage: 1}, // idle stage: hit-rate cell must render N/A, not 0% or 100%
+	})
+	for _, want := range []string{"Stage", "90.0%", "N/A", "1.25", "1.0G", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cache table missing %q:\n%s", want, out)
+		}
+	}
+	// The totals row aggregates only the active stage, so the aggregate
+	// rate equals stage 0's.
+	if strings.Count(out, "90.0%") != 2 {
+		t.Fatalf("totals row did not aggregate hit rate:\n%s", out)
+	}
+}
+
+func TestContentionTableCarriedColumn(t *testing.T) {
+	out := ContentionTable([]StageContention{
+		{Stage: 0, Tasks: 4},
+		{Stage: 1, Tasks: 4, Carried: 7},
+	})
+	if !strings.Contains(out, "Carried") || !strings.Contains(out, "7") {
+		t.Fatalf("contention table missing carried column:\n%s", out)
+	}
+}

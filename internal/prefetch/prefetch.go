@@ -1,0 +1,274 @@
+// Package prefetch is the concurrent execution plane's per-stage GPU
+// memory context: a thread-safe prefetching layer cache with the same
+// semantics — and the same Stats shape — as the discrete-event
+// internal/memctx manager, transposed from simulated time to wall clock.
+//
+// Where memctx.Manager is advanced by a simulator clock and owned by one
+// event loop, a Cache is shared between a stage goroutine (Acquire/
+// Release/Evict around each forward and backward), the stage's async
+// prefetcher goroutine, and neighbouring stages issuing cross-stage
+// prefetches. All state is guarded by one mutex; copy completion is a
+// deadline (time.Time) rather than a channel, so issuing a prefetch
+// never blocks and only Acquire — the point where the paper's stage
+// stalls — ever sleeps.
+//
+// The PCIe model matches memctx: one channel per stage, copies serialize
+// on it, and a copy takes bytes/bandwidth milliseconds scaled by a
+// configurable wall-clock factor. A zero factor models instant copies
+// (the default for tests and benches, where stage compute is itself only
+// a scheduler yield); a positive factor makes late prefetches and
+// synchronous-fetch stalls observable in real time.
+//
+// The cache-hit metric follows the paper exactly: an access counts as a
+// hit iff the layer already resides in GPU memory when activated.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"naspipe/internal/memctx"
+	"naspipe/internal/supernet"
+)
+
+// Stats is the memctx stats shape: the two planes report the same
+// counters so table and bench code renders either uniformly.
+type Stats = memctx.Stats
+
+type entry struct {
+	bytes   int64
+	readyAt time.Time // copy completion; resident once now >= readyAt
+	lastUse uint64    // LRU tick
+	locked  int       // lock count across concurrently executing tasks
+}
+
+// Cache is one stage's thread-safe GPU memory cache over the supernet's
+// layers. The zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64 // bytes; <0 means unbounded
+	nsPerB   float64
+	pcieFree time.Time
+	used     int64
+	tick     uint64
+	entries  map[supernet.LayerID]*entry
+	stats    Stats
+}
+
+// New returns a cache with the given byte capacity (negative = unbounded)
+// and PCIe bandwidth in bytes per millisecond. scale converts modeled
+// copy milliseconds into wall-clock delay: 0 models instant copies, 1
+// plays them out in real time.
+func New(capacity int64, bandwidthBytesPerMs, scale float64) *Cache {
+	if bandwidthBytesPerMs <= 0 {
+		panic(fmt.Sprintf("prefetch: invalid bandwidth %f", bandwidthBytesPerMs))
+	}
+	if scale < 0 {
+		panic(fmt.Sprintf("prefetch: negative time scale %f", scale))
+	}
+	return &Cache{
+		capacity: capacity,
+		nsPerB:   scale * float64(time.Millisecond) / bandwidthBytesPerMs,
+		entries:  make(map[supernet.LayerID]*entry),
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Used returns the current resident (plus in-flight) byte count.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity returns the configured capacity (<0 = unbounded).
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Resident reports whether the layer is fully resident now.
+func (c *Cache) Resident(id supernet.LayerID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[id]
+	return e != nil && !e.readyAt.After(time.Now())
+}
+
+// copyDone reserves the PCIe channel for bytes starting no earlier than
+// now and returns the completion deadline. Caller holds c.mu.
+func (c *Cache) copyDone(bytes int64, now time.Time) time.Time {
+	start := now
+	if c.pcieFree.After(start) {
+		start = c.pcieFree
+	}
+	done := start.Add(time.Duration(float64(bytes) * c.nsPerB))
+	c.pcieFree = done
+	return done
+}
+
+// Prefetch issues an asynchronous copy of the layer if it is neither
+// resident nor in flight. The call never blocks: the copy's completion is
+// a deadline the later Acquire checks. If capacity pressure cannot be
+// relieved by evicting unlocked entries, the prefetch is dropped and
+// counted (the paper's "delays the operator copy"); the later Acquire
+// fetches synchronously.
+func (c *Cache) Prefetch(id supernet.LayerID, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[id]; ok {
+		return
+	}
+	now := time.Now()
+	if !c.makeRoom(bytes, now) {
+		c.stats.DroppedPrefetches++
+		return
+	}
+	c.tick++
+	c.entries[id] = &entry{bytes: bytes, readyAt: c.copyDone(bytes, now), lastUse: c.tick}
+	c.used += bytes
+	c.stats.Prefetches++
+	c.stats.SwapInBytes += bytes
+	if c.used > c.stats.PeakBytes {
+		c.stats.PeakBytes = c.used
+	}
+}
+
+// NoteDropped counts a prefetch request abandoned before reaching the
+// cache (e.g. a full prefetcher queue), keeping every dropped fetch
+// attributable in the same counter.
+func (c *Cache) NoteDropped() {
+	c.mu.Lock()
+	c.stats.DroppedPrefetches++
+	c.mu.Unlock()
+}
+
+// Acquire makes every listed layer resident and locked, counting hits and
+// misses, and blocks until all copies have completed. It returns the
+// total stall (wall-clock time slept). The caller must Release the same
+// ids when the task finishes.
+func (c *Cache) Acquire(ids []supernet.LayerID, bytes func(supernet.LayerID) int64) time.Duration {
+	var stall time.Duration
+	for _, id := range ids {
+		c.mu.Lock()
+		now := time.Now()
+		e := c.entries[id]
+		switch {
+		case e != nil && !e.readyAt.After(now):
+			c.stats.Hits++
+		case e != nil:
+			// In flight: a prefetch was issued but has not completed.
+			c.stats.Misses++
+			c.stats.LatePrefetches++
+		default:
+			// Absent: synchronous fetch, serialized on the channel.
+			c.stats.Misses++
+			b := bytes(id)
+			if !c.makeRoom(b, now) {
+				c.stats.OverCapacity++
+			}
+			e = &entry{bytes: b, readyAt: c.copyDone(b, now)}
+			c.entries[id] = e
+			c.used += b
+			c.stats.SwapInBytes += b
+			if c.used > c.stats.PeakBytes {
+				c.stats.PeakBytes = c.used
+			}
+		}
+		e.locked++
+		c.tick++
+		e.lastUse = c.tick
+		wait := e.readyAt.Sub(now)
+		c.mu.Unlock()
+		if wait > 0 {
+			// Stall outside the lock: prefetcher and neighbour goroutines
+			// keep the cache serviceable while this stage waits on PCIe.
+			time.Sleep(wait)
+			stall += wait
+		}
+	}
+	if stall > 0 {
+		c.mu.Lock()
+		c.stats.StallMs += float64(stall) / float64(time.Millisecond)
+		c.mu.Unlock()
+	}
+	return stall
+}
+
+// Release unlocks previously acquired layers.
+func (c *Cache) Release(ids []supernet.LayerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if e := c.entries[id]; e != nil && e.locked > 0 {
+			e.locked--
+			c.tick++
+			e.lastUse = c.tick
+		}
+	}
+}
+
+// Evict writes the listed layers back to pinned CPU storage and frees
+// their GPU residency. Locked layers are skipped. Eviction traffic never
+// stalls compute directly.
+func (c *Cache) Evict(ids []supernet.LayerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		e := c.entries[id]
+		if e == nil || e.locked > 0 {
+			continue
+		}
+		c.evictEntry(id, e)
+	}
+}
+
+// evictEntry drops one entry. Caller holds c.mu.
+func (c *Cache) evictEntry(id supernet.LayerID, e *entry) {
+	delete(c.entries, id)
+	c.used -= e.bytes
+	c.stats.SwapOutBytes += e.bytes
+}
+
+// makeRoom evicts LRU unlocked resident entries until newBytes fits.
+// Returns false if the capacity cannot be reached (everything resident is
+// locked or still in flight). Caller holds c.mu.
+func (c *Cache) makeRoom(newBytes int64, now time.Time) bool {
+	if c.capacity < 0 {
+		return true
+	}
+	if c.used+newBytes <= c.capacity {
+		return true
+	}
+	type cand struct {
+		id supernet.LayerID
+		e  *entry
+	}
+	var cands []cand
+	for id, e := range c.entries {
+		// In-flight entries are never evicted (their copy is still
+		// occupying the channel).
+		if e.locked == 0 && !e.readyAt.After(now) {
+			cands = append(cands, cand{id, e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].e.lastUse != cands[j].e.lastUse {
+			return cands[i].e.lastUse < cands[j].e.lastUse
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, cd := range cands {
+		if c.used+newBytes <= c.capacity {
+			break
+		}
+		c.evictEntry(cd.id, cd.e)
+		c.stats.EvictionsForced++
+	}
+	return c.used+newBytes <= c.capacity
+}

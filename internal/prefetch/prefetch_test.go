@@ -1,0 +1,238 @@
+package prefetch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"naspipe/internal/supernet"
+)
+
+const bw = 1000.0 // bytes per ms
+
+func constBytes(b int64) func(supernet.LayerID) int64 {
+	return func(supernet.LayerID) int64 { return b }
+}
+
+func ids(vals ...int) []supernet.LayerID {
+	out := make([]supernet.LayerID, len(vals))
+	for i, v := range vals {
+		out[i] = supernet.LayerID(v)
+	}
+	return out
+}
+
+func TestPrefetchThenAcquireHits(t *testing.T) {
+	c := New(10000, bw, 0) // instant copies
+	c.Prefetch(1, 1000)
+	c.Prefetch(2, 1000)
+	if stall := c.Acquire(ids(1, 2), constBytes(1000)); stall != 0 {
+		t.Fatalf("instant-copy acquire stalled %v", stall)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 0 || st.Prefetches != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestColdAcquireIsMiss(t *testing.T) {
+	c := New(10000, bw, 0)
+	c.Acquire(ids(7), constBytes(2000))
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.SwapInBytes != 2000 {
+		t.Fatalf("stats %+v", st)
+	}
+	if !c.Resident(7) {
+		t.Fatal("synchronously fetched layer not resident")
+	}
+}
+
+func TestLatePrefetchCountedAndStalls(t *testing.T) {
+	// A large scaled copy is still in flight when acquired: the access is
+	// a miss, a late prefetch, and the acquire stalls until completion.
+	c := New(10000, bw, 0.5) // 1000 bytes -> 0.5ms wall clock
+	c.Prefetch(7, 4000)      // ~2ms in flight
+	stall := c.Acquire(ids(7), constBytes(4000))
+	if stall <= 0 {
+		t.Fatal("late prefetch did not stall")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.LatePrefetches != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.StallMs <= 0 {
+		t.Fatalf("stall not recorded: %+v", st)
+	}
+	if !c.Resident(7) {
+		t.Fatal("layer not resident after stalled acquire")
+	}
+}
+
+func TestCapacityEvictsLRU(t *testing.T) {
+	c := New(3000, bw, 0)
+	c.Acquire(ids(1, 2, 3), constBytes(1000))
+	c.Release(ids(1, 2, 3))
+	c.Acquire(ids(2), constBytes(1000))
+	c.Release(ids(2))
+	c.Acquire(ids(1), constBytes(1000))
+	c.Release(ids(1))
+	// New layer 4 forces eviction of the LRU: layer 3.
+	c.Prefetch(4, 1000)
+	if c.Resident(3) {
+		t.Fatal("layer 3 (LRU) should have been evicted")
+	}
+	if !c.Resident(1) || !c.Resident(2) || !c.Resident(4) {
+		t.Fatal("wrong entries evicted")
+	}
+	if st := c.Stats(); st.EvictionsForced == 0 {
+		t.Fatalf("forced eviction not counted: %+v", st)
+	}
+}
+
+func TestPrefetchDroppedWhenAllLocked(t *testing.T) {
+	c := New(2000, bw, 0)
+	c.Acquire(ids(1, 2), constBytes(1000)) // both locked, cache full
+	c.Prefetch(3, 1000)
+	if c.Resident(3) {
+		t.Fatal("prefetch should have been dropped")
+	}
+	st := c.Stats()
+	if st.DroppedPrefetches != 1 {
+		t.Fatalf("DroppedPrefetches = %d want 1", st.DroppedPrefetches)
+	}
+	if c.Used() != 2000 {
+		t.Fatalf("used %d want 2000", c.Used())
+	}
+}
+
+func TestNoteDroppedFoldsIntoStats(t *testing.T) {
+	c := New(1000, bw, 0)
+	c.NoteDropped()
+	c.NoteDropped()
+	if st := c.Stats(); st.DroppedPrefetches != 2 {
+		t.Fatalf("DroppedPrefetches = %d want 2", st.DroppedPrefetches)
+	}
+}
+
+func TestOverCapacityForcedAcquire(t *testing.T) {
+	c := New(1000, bw, 0)
+	c.Acquire(ids(1), constBytes(1000)) // locked, full
+	c.Acquire(ids(2), constBytes(1000)) // must proceed anyway
+	st := c.Stats()
+	if st.OverCapacity != 1 {
+		t.Fatalf("OverCapacity = %d want 1", st.OverCapacity)
+	}
+	if !c.Resident(2) {
+		t.Fatal("forced acquire must still make the layer resident")
+	}
+}
+
+func TestLockedEntriesSurviveEviction(t *testing.T) {
+	c := New(10000, bw, 0)
+	c.Acquire(ids(1), constBytes(1000))
+	c.Evict(ids(1))
+	if !c.Resident(1) {
+		t.Fatal("locked entry was evicted")
+	}
+	c.Release(ids(1))
+	c.Evict(ids(1))
+	if c.Resident(1) {
+		t.Fatal("released entry not evicted")
+	}
+	if st := c.Stats(); st.SwapOutBytes != 1000 {
+		t.Fatalf("swap-out bytes %d", st.SwapOutBytes)
+	}
+}
+
+func TestDoubleAcquireNeedsDoubleRelease(t *testing.T) {
+	c := New(10000, bw, 0)
+	c.Acquire(ids(1), constBytes(1000))
+	c.Acquire(ids(1), constBytes(1000))
+	c.Release(ids(1))
+	c.Evict(ids(1))
+	if !c.Resident(1) {
+		t.Fatal("layer evicted while still locked by the second task")
+	}
+	c.Release(ids(1))
+	c.Evict(ids(1))
+	if c.Resident(1) {
+		t.Fatal("layer not evictable after both releases")
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New(-1, bw, 0)
+	for i := 0; i < 100; i++ {
+		c.Prefetch(supernet.LayerID(i), 1<<20)
+	}
+	if st := c.Stats(); st.EvictionsForced != 0 || st.DroppedPrefetches != 0 {
+		t.Fatalf("unbounded cache evicted or dropped: %+v", st)
+	}
+}
+
+// TestConcurrentAccountingConsistent hammers one cache from many
+// goroutines — the shape of the concurrent plane, where a stage worker,
+// its prefetcher, and two neighbours share it — and checks accounting
+// invariants afterwards. Run under -race this is the thread-safety proof.
+func TestConcurrentAccountingConsistent(t *testing.T) {
+	c := New(8000, bw, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for op := 0; op < 200; op++ {
+				id := (g*200 + op) % 16
+				switch op % 3 {
+				case 0:
+					c.Prefetch(supernet.LayerID(id), 1000)
+				case 1:
+					c.Acquire(ids(id), constBytes(1000))
+					c.Release(ids(id))
+				case 2:
+					c.Evict(ids(id))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 4*200/3+1 {
+		// 267 acquires total: each goroutine issues ~67.
+		t.Logf("accesses %d", st.Hits+st.Misses)
+	}
+	if got := st.Accesses(); got == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	if c.Used() < 0 {
+		t.Fatalf("negative residency %d", c.Used())
+	}
+	if c.Used() > 8000+1000 {
+		// At most one over-capacity forced entry can be in flight per
+		// acquire; sustained overshoot means accounting corruption.
+		if st.OverCapacity == 0 {
+			t.Fatalf("used %d exceeds capacity without counted forcing", c.Used())
+		}
+	}
+}
+
+// TestAcquireWaitsForInFlightCopyFromAnotherGoroutine pins the
+// cross-goroutine contract: a prefetch issued elsewhere is observed
+// in-flight, and Acquire returns only once its deadline has passed.
+func TestAcquireWaitsForInFlightCopyFromAnotherGoroutine(t *testing.T) {
+	c := New(10000, bw, 1) // real-time copies: 1000 bytes = 1ms
+	done := make(chan struct{})
+	go func() {
+		c.Prefetch(9, 3000) // ~3ms
+		close(done)
+	}()
+	<-done
+	start := time.Now()
+	c.Acquire(ids(9), constBytes(3000))
+	if !c.Resident(9) {
+		t.Fatal("layer not resident after acquire")
+	}
+	if waited := time.Since(start); waited > 500*time.Millisecond {
+		t.Fatalf("acquire waited unreasonably long: %v", waited)
+	}
+}

@@ -88,6 +88,12 @@ type (
 	// StageContention reports one stage's scheduling pressure on the
 	// concurrent execution plane (see Result.Contention).
 	StageContention = metrics.StageContention
+	// StageCache reports one stage's memory-context counters on the
+	// concurrent execution plane (see Result.CacheStats).
+	StageCache = metrics.StageCache
+	// MemPlaneConfig configures the concurrent plane's prefetching
+	// layer caches and Algorithm 3 predictor (Config.ConcurrentMem).
+	MemPlaneConfig = engine.MemPlaneConfig
 	// StalenessReport quantifies causal-order violations in a trace.
 	StalenessReport = analysis.StalenessReport
 	// DepStats characterizes a subnet stream's dependency structure.

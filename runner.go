@@ -57,6 +57,9 @@ type Runner struct {
 	trace       bool
 	traceSet    bool
 	parallelism int
+	cacheFactor float64
+	cacheSet    bool
+	predictor   bool
 }
 
 // RunnerOption configures a Runner under construction.
@@ -85,6 +88,24 @@ func WithParallelism(n int) RunnerOption {
 	return func(r *Runner) { r.parallelism = n }
 }
 
+// WithCache gives every concurrent-plane stage a prefetching layer cache
+// provisioned at factor × the stage's average subnet-partition footprint
+// (the paper's configuration is 3: executing + evicting + prefetched
+// subnet). Factor 0 disables the cache. Overrides Config.ConcurrentMem.
+// Concurrent executor only.
+func WithCache(factor float64) RunnerOption {
+	return func(r *Runner) { r.cacheFactor = factor; r.cacheSet = true }
+}
+
+// WithPredictor enables the Algorithm 3 context predictor on the
+// concurrent plane: each stage forecasts upcoming tasks (including
+// pending-backward records carried upstream with gradients) and prefetches
+// their contexts. Requires a cache; if WithCache is not given, the paper's
+// factor 3 is used. Concurrent executor only.
+func WithPredictor(on bool) RunnerOption {
+	return func(r *Runner) { r.predictor = on }
+}
+
 // NewRunner validates the option set and returns an immutable Runner.
 func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	r := &Runner{policy: "naspipe"}
@@ -103,6 +124,19 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	if r.parallelism < 0 {
 		return nil, fmt.Errorf("naspipe: negative parallelism %d", r.parallelism)
 	}
+	if r.cacheSet && r.cacheFactor < 0 {
+		return nil, fmt.Errorf("naspipe: negative cache factor %v", r.cacheFactor)
+	}
+	if (r.cacheSet || r.predictor) && r.executor != ExecutorConcurrent {
+		return nil, fmt.Errorf("naspipe: WithCache/WithPredictor configure the concurrent memory plane; the %v executor has its own memory model", r.executor)
+	}
+	if r.predictor && r.cacheSet && r.cacheFactor == 0 {
+		return nil, fmt.Errorf("naspipe: the predictor requires a cache; WithCache(0) disables it")
+	}
+	if r.predictor && !r.cacheSet {
+		r.cacheFactor = 3 // the paper's default footprint
+		r.cacheSet = true
+	}
 	return r, nil
 }
 
@@ -115,6 +149,12 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	switch r.executor {
 	case ExecutorConcurrent:
+		if r.cacheSet {
+			cfg.ConcurrentMem = engine.MemPlaneConfig{
+				CacheFactor: r.cacheFactor,
+				Predictor:   r.predictor,
+			}
+		}
 		return engine.RunConcurrent(ctx, cfg)
 	default:
 		p, err := sched.New(r.policy)

@@ -199,3 +199,76 @@ func TestSearchContextCancellation(t *testing.T) {
 		t.Fatal("cancelled search should still return the seeded population")
 	}
 }
+
+// TestRunnerMemoryPlaneOptions wires WithCache/WithPredictor end to end:
+// the concurrent plane reports real cache traffic, the trace still equals
+// the cache-less run's, and a predictor without an explicit cache defaults
+// to the paper's factor 3.
+func TestRunnerMemoryPlaneOptions(t *testing.T) {
+	cfg := runnerCfg(4, 16)
+	plain, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorConcurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := naspipe.NewRunner(
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+		naspipe.WithPredictor(true), // no WithCache: factor defaults to 3
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := plain.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cached.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainRes.CacheHitRate != -1 || plainRes.CacheStats != nil {
+		t.Fatal("cache-less concurrent run reported cache traffic")
+	}
+	if res.CacheHitRate <= 0 || res.CacheHitRate > 1 {
+		t.Fatalf("hit rate %v with predictor+default cache", res.CacheHitRate)
+	}
+	if len(res.CacheStats) != res.D || res.CachedParamBytes <= 0 {
+		t.Fatalf("missing per-stage cache stats: %d rows, budget %d",
+			len(res.CacheStats), res.CachedParamBytes)
+	}
+	if !res.Trace.Equal(plainRes.Trace) {
+		t.Fatal("memory plane changed the canonical trace")
+	}
+}
+
+// TestRunnerMemoryPlaneOptionValidation: the memory options belong to the
+// concurrent plane and must reject nonsensical combinations at
+// construction time.
+func TestRunnerMemoryPlaneOptionValidation(t *testing.T) {
+	if _, err := naspipe.NewRunner(naspipe.WithCache(3)); err == nil {
+		t.Fatal("WithCache accepted on the simulated executor")
+	} else if !strings.Contains(err.Error(), "concurrent") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, err := naspipe.NewRunner(naspipe.WithPredictor(true)); err == nil {
+		t.Fatal("WithPredictor accepted on the simulated executor")
+	}
+	if _, err := naspipe.NewRunner(
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+		naspipe.WithCache(-2),
+	); err == nil {
+		t.Fatal("negative cache factor accepted")
+	}
+	if _, err := naspipe.NewRunner(
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+		naspipe.WithCache(0),
+		naspipe.WithPredictor(true),
+	); err == nil {
+		t.Fatal("predictor with an explicitly disabled cache accepted")
+	}
+	if _, err := naspipe.NewRunner(
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+		naspipe.WithCache(0),
+	); err != nil {
+		t.Fatalf("WithCache(0) alone should be a valid no-op: %v", err)
+	}
+}
