@@ -8,6 +8,7 @@
 package naspipe
 
 import (
+	"context"
 	"testing"
 
 	"naspipe/internal/cluster"
@@ -15,6 +16,7 @@ import (
 	"naspipe/internal/experiments"
 	"naspipe/internal/sched"
 	"naspipe/internal/supernet"
+	"naspipe/internal/telemetry"
 )
 
 // benchExperiment runs a named experiment once per iteration.
@@ -157,3 +159,29 @@ func BenchmarkAblationWindow96(b *testing.B) { benchWindow(b, 96) }
 
 func BenchmarkExtHybridTraverse(b *testing.B) { benchExperiment(b, "ext-hybrid") }
 func BenchmarkExtMoERouting(b *testing.B)     { benchExperiment(b, "ext-moe") }
+
+// Telemetry cost on the concurrent plane: the Off/On pair guards the
+// disabled path (nil bus: every emission call must stay a no-op — compare
+// these two to see the cost telemetry adds when enabled; the bench cmd's
+// -overhead flag gates the same delta at 5% on a jittered workload).
+func benchConcurrentTelemetry(b *testing.B, mkBus func() *telemetry.Bus) {
+	cfg := engine.Config{
+		Space: supernet.NLPc3.Scaled(8, 3), Spec: cluster.Default(4),
+		Seed: 1, NumSubnets: 18,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Telemetry = mkBus()
+		if _, err := engine.RunConcurrent(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcurrentTelemetryOff(b *testing.B) {
+	benchConcurrentTelemetry(b, func() *telemetry.Bus { return nil })
+}
+
+func BenchmarkConcurrentTelemetryOn(b *testing.B) {
+	benchConcurrentTelemetry(b, func() *telemetry.Bus { return telemetry.NewBus(0) })
+}

@@ -9,6 +9,14 @@
 //	naspipe-bench -exp all -parallel 4   # fan experiments over 4 workers
 //	naspipe-bench -concurrent            # smoke the goroutine-per-stage plane
 //
+// The concurrent smoke doubles as the telemetry showcase:
+//
+//	naspipe-bench -concurrent -trace-out trace.json   # Chrome/Perfetto trace
+//	naspipe-bench -concurrent -events-out run.jsonl   # replayable event log
+//	naspipe-bench -concurrent -debug-addr :6060       # pprof + live counters
+//	naspipe-bench -concurrent -progress 200ms         # periodic counter lines
+//	naspipe-bench -concurrent -overhead               # telemetry cost gate
+//
 // The -parallel fan-out changes wall-clock time only: reports are
 // assembled in canonical experiment order and are byte-identical to a
 // serial run. Ctrl-C cancels cooperatively — the partial report printed
@@ -26,6 +34,7 @@ import (
 
 	"naspipe"
 	"naspipe/internal/metrics"
+	"naspipe/internal/telemetry"
 )
 
 func main() {
@@ -39,14 +48,39 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "run a goroutine-per-stage CSP smoke instead of experiments")
 		predictor  = flag.Bool("predictor", false, "with -concurrent: enable the Algorithm 3 context predictor")
 		cacheFac   = flag.Float64("cachefactor", 3, "with -concurrent: per-stage cache budget as a multiple of the average subnet footprint (0 disables the cache)")
+		traceOut   = flag.String("trace-out", "", "with -concurrent: write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing)")
+		eventsOut  = flag.String("events-out", "", "with -concurrent: write the raw telemetry stream as JSONL (inspect with naspipe-replay -events)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/telemetry on this address for the process lifetime")
+		progress   = flag.Duration("progress", 0, "with -concurrent: print a live counter line at this interval (e.g. 200ms)")
+		overhead   = flag.Bool("overhead", false, "with -concurrent: measure telemetry overhead (off vs on) and fail above 5%")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *debugAddr != "" {
+		// The bus is swapped in by whichever mode runs; serve immediately so
+		// pprof is reachable even during long experiment sweeps.
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(2)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, telemetry)\n", addr)
+	}
+
 	if *concurrent {
-		os.Exit(concurrentSmoke(ctx, *seed, *gpus, *cacheFac, *predictor))
+		cc := ccOptions{
+			seed: *seed, gpus: *gpus, cacheFactor: *cacheFac, predictor: *predictor,
+			traceOut: *traceOut, eventsOut: *eventsOut, debugAddr: *debugAddr,
+			progress: *progress,
+		}
+		if *overhead {
+			os.Exit(overheadGate(ctx, cc))
+		}
+		os.Exit(concurrentSmoke(ctx, cc))
 	}
 
 	o := naspipe.DefaultExperimentOptions()
@@ -88,32 +122,70 @@ func main() {
 	os.Exit(exit)
 }
 
+// ccOptions parameterize the concurrent smoke and its telemetry outputs.
+type ccOptions struct {
+	seed        uint64
+	gpus        int
+	cacheFactor float64
+	predictor   bool
+	traceOut    string
+	eventsOut   string
+	debugAddr   string
+	progress    time.Duration
+}
+
+// smokeConfig is the concurrent plane's canonical smoke workload.
+func (cc ccOptions) smokeConfig() naspipe.Config {
+	return naspipe.Config{
+		Space:      naspipe.NLPc3.Scaled(8, 3),
+		Spec:       naspipe.DefaultCluster(cc.gpus),
+		Seed:       cc.seed,
+		NumSubnets: 48,
+	}
+}
+
+// runConcurrent executes one smoke run, optionally publishing to bus.
+func (cc ccOptions) runConcurrent(ctx context.Context, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
+	return cc.runConfig(ctx, cc.smokeConfig(), bus, trace)
+}
+
+// runConfig executes one concurrent run of cfg, optionally publishing to bus.
+func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
+	opts := []naspipe.RunnerOption{
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+		naspipe.WithTrace(trace),
+		naspipe.WithCache(cc.cacheFactor),
+	}
+	if cc.predictor {
+		opts = append(opts, naspipe.WithPredictor(true))
+	}
+	if bus != nil {
+		opts = append(opts, naspipe.WithTelemetry(bus))
+	}
+	r, err := naspipe.NewRunner(opts...)
+	if err != nil {
+		return naspipe.Result{}, err
+	}
+	return r.Run(ctx, cfg)
+}
+
 // concurrentSmoke exercises the goroutine-per-stage execution plane once
 // and prints its verification verdict, contention profile, and — with the
 // cache enabled — the memory-context profile. With the predictor on, a
 // hit rate at or below zero is a regression and fails the smoke.
-func concurrentSmoke(ctx context.Context, seed uint64, gpus int, cacheFactor float64, predictor bool) int {
-	opts := []naspipe.RunnerOption{
-		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
-		naspipe.WithTrace(true),
-		naspipe.WithCache(cacheFactor),
+func concurrentSmoke(ctx context.Context, cc ccOptions) int {
+	var bus *telemetry.Bus
+	if cc.traceOut != "" || cc.eventsOut != "" || cc.debugAddr != "" || cc.progress > 0 {
+		bus = telemetry.NewBus(0)
+		if cc.debugAddr != "" {
+			telemetry.PublishBus(bus)
+		}
 	}
-	if predictor {
-		opts = append(opts, naspipe.WithPredictor(true))
-	}
-	r, err := naspipe.NewRunner(opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	cfg := naspipe.Config{
-		Space:      naspipe.NLPc3.Scaled(8, 3),
-		Spec:       naspipe.DefaultCluster(gpus),
-		Seed:       seed,
-		NumSubnets: 48,
-	}
+	stopProgress := telemetry.StartProgress(os.Stderr, bus, cc.progress)
+
 	t0 := time.Now()
-	res, err := r.Run(ctx, cfg)
+	res, err := cc.runConcurrent(ctx, bus, true)
+	stopProgress()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "concurrent: %v\n", err)
 		return 1
@@ -127,11 +199,84 @@ func concurrentSmoke(ctx context.Context, seed uint64, gpus int, cacheFactor flo
 		fmt.Print(metrics.CacheTable(res.CacheStats))
 		fmt.Printf("cache hit rate %s (budget %s of %s supernet, predictor %v)\n",
 			metrics.Percent(res.CacheHitRate), metrics.Gigabytes(res.CachedParamBytes),
-			metrics.Gigabytes(res.CPUMemBytes), predictor)
-		if predictor && res.CacheHitRate <= 0 {
+			metrics.Gigabytes(res.CPUMemBytes), cc.predictor)
+		if cc.predictor && res.CacheHitRate <= 0 {
 			fmt.Fprintf(os.Stderr, "concurrent: predictor enabled but cache hit rate is %v\n", res.CacheHitRate)
 			return 1
 		}
+	}
+	if bus != nil {
+		fmt.Println("telemetry: " + bus.Snapshot().String())
+		if code := exportTelemetry(bus, cc.traceOut, cc.eventsOut); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// exportTelemetry writes the captured stream to the requested files; the
+// Chrome trace is validated after writing so a malformed export fails the
+// command instead of failing later in the browser.
+func exportTelemetry(bus *telemetry.Bus, traceOut, eventsOut string) int {
+	if dropped := bus.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "telemetry: ring dropped %d events; exports are truncated (raise the bus capacity)\n", dropped)
+	}
+	lines, err := telemetry.ExportFiles(bus, traceOut, eventsOut)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// overheadRuns is the min-of-N repetition count for the overhead gate;
+// minimums discard scheduler noise, which on this plane dwarfs the
+// telemetry cost being measured.
+const overheadRuns = 3
+
+// overheadGate times the smoke config with telemetry disabled and
+// enabled and fails if the enabled run is more than 5% slower. The gate
+// config adds modeled kernel timings (TimingJitter: each task really
+// sleeps its jittered duration): against the bare smoke run — whose
+// "compute" is a single scheduler yield, i.e. zero-length tasks — any
+// fixed per-event cost is unboundedly large in relative terms, which
+// measures the degenerate baseline rather than the telemetry.
+func overheadGate(ctx context.Context, cc ccOptions) int {
+	cfg := cc.smokeConfig()
+	cfg.TimingJitter = 1.0
+	cfg.JitterSeed = cc.seed
+	minRun := func(bus func() *telemetry.Bus) (time.Duration, error) {
+		best := time.Duration(-1)
+		for i := 0; i < overheadRuns; i++ {
+			t0 := time.Now()
+			if _, err := cc.runConfig(ctx, cfg, bus(), false); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0); best < 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	off, err := minRun(func() *telemetry.Bus { return nil })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overhead (telemetry off): %v\n", err)
+		return 1
+	}
+	on, err := minRun(func() *telemetry.Bus { return telemetry.NewBus(0) })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overhead (telemetry on): %v\n", err)
+		return 1
+	}
+	pct := 100 * (float64(on)/float64(off) - 1)
+	fmt.Printf("telemetry overhead: off=%v on=%v (%+.1f%%, min of %d runs each, gate 5%%)\n",
+		off.Round(time.Microsecond), on.Round(time.Microsecond), pct, overheadRuns)
+	if pct > 5 {
+		fmt.Fprintf(os.Stderr, "overhead: telemetry costs %.1f%% on the smoke config (gate: 5%%)\n", pct)
+		return 1
 	}
 	return 0
 }

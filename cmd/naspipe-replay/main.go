@@ -8,19 +8,29 @@
 //	naspipe-train -space NLP.c1 -subnets 60 -save-trace run.trace
 //	naspipe-replay -trace run.trace            # replay on real weights
 //	naspipe-replay -trace run.trace -check     # verify against sequential
+//	naspipe-replay -events run.jsonl           # summarize a telemetry log
+//
+// The -events mode replays a telemetry JSONL log (written with the cmds'
+// -events-out flag) offline: it prints the per-op event histogram and
+// reconstructs the per-task spans into the same pipeline timeline the
+// live run would render.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"naspipe"
+	"naspipe/internal/engine"
+	"naspipe/internal/telemetry"
 )
 
 func main() {
 	var (
 		path    = flag.String("trace", "", "trace record written by naspipe-train -save-trace")
+		events  = flag.String("events", "", "telemetry JSONL log written with -events-out; summarize instead of replaying a trace record")
 		dim     = flag.Int("dim", 8, "numeric model dimension for the replay")
 		batch   = flag.Int("batch", 3, "numeric batch size")
 		lr      = flag.Float64("lr", 0.05, "SGD learning rate")
@@ -29,8 +39,11 @@ func main() {
 		analyze = flag.Bool("analyze", false, "report causal-order staleness and dependency structure")
 	)
 	flag.Parse()
+	if *events != "" {
+		os.Exit(summarizeEvents(*events))
+	}
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "naspipe-replay: -trace is required")
+		fmt.Fprintln(os.Stderr, "naspipe-replay: -trace or -events is required")
 		os.Exit(2)
 	}
 	f, err := os.Open(*path)
@@ -76,4 +89,66 @@ func main() {
 		fmt.Println("CHECK: replay DIVERGES from sequential training (schedule violated causal order)")
 		os.Exit(1)
 	}
+}
+
+// summarizeEvents loads a telemetry JSONL log, prints the per-op
+// histogram, and renders the reconstructed task spans as a pipeline
+// timeline — the offline view of what the live -progress line and the
+// Chrome trace show.
+func summarizeEvents(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	evs, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(evs) == 0 {
+		fmt.Printf("%s: empty event log\n", path)
+		return 0
+	}
+
+	var firstNs, lastNs int64 = evs[0].TsNs, evs[0].TsNs
+	stages := map[int32]bool{}
+	hist := map[telemetry.Op]int{}
+	for _, ev := range evs {
+		if ev.TsNs < firstNs {
+			firstNs = ev.TsNs
+		}
+		if ev.TsNs > lastNs {
+			lastNs = ev.TsNs
+		}
+		stages[ev.Stage] = true
+		hist[ev.Op]++
+	}
+	fmt.Printf("%s: %d events over %.3f ms on %d stages\n",
+		path, len(evs), float64(lastNs-firstNs)/1e6, len(stages))
+
+	ops := make([]telemetry.Op, 0, len(hist))
+	for op := range hist {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		fmt.Printf("  %-18s %6d  (%s)\n", op.String(), hist[op], op.Category())
+	}
+
+	spans := engine.SpansFromEvents(evs)
+	if len(spans) == 0 {
+		fmt.Println("no completed task spans in the log (timeline omitted)")
+		return 0
+	}
+	d := 0
+	for _, s := range spans {
+		if s.Task.Stage+1 > d {
+			d = s.Task.Stage + 1
+		}
+	}
+	fmt.Printf("reconstructed %d task spans:\n%s", len(spans),
+		engine.RenderTimeline(spans, d, 72, float64(lastNs)/1e6))
+	return 0
 }

@@ -6,6 +6,8 @@
 //
 //	naspipe-train -space NLP.c1 -policy naspipe -gpus 8 -subnets 240
 //	naspipe-train -space NLP.c1 -policy gpipe   # compare a baseline
+//	naspipe-train -trace-out run.json           # Chrome trace (simulated time)
+//	naspipe-train -debug-addr :6060             # pprof + live counters
 package main
 
 import (
@@ -15,17 +17,22 @@ import (
 	"strings"
 
 	"naspipe"
+	"naspipe/internal/telemetry"
 )
 
 func main() {
 	var (
-		space   = flag.String("space", "NLP.c1", "search space (Table 1 name)")
-		policy  = flag.String("policy", "naspipe", "scheduling policy: "+strings.Join(naspipe.PolicyNames(), ", "))
-		gpus    = flag.Int("gpus", 8, "GPU count (pipeline depth)")
-		subnets = flag.Int("subnets", 240, "subnets to train")
-		seed    = flag.Uint64("seed", 42, "exploration seed")
-		window  = flag.Int("window", 48, "pipeline admission window")
-		saveTr  = flag.String("save-trace", "", "write the parameter-access trace record to this file for naspipe-replay")
+		space     = flag.String("space", "NLP.c1", "search space (Table 1 name)")
+		policy    = flag.String("policy", "naspipe", "scheduling policy: "+strings.Join(naspipe.PolicyNames(), ", "))
+		gpus      = flag.Int("gpus", 8, "GPU count (pipeline depth)")
+		subnets   = flag.Int("subnets", 240, "subnets to train")
+		seed      = flag.Uint64("seed", 42, "exploration seed")
+		window    = flag.Int("window", 48, "pipeline admission window")
+		saveTr    = flag.String("save-trace", "", "write the parameter-access trace record to this file for naspipe-replay")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run, stamped in simulated time (load in Perfetto / chrome://tracing)")
+		eventsOut = flag.String("events-out", "", "write the raw telemetry stream as JSONL (inspect with naspipe-replay -events)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/telemetry on this address for the process lifetime")
+		progress  = flag.Duration("progress", 0, "print a live counter line at this interval (e.g. 200ms)")
 	)
 	flag.Parse()
 
@@ -34,11 +41,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var bus *naspipe.TelemetryBus
+	if *traceOut != "" || *eventsOut != "" || *debugAddr != "" || *progress > 0 {
+		bus = naspipe.NewTelemetryBus(0)
+	}
+	if *debugAddr != "" {
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, bus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, telemetry)\n", addr)
+	}
+	stopProgress := telemetry.StartProgress(os.Stderr, bus, *progress)
 	res, err := naspipe.RunPolicy(naspipe.Config{
 		Space: sp, Spec: naspipe.DefaultCluster(*gpus),
 		Seed: *seed, NumSubnets: *subnets, InflightLimit: *window,
 		RecordTrace: *saveTr != "",
+		Telemetry:   bus,
 	}, *policy)
+	stopProgress()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -80,6 +103,17 @@ func main() {
 		}
 		fmt.Printf("trace record:      %s (%d access events; replay with naspipe-replay -trace %s)\n",
 			*saveTr, res.Trace.Len(), *saveTr)
+	}
+	if bus != nil {
+		fmt.Printf("telemetry:         %s\n", bus.Snapshot().String())
+		lines, err := telemetry.ExportFiles(bus, *traceOut, *eventsOut)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

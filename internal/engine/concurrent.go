@@ -51,6 +51,7 @@ import (
 	"naspipe/internal/rng"
 	"naspipe/internal/supernet"
 	"naspipe/internal/task"
+	"naspipe/internal/telemetry"
 	"naspipe/internal/trace"
 )
 
@@ -100,6 +101,39 @@ type ccStage struct {
 	retrieved int // stage 0 only: subnets pulled from the exploration stream
 
 	cont metrics.StageContention
+
+	tel *telemetry.Bus // nil = telemetry disabled
+	// lastDelaySeq/Writer dedup OpSchedDelay: a stage rescans its blocked
+	// queue every loop iteration, but only a *change* of blocked head or
+	// blocking writer is a new fact worth an event.
+	lastDelaySeq    int
+	lastDelayWriter int
+}
+
+// telTask emits one task-scoped event at wall-clock now.
+func (s *ccStage) telTask(op telemetry.Op, ph telemetry.Phase, seq int, kind int8) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.Emit(telemetry.Event{
+		Op: op, Phase: ph,
+		Stage: int32(s.k), Worker: telemetry.WorkerStage,
+		Subnet: int32(seq), Kind: kind,
+	})
+}
+
+// telFlow emits one cross-stage transfer endpoint; from is the sending
+// stage on both ends of the arrow.
+func (s *ccStage) telFlow(op telemetry.Op, ph telemetry.Phase, seq int, kind int8, from int) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.Emit(telemetry.Event{
+		Op: op, Phase: ph,
+		Stage: int32(s.k), Worker: telemetry.WorkerStage,
+		Subnet: int32(seq), Kind: kind,
+		Arg: telemetry.FlowID(kind, int32(seq), int32(from)),
+	})
 }
 
 // ccRun is the shared, read-only-after-start context of one concurrent
@@ -111,6 +145,10 @@ type ccRun struct {
 
 	mu  sync.Mutex
 	obs *trace.Trace // raw interleaving; nil unless RecordTrace
+
+	// tel is Config.Telemetry, or a private bus when RecordTrace needs
+	// Result.Spans without one; nil = telemetry disabled.
+	tel *telemetry.Bus
 }
 
 // ccParkPoll bounds how long a stage goroutine parks before rescanning its
@@ -156,6 +194,13 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		c.obs = &trace.Trace{}
 	}
 	n := len(w.Subnets)
+	tel := cfg.Telemetry
+	if tel == nil && cfg.RecordTrace {
+		// A traced run wants Result.Spans even without an external bus:
+		// capture privately, sized for the full span/flow event volume.
+		tel = telemetry.NewBus(32*n*w.D + 4096)
+	}
+	c.tel = tel
 	c.stages = make([]*ccStage, w.D)
 	for k := 0; k < w.D; k++ {
 		s := &ccStage{
@@ -163,6 +208,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 			sched: csp.New(k),
 			notes: make(chan ccNote, (w.D+1)*n),
 			cont:  metrics.StageContention{Stage: k},
+			tel:   tel,
 		}
 		if k > 0 {
 			s.fwdIn = make(chan int, n)
@@ -190,7 +236,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 				}
 			}
 			capacity := int64(mem.CacheFactor * float64(sum) / float64(n))
-			s.cache = prefetch.New(capacity, cfg.Spec.PCIeBytesPerMs, mem.FetchMsScale)
+			s.cache = prefetch.New(capacity, cfg.Spec.PCIeBytesPerMs, mem.FetchMsScale).WithTelemetry(tel, int32(k))
 			s.fetchQ = make(chan int, 4*n+8)
 			if mem.Predictor {
 				s.pred = csp.NewPredictor(s.sched)
@@ -249,6 +295,11 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	if c.obs != nil {
 		res.ObservedTrace = c.obs
 		res.Trace = CanonicalTrace(w)
+	}
+	if c.tel != nil {
+		// The first real concurrent-plane spans: reconstructed from the
+		// event stream, so timeline/figure renderers work on both planes.
+		res.Spans = SpansFromEvents(c.tel.Events())
 	}
 	if err := ctx.Err(); err != nil {
 		return res, err
@@ -438,6 +489,8 @@ func (c *ccRun) drain(s *ccStage) {
 // simulator's prefetch-on-arrival).
 func (s *ccStage) acceptFwd(seq int) {
 	s.fwdQ = append(s.fwdQ, seq)
+	s.telFlow(telemetry.OpTransferRecv, telemetry.PhaseFlowEnd, seq, telemetry.KindForward, s.k-1)
+	s.telTask(telemetry.OpTaskAdmit, telemetry.PhaseInstant, seq, telemetry.KindForward)
 	s.requestFetch(seq)
 }
 
@@ -446,6 +499,8 @@ func (s *ccStage) acceptFwd(seq int) {
 // context.
 func (s *ccStage) acceptBwd(b ccBwd) {
 	s.bwdReady = append(s.bwdReady, b.seq)
+	s.telFlow(telemetry.OpTransferRecv, telemetry.PhaseFlowEnd, b.seq, telemetry.KindBackward, s.k+1)
+	s.telTask(telemetry.OpTaskAdmit, telemetry.PhaseInstant, b.seq, telemetry.KindBackward)
 	if len(b.carried) > 0 && s.carriedBy != nil {
 		s.carriedBy[b.seq] = append(s.carriedBy[b.seq], b.carried...)
 	}
@@ -485,6 +540,7 @@ func (s *ccStage) sendNote(n ccNote) {
 func (s *ccStage) refill(inflightLimit, n int) {
 	for s.retrieved < n && s.retrieved-s.bwdDone < inflightLimit {
 		s.fwdQ = append(s.fwdQ, s.retrieved)
+		s.telTask(telemetry.OpTaskAdmit, telemetry.PhaseInstant, s.retrieved, telemetry.KindForward)
 		if s.retrieved-s.fwdDone < 2 {
 			s.requestFetch(s.retrieved)
 		}
@@ -513,6 +569,14 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	seq := s.bwdReady[best]
 	s.bwdReady = append(s.bwdReady[:best], s.bwdReady[best+1:]...)
 	ids := c.w.stageIDs[seq][s.k]
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Op: telemetry.OpSchedAdmit, Phase: telemetry.PhaseInstant,
+			Stage: int32(s.k), Worker: telemetry.WorkerStage,
+			Subnet: int32(seq), Kind: telemetry.KindBackward, Arg: int64(best),
+		})
+	}
+	s.telTask(telemetry.OpTaskStart, telemetry.PhaseBegin, seq, telemetry.KindBackward)
 
 	if s.pred != nil {
 		// This backward is executing: any pending record forecasting it is
@@ -526,7 +590,7 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 		}
 	}
 	if s.cache != nil {
-		s.cache.Acquire(ids, c.bytesOf)
+		s.cache.AcquireFor(ids, c.bytesOf, int32(seq), telemetry.KindBackward)
 	}
 	if s.k > 0 {
 		// Cross-stage context push (§3.3): the upstream stage will process
@@ -548,6 +612,7 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 		}
 	}
 	if s.k > 0 {
+		s.telFlow(telemetry.OpTransferSend, telemetry.PhaseFlowBegin, seq, telemetry.KindBackward, s.k)
 		c.stages[s.k-1].bwdIn <- ccBwd{seq: seq, carried: s.pendingCarry()}
 	}
 	if s.cache != nil {
@@ -557,6 +622,7 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 		// finished contexts).
 		s.cache.Evict(ids)
 	}
+	s.telTask(telemetry.OpTaskComplete, telemetry.PhaseEnd, seq, telemetry.KindBackward)
 	s.bwdDone++
 	s.cont.Tasks++
 	return true
@@ -593,10 +659,35 @@ func (c *ccRun) runForward(s *ccStage) bool {
 	}
 	qidx, seq := s.sched.Schedule(s.fwdQ)
 	if qidx < 0 {
+		if s.tel != nil {
+			// Every queued forward is CSP-blocked (Algorithm 2): attribute
+			// the delay to the queue head and the writer blocking it, once
+			// per distinct (head, writer) episode rather than per rescan.
+			head := s.fwdQ[0]
+			writer := s.sched.BlockingWriter(head)
+			if head != s.lastDelaySeq || writer != s.lastDelayWriter {
+				s.lastDelaySeq, s.lastDelayWriter = head, writer
+				s.tel.Emit(telemetry.Event{
+					Op: telemetry.OpSchedDelay, Phase: telemetry.PhaseInstant,
+					Stage: int32(s.k), Worker: telemetry.WorkerStage,
+					Subnet: int32(head), Kind: telemetry.KindForward,
+					Arg: int64(writer),
+				})
+			}
+		}
 		return false
 	}
+	s.lastDelaySeq, s.lastDelayWriter = -1, -1
 	s.fwdQ = append(s.fwdQ[:qidx], s.fwdQ[qidx+1:]...)
 	ids := c.w.stageIDs[seq][s.k]
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Op: telemetry.OpSchedAdmit, Phase: telemetry.PhaseInstant,
+			Stage: int32(s.k), Worker: telemetry.WorkerStage,
+			Subnet: int32(seq), Kind: telemetry.KindForward, Arg: int64(qidx),
+		})
+	}
+	s.telTask(telemetry.OpTaskStart, telemetry.PhaseBegin, seq, telemetry.KindForward)
 	if s.pred != nil {
 		// Algorithm 3's forward call site: release pending backwards whose
 		// precedence this forward satisfies, and forecast the next
@@ -606,7 +697,7 @@ func (c *ccRun) runForward(s *ccStage) bool {
 		}
 	}
 	if s.cache != nil {
-		s.cache.Acquire(ids, c.bytesOf)
+		s.cache.AcquireFor(ids, c.bytesOf, int32(seq), telemetry.KindForward)
 	}
 	if s.k < c.w.D-1 {
 		// Cross-stage context push (§3.3), forward direction.
@@ -619,6 +710,10 @@ func (c *ccRun) runForward(s *ccStage) bool {
 	if s.cache != nil {
 		s.cache.Release(ids)
 	}
+	if s.k < c.w.D-1 {
+		s.telFlow(telemetry.OpTransferSend, telemetry.PhaseFlowBegin, seq, telemetry.KindForward, s.k)
+	}
+	s.telTask(telemetry.OpTaskComplete, telemetry.PhaseEnd, seq, telemetry.KindForward)
 	if s.k < c.w.D-1 {
 		c.stages[s.k+1].fwdIn <- seq
 	} else {

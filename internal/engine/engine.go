@@ -13,6 +13,7 @@ import (
 	"naspipe/internal/rng"
 	"naspipe/internal/supernet"
 	"naspipe/internal/task"
+	"naspipe/internal/telemetry"
 	"naspipe/internal/trace"
 )
 
@@ -56,6 +57,17 @@ type Config struct {
 	// is declared by the policy's Traits. The zero value disables the
 	// cache: every concurrent task runs with no memory context.
 	ConcurrentMem MemPlaneConfig
+
+	// Telemetry, when non-nil, receives the run's structured event
+	// stream: task admission/start/preempt/resume/complete spans,
+	// scheduler decisions, prefetch-cache traffic, and cross-stage
+	// transfer flows, on both execution planes. Nil (the default)
+	// disables telemetry entirely — the hot paths emit nothing and
+	// allocate nothing. The simulated plane stamps events with simulated
+	// nanoseconds; the concurrent plane with wall-clock offsets from the
+	// bus epoch, so span-derived output (Result.Spans, timelines) wants a
+	// bus constructed just before the run.
+	Telemetry *telemetry.Bus
 }
 
 // MemPlaneConfig is the concurrent plane's memory-context configuration.
@@ -221,6 +233,12 @@ type execState struct {
 	stallSeen   bool
 	stallMs     float64
 	startedAt   float64
+
+	// Telemetry span state (untouched when Config.Telemetry is nil): a
+	// span opens at the first dispatched micro-task, splits at preemption
+	// boundaries, and closes at completion.
+	spanOpen    bool
+	everStarted bool
 }
 
 func (x *execState) done() bool { return x.next >= len(x.remaining) }
@@ -233,6 +251,10 @@ type stageState struct {
 	busyMs   float64
 	stallMs  float64
 	actBytes int64 // activation footprint at the chosen batch
+
+	// cur is the exec whose telemetry span is currently open on this
+	// stage's compute worker (nil when telemetry is disabled or idle).
+	cur *execState
 }
 
 func (st *stageState) hasForwardActive() bool {
@@ -271,6 +293,7 @@ type Engine struct {
 	tr           *trace.Trace
 	spans        []TaskSpan
 	mirrorB      int64
+	tel          *telemetry.Bus // nil = telemetry disabled
 }
 
 // Run simulates the policy on the config and returns the result. Invalid
@@ -296,7 +319,7 @@ func RunContext(ctx context.Context, cfg Config, policy Policy) (Result, error) 
 	if err := cfg.Spec.Validate(); err != nil {
 		return Result{}, fmt.Errorf("engine: invalid cluster spec: %w", err)
 	}
-	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits()}
+	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits(), tel: cfg.Telemetry}
 	if err := e.buildWorld(); err != nil {
 		return Result{}, err
 	}
@@ -560,10 +583,12 @@ func (e *Engine) loop(ctx context.Context) {
 		case evFwdArrive:
 			st := e.stages[ev.stage]
 			st.fwdQ.Push(ev.subnet)
+			e.telFlow(telemetry.PhaseFlowEnd, telemetry.OpTransferRecv, e.now, ev.stage, ev.subnet, task.Forward, ev.stage-1)
 			e.wake(ev.stage)
 		case evBwdArrive:
 			st := e.stages[ev.stage]
 			st.bwdReady = append(st.bwdReady, ev.subnet)
+			e.telFlow(telemetry.PhaseFlowEnd, telemetry.OpTransferRecv, e.now, ev.stage, ev.subnet, task.Backward, ev.stage+1)
 			if e.traits.PrefetchOnArrival && e.traits.CacheFactor > 0 {
 				e.prefetchCtx(ev.stage, ev.subnet)
 			}
@@ -575,7 +600,9 @@ func (e *Engine) loop(ctx context.Context) {
 }
 
 func (e *Engine) prefetchCtx(stage, seq int) {
-	for _, id := range e.w.stageIDs[seq][stage] {
+	ids := e.w.stageIDs[seq][stage]
+	e.telInstant(telemetry.OpPrefetchRequest, stage, telemetry.WorkerMem, int64(len(ids)))
+	for _, id := range ids {
 		e.mem[stage].Prefetch(id, e.w.Net.Meta[id].ParamBytes, e.now)
 	}
 }
@@ -599,6 +626,7 @@ func (e *Engine) wake(k int) {
 		}
 		seq := st.bwdReady[idx]
 		st.bwdReady = append(st.bwdReady[:idx], st.bwdReady[idx+1:]...)
+		e.telInstant(telemetry.OpSchedAdmit, k, telemetry.WorkerStage, int64(seq))
 		if e.traits.UsePredictor {
 			for _, p := range e.policy.PredictBackward(k, st.fwdQ.IDs(), seq, e.now) {
 				e.prefetchCtx(k, p)
@@ -607,8 +635,15 @@ func (e *Engine) wake(k int) {
 		e.admit(k, task.Task{Subnet: seq, Stage: k, Kind: task.Backward})
 	}
 	if !st.hasForwardActive() {
-		if idx := e.policy.SelectForward(k, st.fwdQ.IDs(), e.now); idx >= 0 {
+		idx := e.policy.SelectForward(k, st.fwdQ.IDs(), e.now)
+		if idx < 0 && st.fwdQ.Len() > 0 && e.tel != nil {
+			// CSP held the queued forwards back (Algorithm 2): record the
+			// delayed head so the trace attributes the bubble.
+			e.telInstant(telemetry.OpSchedDelay, k, telemetry.WorkerStage, int64(st.fwdQ.IDs()[0]))
+		}
+		if idx >= 0 {
 			seq := st.fwdQ.Pop(idx)
+			e.telInstant(telemetry.OpSchedAdmit, k, telemetry.WorkerStage, int64(seq))
 			if k == 0 {
 				e.inflightArea += float64(e.started-e.completed) * (e.now - e.lastInfT)
 				e.lastInfT = e.now
@@ -663,6 +698,7 @@ func (e *Engine) dispatch(k int) {
 		}
 		return
 	}
+	e.telSpanSwitch(st, pick)
 	if !pick.stallSeen {
 		pick.stallSeen = true
 		st.stallMs += pick.stallMs
@@ -694,6 +730,22 @@ func (e *Engine) admit(k int, t task.Task) {
 	readyAt := e.mem[k].Acquire(ids, func(id supernet.LayerID) int64 {
 		return e.w.Net.Meta[id].ParamBytes
 	}, e.now)
+	if e.tel != nil {
+		e.telTask(telemetry.OpTaskAdmit, telemetry.PhaseInstant, t)
+		if readyAt > e.now {
+			// Context swap-in in progress: a stall span from admission to
+			// context arrival, Arg carrying the duration in nanoseconds.
+			ev := telemetry.Event{
+				Op: telemetry.OpCacheStall, Phase: telemetry.PhaseBegin,
+				Stage: int32(k), Worker: telemetry.WorkerStage,
+				Subnet: int32(t.Subnet), Kind: telKind(t.Kind),
+				Arg: simNs(readyAt - e.now),
+			}
+			e.tel.EmitAt(simNs(e.now), ev)
+			ev.Phase = telemetry.PhaseEnd
+			e.tel.EmitAt(simNs(readyAt), ev)
+		}
+	}
 	x := &execState{t: t, ids: ids, availableAt: readyAt, stallMs: readyAt - e.now, startedAt: e.now}
 	jitter := 1.0
 	if e.cfg.TimingJitter > 0 {
@@ -767,12 +819,22 @@ func (e *Engine) completeTask(x *execState) {
 	if e.tr != nil {
 		e.spans = append(e.spans, TaskSpan{Task: t, StartMs: x.startedAt, EndMs: e.now, StallMs: x.stallMs})
 	}
+	if e.tel != nil {
+		if x.spanOpen {
+			e.telTask(telemetry.OpTaskComplete, telemetry.PhaseEnd, t)
+			x.spanOpen = false
+		}
+		if e.stages[k].cur == x {
+			e.stages[k].cur = nil
+		}
+	}
 	msgBytes := int64(e.batch) * cluster.SampleBytes(w.Space.Domain)
 
 	if t.Kind == task.Forward {
 		e.fwdDur[seq][k] = x.computeMs + x.stallMs
 		e.policy.OnForwardDone(k, seq, e.now)
 		if k < w.D-1 {
+			e.telFlow(telemetry.PhaseFlowBegin, telemetry.OpTransferSend, e.now, k, seq, task.Forward, k)
 			e.push(event{time: e.now + e.cfg.Spec.CommMs(k, k+1, msgBytes),
 				kind: evFwdArrive, stage: k + 1, subnet: seq})
 		} else {
@@ -802,6 +864,7 @@ func (e *Engine) completeTask(x *execState) {
 		e.mem[k].Evict(ids, e.now)
 	}
 	if k > 0 {
+		e.telFlow(telemetry.PhaseFlowBegin, telemetry.OpTransferSend, e.now, k, seq, task.Backward, k)
 		e.push(event{time: e.now + e.cfg.Spec.CommMs(k, k-1, msgBytes),
 			kind: evBwdArrive, stage: k - 1, subnet: seq})
 	} else {

@@ -36,8 +36,8 @@ func RenderTimeline(spans []TaskSpan, stages, width int, totalMs float64) string
 		if c < 0 {
 			c = 0
 		}
-		if c >= width {
-			c = width - 1
+		if c > width {
+			c = width
 		}
 		return c
 	}
@@ -57,8 +57,17 @@ func RenderTimeline(spans []TaskSpan, stages, width int, totalMs float64) string
 				continue
 			}
 			g := glyph(s.Task)
+			// Exclusive end column: a span owns [lo, hi) so back-to-back
+			// tasks never overwrite each other's last cell, with a one-cell
+			// minimum so short tasks stay visible.
 			lo, hi := col(s.StartMs), col(s.EndMs)
-			for c := lo; c <= hi; c++ {
+			if lo >= width {
+				lo = width - 1
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for c := lo; c < hi; c++ {
 				rows[s.Task.Stage][c] = g
 			}
 		}

@@ -243,6 +243,11 @@ func RunContext(ctx context.Context, name string, o Options) (string, error) {
 		out = Figure6(ctx, o)
 	case "figure7":
 		out = Figure7(ctx, o)
+	case "figure-cc":
+		// Concurrent-plane timeline: by-name only. Not in Names(), so
+		// AllExperiments stays byte-identical across worker counts while
+		// this wall-clock report remains reachable from the CLI.
+		out = FigureCC(ctx, o)
 	case "artifact-compare":
 		out = ArtifactCompare(ctx, o)
 	case "artifact-throughput":

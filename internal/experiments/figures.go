@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"naspipe/internal/cluster"
 	"naspipe/internal/engine"
 	"naspipe/internal/layers"
 	"naspipe/internal/metrics"
@@ -160,6 +161,35 @@ func Figure7(ctx context.Context, o Options) string {
 		out += s.Render()
 	}
 	out += "note: NASPipe scales sub-linearly; causal dependencies raise the bubble ratio as D grows (§5.4)\n"
+	return out
+}
+
+// FigureCC renders a pipeline timeline of the *concurrent* execution
+// plane — real goroutines, wall-clock time — from the telemetry-derived
+// spans, alongside its contention and cache tables. Wall-clock timings
+// vary run to run, so this figure is dispatchable by name ("figure-cc")
+// but deliberately excluded from Names(): AllExperiments' output must
+// stay byte-identical across worker counts, and this report cannot be.
+func FigureCC(ctx context.Context, o Options) string {
+	o = o.withDefaults()
+	sp := supernet.NLPc3.Scaled(6, 2)
+	res, err := engine.RunConcurrent(ctx, engine.Config{
+		Space:         sp,
+		Spec:          cluster.Default(3),
+		Seed:          o.Seed,
+		NumSubnets:    8,
+		InflightLimit: o.Inflight,
+		RecordTrace:   true,
+		ConcurrentMem: engine.MemPlaneConfig{CacheFactor: 3, Predictor: true},
+	})
+	if err != nil {
+		return fmt.Sprintf("figure-cc: ERROR: %v\n", err)
+	}
+	out := fmt.Sprintf("Figure CC: concurrent CSP executor, %d subnets, %d stages (wall clock — not byte-stable)\n%s",
+		res.Completed, res.D,
+		engine.RenderTimeline(res.Spans, res.D, 72, res.TotalMs))
+	out += metrics.ContentionTable(res.Contention)
+	out += metrics.CacheTable(res.CacheStats)
 	return out
 }
 

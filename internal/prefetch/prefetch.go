@@ -31,6 +31,7 @@ import (
 
 	"naspipe/internal/memctx"
 	"naspipe/internal/supernet"
+	"naspipe/internal/telemetry"
 )
 
 // Stats is the memctx stats shape: the two planes report the same
@@ -55,6 +56,12 @@ type Cache struct {
 	tick     uint64
 	entries  map[supernet.LayerID]*entry
 	stats    Stats
+
+	// tel, when non-nil, receives prefetch/hit/miss/stall/evict events
+	// attributed to stage (see WithTelemetry). Never emitted to on the
+	// default path: a nil bus keeps every method allocation-free.
+	tel   *telemetry.Bus
+	stage int32
 }
 
 // New returns a cache with the given byte capacity (negative = unbounded)
@@ -73,6 +80,26 @@ func New(capacity int64, bandwidthBytesPerMs, scale float64) *Cache {
 		nsPerB:   scale * float64(time.Millisecond) / bandwidthBytesPerMs,
 		entries:  make(map[supernet.LayerID]*entry),
 	}
+}
+
+// WithTelemetry attaches a bus and stage attribution to the cache's
+// event emissions and returns the cache. Call before sharing the cache
+// across goroutines.
+func (c *Cache) WithTelemetry(tel *telemetry.Bus, stage int32) *Cache {
+	c.tel = tel
+	c.stage = stage
+	return c
+}
+
+// emit publishes one instant event attributed to this cache's stage.
+func (c *Cache) emit(op telemetry.Op, worker, subnet int32, kind int8, arg int64) {
+	if c.tel == nil {
+		return
+	}
+	c.tel.Emit(telemetry.Event{
+		Op: op, Phase: telemetry.PhaseInstant,
+		Stage: c.stage, Worker: worker, Subnet: subnet, Kind: kind, Arg: arg,
+	})
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -125,12 +152,24 @@ func (c *Cache) Prefetch(id supernet.LayerID, bytes int64) {
 		return
 	}
 	now := time.Now()
+	c.emit(telemetry.OpPrefetchRequest, telemetry.WorkerMem, -1, telemetry.KindNone, bytes)
 	if !c.makeRoom(bytes, now) {
 		c.stats.DroppedPrefetches++
+		c.emit(telemetry.OpPrefetchDrop, telemetry.WorkerMem, -1, telemetry.KindNone, bytes)
 		return
 	}
+	done := c.copyDone(bytes, now)
+	if c.tel != nil {
+		// Land on the modeled PCIe channel at the copy's deadline; copies
+		// serialize on pcieFree so these are monotone per stage.
+		c.tel.EmitAt(c.tel.Now()+int64(done.Sub(now)), telemetry.Event{
+			Op: telemetry.OpPrefetchLand, Phase: telemetry.PhaseInstant,
+			Stage: c.stage, Worker: telemetry.WorkerPCIe,
+			Subnet: -1, Kind: telemetry.KindNone, Arg: bytes,
+		})
+	}
 	c.tick++
-	c.entries[id] = &entry{bytes: bytes, readyAt: c.copyDone(bytes, now), lastUse: c.tick}
+	c.entries[id] = &entry{bytes: bytes, readyAt: done, lastUse: c.tick}
 	c.used += bytes
 	c.stats.Prefetches++
 	c.stats.SwapInBytes += bytes
@@ -146,6 +185,7 @@ func (c *Cache) NoteDropped() {
 	c.mu.Lock()
 	c.stats.DroppedPrefetches++
 	c.mu.Unlock()
+	c.emit(telemetry.OpPrefetchDrop, telemetry.WorkerMem, -1, telemetry.KindNone, 0)
 }
 
 // Acquire makes every listed layer resident and locked, counting hits and
@@ -153,7 +193,15 @@ func (c *Cache) NoteDropped() {
 // total stall (wall-clock time slept). The caller must Release the same
 // ids when the task finishes.
 func (c *Cache) Acquire(ids []supernet.LayerID, bytes func(supernet.LayerID) int64) time.Duration {
+	return c.AcquireFor(ids, bytes, -1, telemetry.KindNone)
+}
+
+// AcquireFor is Acquire with task attribution: hit/miss instants and the
+// stall span (if any) carry the acquiring task's subnet and kind, so the
+// event stream can charge memory waits to the task that suffered them.
+func (c *Cache) AcquireFor(ids []supernet.LayerID, bytes func(supernet.LayerID) int64, subnet int32, kind int8) time.Duration {
 	var stall time.Duration
+	var hits, misses, late int64
 	for _, id := range ids {
 		c.mu.Lock()
 		now := time.Now()
@@ -161,13 +209,17 @@ func (c *Cache) Acquire(ids []supernet.LayerID, bytes func(supernet.LayerID) int
 		switch {
 		case e != nil && !e.readyAt.After(now):
 			c.stats.Hits++
+			hits++
 		case e != nil:
 			// In flight: a prefetch was issued but has not completed.
 			c.stats.Misses++
 			c.stats.LatePrefetches++
+			misses++
+			late++
 		default:
 			// Absent: synchronous fetch, serialized on the channel.
 			c.stats.Misses++
+			misses++
 			b := bytes(id)
 			if !c.makeRoom(b, now) {
 				c.stats.OverCapacity++
@@ -192,10 +244,34 @@ func (c *Cache) Acquire(ids []supernet.LayerID, bytes func(supernet.LayerID) int
 			stall += wait
 		}
 	}
+	// Hit/miss events are aggregated per acquire and emitted outside the
+	// lock — one event per outcome instead of one per layer id — with Arg
+	// carrying the layer count (the bus counters add Arg for these ops, so
+	// Snapshot stays per-layer-exact). Late (in-flight) misses remain
+	// distinguishable in Stats; per-event they fold into the miss count.
+	if hits > 0 {
+		c.emit(telemetry.OpCacheHit, telemetry.WorkerStage, subnet, kind, hits)
+	}
+	if misses > 0 {
+		c.emit(telemetry.OpCacheMiss, telemetry.WorkerStage, subnet, kind, misses)
+	}
 	if stall > 0 {
 		c.mu.Lock()
 		c.stats.StallMs += float64(stall) / float64(time.Millisecond)
 		c.mu.Unlock()
+		if c.tel != nil {
+			// Backdated span covering the accumulated sleep, nested inside
+			// the caller's open task span; Arg carries the nanoseconds.
+			end := c.tel.Now()
+			ev := telemetry.Event{
+				Op: telemetry.OpCacheStall, Phase: telemetry.PhaseBegin,
+				Stage: c.stage, Worker: telemetry.WorkerStage,
+				Subnet: subnet, Kind: kind, Arg: int64(stall),
+			}
+			c.tel.EmitAt(end-int64(stall), ev)
+			ev.Phase = telemetry.PhaseEnd
+			c.tel.EmitAt(end, ev)
+		}
 	}
 	return stall
 }
@@ -219,12 +295,17 @@ func (c *Cache) Release(ids []supernet.LayerID) {
 func (c *Cache) Evict(ids []supernet.LayerID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var freed int64
 	for _, id := range ids {
 		e := c.entries[id]
 		if e == nil || e.locked > 0 {
 			continue
 		}
+		freed += e.bytes
 		c.evictEntry(id, e)
+	}
+	if freed > 0 {
+		c.emit(telemetry.OpCacheEvict, telemetry.WorkerMem, -1, telemetry.KindNone, freed)
 	}
 }
 
@@ -263,12 +344,17 @@ func (c *Cache) makeRoom(newBytes int64, now time.Time) bool {
 		}
 		return cands[i].id < cands[j].id
 	})
+	var freed int64
 	for _, cd := range cands {
 		if c.used+newBytes <= c.capacity {
 			break
 		}
+		freed += cd.e.bytes
 		c.evictEntry(cd.id, cd.e)
 		c.stats.EvictionsForced++
+	}
+	if freed > 0 {
+		c.emit(telemetry.OpCacheEvict, telemetry.WorkerMem, -1, telemetry.KindNone, freed)
 	}
 	return c.used+newBytes <= c.capacity
 }

@@ -1,0 +1,74 @@
+// Debug HTTP endpoint: net/http/pprof profiles, expvar counters, and a
+// live telemetry snapshot, behind the cmds' -debug-addr flag.
+//
+//	naspipe-bench -concurrent -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//	curl http://localhost:6060/debug/telemetry
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// debugBus is the bus the expvar callback reads; swapped per ServeDebug
+// call so repeated runs in one process publish the live one.
+var (
+	debugMu  sync.Mutex
+	debugBus *Bus
+	pubOnce  sync.Once
+)
+
+// PublishBus swaps the bus the debug endpoints report on, for callers
+// that start the server (ServeDebug) before constructing the run's bus.
+func PublishBus(bus *Bus) {
+	debugMu.Lock()
+	debugBus = bus
+	debugMu.Unlock()
+}
+
+// ServeDebug starts an HTTP server on addr exposing /debug/pprof/*,
+// /debug/vars (expvar, including the "naspipe.telemetry" snapshot), and
+// /debug/telemetry (the snapshot alone, as JSON). It returns the bound
+// listener address (useful with ":0") and a shutdown function. The server
+// runs until shutdown is called; serve errors after shutdown are ignored.
+func ServeDebug(addr string, bus *Bus) (string, func(), error) {
+	debugMu.Lock()
+	debugBus = bus
+	debugMu.Unlock()
+	pubOnce.Do(func() {
+		expvar.Publish("naspipe.telemetry", expvar.Func(func() any {
+			debugMu.Lock()
+			b := debugBus
+			debugMu.Unlock()
+			return b.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		debugMu.Lock()
+		b := debugBus
+		debugMu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(b.Snapshot())
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

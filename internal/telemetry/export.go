@@ -1,0 +1,85 @@
+package telemetry
+
+// This file holds command-side conveniences shared by the cmds that
+// expose telemetry flags (-trace-out, -events-out, -progress): file
+// export with post-write validation, and the live progress ticker.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ExportFiles writes the bus's captured stream to tracePath (Chrome
+// trace-event JSON, re-read and validated after writing so a malformed
+// export fails the command rather than the browser) and/or eventsPath
+// (JSONL for naspipe-replay -events). Empty paths are skipped. It
+// returns one human-readable summary line per file written.
+func ExportFiles(bus *Bus, tracePath, eventsPath string) ([]string, error) {
+	evs := bus.Events()
+	var lines []string
+	if tracePath != "" {
+		if err := writeFile(tracePath, func(w io.Writer) error { return WriteChromeTrace(w, evs) }); err != nil {
+			return lines, fmt.Errorf("trace-out: %w", err)
+		}
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return lines, fmt.Errorf("trace-out: %w", err)
+		}
+		st, err := ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			return lines, fmt.Errorf("trace-out: exported trace does not validate: %w", err)
+		}
+		lines = append(lines, fmt.Sprintf(
+			"chrome trace: %s (%d complete spans / %d task slices, %d flow arrows, %d stages) — load in Perfetto or chrome://tracing",
+			tracePath, st.Complete, st.TaskX, st.FlowBegin, st.Stages))
+	}
+	if eventsPath != "" {
+		if err := writeFile(eventsPath, func(w io.Writer) error { return WriteJSONL(w, evs) }); err != nil {
+			return lines, fmt.Errorf("events-out: %w", err)
+		}
+		lines = append(lines, fmt.Sprintf(
+			"event log: %s (%d events) — summarize with naspipe-replay -events %s",
+			eventsPath, len(evs), eventsPath))
+	}
+	return lines, nil
+}
+
+// writeFile creates path and streams write into it, surfacing the close
+// error (a full disk shows up at close).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// StartProgress spawns a goroutine printing the bus's one-line snapshot
+// to w every interval; the returned function stops it. A nil bus or
+// non-positive interval is a no-op.
+func StartProgress(w io.Writer, bus *Bus, interval time.Duration) func() {
+	if bus == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(w, "progress: %s\n", bus.Snapshot().String())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}

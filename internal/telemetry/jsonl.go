@@ -1,0 +1,97 @@
+// JSONL export: one event per line, self-describing field names, stable
+// across versions via the op/phase wire names. The log round-trips
+// through ReadJSONL, which is what `naspipe-replay -events` uses to
+// reconstruct and re-render a run's timeline offline.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlEvent is the wire shape of one line.
+type jsonlEvent struct {
+	TsNs   int64  `json:"ts_ns"`
+	Op     string `json:"op"`
+	Phase  string `json:"ph"`
+	Stage  int32  `json:"stage"`
+	Worker int32  `json:"worker,omitempty"`
+	Subnet int32  `json:"subnet"`
+	Kind   string `json:"kind,omitempty"`
+	Arg    int64  `json:"arg,omitempty"`
+}
+
+// WriteJSONL writes the event stream as one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		je := jsonlEvent{
+			TsNs: ev.TsNs, Op: ev.Op.String(), Phase: ev.Phase.String(),
+			Stage: ev.Stage, Worker: ev.Worker, Subnet: ev.Subnet, Arg: ev.Arg,
+		}
+		if ev.Kind != KindNone {
+			je.Kind = KindString(ev.Kind)
+		}
+		bs, err := json.Marshal(je)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(bs); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a log written by WriteJSONL back into events. Blank
+// lines are skipped; an unknown op or phase is an error (the log and the
+// binary disagree about the taxonomy).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
+		}
+		op, ok := OpByName(je.Op)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: unknown op %q", line, je.Op)
+		}
+		ph, ok := PhaseByName(je.Phase)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: unknown phase %q", line, je.Phase)
+		}
+		kind := KindNone
+		switch je.Kind {
+		case "F":
+			kind = KindForward
+		case "B":
+			kind = KindBackward
+		case "", "-":
+		default:
+			return nil, fmt.Errorf("telemetry: jsonl line %d: unknown kind %q", line, je.Kind)
+		}
+		out = append(out, Event{
+			TsNs: je.TsNs, Op: op, Phase: ph,
+			Stage: je.Stage, Worker: je.Worker, Subnet: je.Subnet,
+			Kind: kind, Arg: je.Arg,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

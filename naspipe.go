@@ -42,6 +42,7 @@ import (
 	"naspipe/internal/moe"
 	"naspipe/internal/sched"
 	"naspipe/internal/supernet"
+	"naspipe/internal/telemetry"
 	"naspipe/internal/trace"
 	"naspipe/internal/train"
 )
@@ -94,6 +95,14 @@ type (
 	// MemPlaneConfig configures the concurrent plane's prefetching
 	// layer caches and Algorithm 3 predictor (Config.ConcurrentMem).
 	MemPlaneConfig = engine.MemPlaneConfig
+	// TelemetryBus is the structured event stream both executors publish
+	// to (task spans, scheduler decisions, cache traffic, transfer
+	// flows); see Config.Telemetry and WithTelemetry.
+	TelemetryBus = telemetry.Bus
+	// TelemetryEvent is one entry of the telemetry stream.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySnapshot is a consistent view of a bus's live counters.
+	TelemetrySnapshot = telemetry.Snapshot
 	// StalenessReport quantifies causal-order violations in a trace.
 	StalenessReport = analysis.StalenessReport
 	// DepStats characterizes a subnet stream's dependency structure.
@@ -238,6 +247,12 @@ func NewTraceRecord(space Space, policy string, gpus int, seed uint64, numSubnet
 
 // ReadTraceRecord loads a record written with TraceRecord.Save.
 func ReadTraceRecord(r io.Reader) (*TraceRecord, error) { return trace.ReadRecord(r) }
+
+// NewTelemetryBus returns a telemetry bus with the given ring capacity
+// (≤0 uses the default). Attach it via Config.Telemetry or
+// WithTelemetry; export its events with WriteChromeTrace/WriteJSONL in
+// internal consumers or through cmd/naspipe-bench's -trace-out flag.
+func NewTelemetryBus(capacity int) *TelemetryBus { return telemetry.NewBus(capacity) }
 
 // ExperimentNames lists the reproducible paper experiments
 // ("table1".."table5", "figure1"/"figure4".."figure7",

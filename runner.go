@@ -7,6 +7,7 @@ import (
 	"naspipe/internal/engine"
 	"naspipe/internal/parallel"
 	"naspipe/internal/sched"
+	"naspipe/internal/telemetry"
 )
 
 // ExecutorKind selects which execution plane a Runner drives.
@@ -60,6 +61,7 @@ type Runner struct {
 	cacheFactor float64
 	cacheSet    bool
 	predictor   bool
+	tel         *telemetry.Bus
 }
 
 // RunnerOption configures a Runner under construction.
@@ -106,6 +108,16 @@ func WithPredictor(on bool) RunnerOption {
 	return func(r *Runner) { r.predictor = on }
 }
 
+// WithTelemetry attaches a telemetry bus: every run publishes its
+// structured event stream (task spans, scheduler decisions, cache
+// traffic, transfer flows) to it, on either executor, overriding
+// Config.Telemetry. Nil (the default) leaves telemetry to the Config.
+// Span timestamps are offsets from the bus's construction, so a bus
+// created just before the run gives the cleanest timelines.
+func WithTelemetry(bus *telemetry.Bus) RunnerOption {
+	return func(r *Runner) { r.tel = bus }
+}
+
 // NewRunner validates the option set and returns an immutable Runner.
 func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	r := &Runner{policy: "naspipe"}
@@ -146,6 +158,9 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 func (r *Runner) Run(ctx context.Context, cfg Config) (Result, error) {
 	if r.traceSet {
 		cfg.RecordTrace = r.trace
+	}
+	if r.tel != nil {
+		cfg.Telemetry = r.tel
 	}
 	switch r.executor {
 	case ExecutorConcurrent:

@@ -240,6 +240,38 @@ func TestRunnerMemoryPlaneOptions(t *testing.T) {
 	}
 }
 
+// TestRunnerWithTelemetry attaches one bus to each executor in turn: both
+// planes must publish the full task lifecycle to it (the simulated plane
+// in simulated nanoseconds, the concurrent plane in wall-clock offsets),
+// and a concurrent run with telemetry must surface reconstructed spans.
+func TestRunnerWithTelemetry(t *testing.T) {
+	cfg := runnerCfg(4, 16)
+	for _, exec := range []naspipe.ExecutorKind{naspipe.ExecutorSimulated, naspipe.ExecutorConcurrent} {
+		bus := naspipe.NewTelemetryBus(0)
+		r, err := naspipe.NewRunner(naspipe.WithExecutor(exec), naspipe.WithTelemetry(bus))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := bus.Snapshot()
+		want := int64(2 * 16 * res.D)
+		if snap.Started != want || snap.Completed != want {
+			t.Fatalf("executor %v: bus counted %d/%d task starts/completions, want %d",
+				exec, snap.Started, snap.Completed, want)
+		}
+		if snap.Dropped != 0 {
+			t.Fatalf("executor %v: bus dropped %d events at default capacity", exec, snap.Dropped)
+		}
+		if exec == naspipe.ExecutorConcurrent && len(res.Spans) != int(want) {
+			t.Fatalf("concurrent run with telemetry reconstructed %d spans, want %d",
+				len(res.Spans), want)
+		}
+	}
+}
+
 // TestRunnerMemoryPlaneOptionValidation: the memory options belong to the
 // concurrent plane and must reject nonsensical combinations at
 // construction time.
