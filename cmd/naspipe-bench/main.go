@@ -17,6 +17,18 @@
 //	naspipe-bench -concurrent -progress 200ms         # periodic counter lines
 //	naspipe-bench -concurrent -overhead               # telemetry cost gate
 //
+// The concurrent smoke also drives the fault-injection plane and the
+// crash-consistent checkpoint/resume path:
+//
+//	naspipe-bench -concurrent -faults "seed=7,drop=0.1,delay=0.05"
+//	naspipe-bench -concurrent -faults "crashat=2:9:F" -checkpoint run.ckpt
+//	naspipe-bench -concurrent -checkpoint run.ckpt -resume
+//
+// An injected crash exits with code 3 after persisting the checkpoint
+// (when -checkpoint is set), so a shell loop can resume until clean; a
+// resumed run that completes verifies its suffix trace composes with
+// the committed prefix to the uninterrupted sequential result, bitwise.
+//
 // The -parallel fan-out changes wall-clock time only: reports are
 // assembled in canonical experiment order and are byte-identical to a
 // serial run. Ctrl-C cancels cooperatively — the partial report printed
@@ -25,6 +37,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +46,7 @@ import (
 	"time"
 
 	"naspipe"
+	"naspipe/internal/data"
 	"naspipe/internal/metrics"
 	"naspipe/internal/telemetry"
 )
@@ -53,6 +67,9 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/telemetry on this address for the process lifetime")
 		progress   = flag.Duration("progress", 0, "with -concurrent: print a live counter line at this interval (e.g. 200ms)")
 		overhead   = flag.Bool("overhead", false, "with -concurrent: measure telemetry overhead (off vs on) and fail above 5%")
+		faultSpec  = flag.String("faults", "", "with -concurrent: deterministic fault plan, e.g. \"seed=7,drop=0.1,crashat=2:9:F\" (keys: seed, crash, crashat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)")
+		ckptPath   = flag.String("checkpoint", "", "with -concurrent: persist crash-consistent checkpoints to this file (an injected crash then exits 3, resumable)")
+		resume     = flag.Bool("resume", false, "with -concurrent: resume from -checkpoint instead of starting fresh, then verify bitwise against the sequential reference")
 	)
 	flag.Parse()
 
@@ -71,11 +88,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, telemetry)\n", addr)
 	}
 
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "naspipe-bench: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if (*faultSpec != "" || *ckptPath != "") && !*concurrent {
+		fmt.Fprintln(os.Stderr, "naspipe-bench: -faults/-checkpoint/-resume require -concurrent")
+		os.Exit(2)
+	}
 	if *concurrent {
 		cc := ccOptions{
 			seed: *seed, gpus: *gpus, cacheFactor: *cacheFac, predictor: *predictor,
 			traceOut: *traceOut, eventsOut: *eventsOut, debugAddr: *debugAddr,
-			progress: *progress,
+			progress: *progress, ckpt: *ckptPath, resume: *resume,
+		}
+		if *faultSpec != "" {
+			plan, err := naspipe.ParseFaultPlan(*faultSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cc.faults = plan
 		}
 		if *overhead {
 			os.Exit(overheadGate(ctx, cc))
@@ -132,6 +165,9 @@ type ccOptions struct {
 	eventsOut   string
 	debugAddr   string
 	progress    time.Duration
+	faults      *naspipe.FaultPlan
+	ckpt        string
+	resume      bool
 }
 
 // smokeConfig is the concurrent plane's canonical smoke workload.
@@ -149,6 +185,15 @@ func (cc ccOptions) runConcurrent(ctx context.Context, bus *telemetry.Bus, trace
 	return cc.runConfig(ctx, cc.smokeConfig(), bus, trace)
 }
 
+// trainConfig is the numeric training config paired with the smoke
+// workload for checkpoint weight checksums and resume verification.
+func (cc ccOptions) trainConfig() naspipe.TrainConfig {
+	return naspipe.TrainConfig{
+		Space: cc.smokeConfig().Space, Dim: 8, Seed: cc.seed,
+		BatchSize: 2, LR: 0.05, Dataset: data.WNMT,
+	}
+}
+
 // runConfig executes one concurrent run of cfg, optionally publishing to bus.
 func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
 	opts := []naspipe.RunnerOption{
@@ -162,9 +207,20 @@ func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *tele
 	if bus != nil {
 		opts = append(opts, naspipe.WithTelemetry(bus))
 	}
+	if cc.faults != nil {
+		opts = append(opts, naspipe.WithFaults(cc.faults))
+	}
+	if cc.ckpt != "" {
+		opts = append(opts,
+			naspipe.WithCheckpoint(cc.ckpt),
+			naspipe.WithCheckpointTraining(cc.trainConfig()))
+	}
 	r, err := naspipe.NewRunner(opts...)
 	if err != nil {
 		return naspipe.Result{}, err
+	}
+	if cc.resume {
+		return r.Resume(ctx, cfg)
 	}
 	return r.Run(ctx, cfg)
 }
@@ -187,13 +243,38 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 	res, err := cc.runConcurrent(ctx, bus, true)
 	stopProgress()
 	if err != nil {
+		var crash *naspipe.CrashError
+		if errors.As(err, &crash) {
+			fmt.Fprintf(os.Stderr, "concurrent: injected crash: %v\n", err)
+			if cc.ckpt != "" {
+				if ck, lerr := naspipe.LoadCheckpoint(cc.ckpt); lerr == nil {
+					fmt.Fprintf(os.Stderr, "checkpoint: %s at cursor %d/%d, incarnation %d — rerun with -resume\n",
+						cc.ckpt, ck.Cursor, ck.NumSubnets, ck.Incarnation)
+				}
+			}
+			if bus != nil {
+				// The fault timeline up to the crash is the artifact that
+				// matters; export it even though the run died.
+				exportTelemetry(bus, cc.traceOut, cc.eventsOut)
+			}
+			return 3
+		}
 		fmt.Fprintf(os.Stderr, "concurrent: %v\n", err)
 		return 1
 	}
 	fmt.Printf("concurrent CSP plane: %d subnets, %d stages, %v wall clock\n",
 		res.Completed, res.D, time.Since(t0).Round(time.Microsecond))
-	fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
-		len(res.ObservedTrace.Events))
+	if res.ObservedTrace != nil {
+		fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
+			len(res.ObservedTrace.Events))
+	}
+	if cc.resume {
+		if err := cc.verifyResume(res); err != nil {
+			fmt.Fprintf(os.Stderr, "resume verification: %v\n", err)
+			return 1
+		}
+		fmt.Printf("resume verified: prefix [0,%d) + replayed suffix == uninterrupted sequential weights, bitwise\n", res.BaseSeq)
+	}
 	fmt.Print(metrics.ContentionTable(res.Contention))
 	if res.CacheStats != nil {
 		fmt.Print(metrics.CacheTable(res.CacheStats))
@@ -212,6 +293,30 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 		}
 	}
 	return 0
+}
+
+// verifyResume checks the crash-resume composition law on real weights:
+// training the committed prefix sequentially and replaying the resumed
+// run's suffix trace on the same net must land bitwise on the
+// uninterrupted sequential run's checksum.
+func (cc ccOptions) verifyResume(res naspipe.Result) error {
+	tc := cc.trainConfig()
+	cfg := cc.smokeConfig()
+	full := naspipe.SampleSubnets(cfg.Space, cfg.Seed, cfg.NumSubnets)
+	want := naspipe.TrainSequential(tc, full).Checksum
+	prefix := naspipe.TrainSequential(tc, full[:res.BaseSeq])
+	got := prefix.Checksum
+	if res.BaseSeq < len(full) {
+		rep, err := naspipe.TrainReplayOn(tc, prefix.Net, full[res.BaseSeq:], res.ObservedTrace)
+		if err != nil {
+			return err
+		}
+		got = rep.Checksum
+	}
+	if got != want {
+		return fmt.Errorf("resumed weights %016x diverge from sequential reference %016x", got, want)
+	}
+	return nil
 }
 
 // exportTelemetry writes the captured stream to the requested files; the

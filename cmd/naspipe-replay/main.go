@@ -91,6 +91,46 @@ func main() {
 	}
 }
 
+// printFaultTimeline reconstructs the failure timeline from the
+// fault-category events of a telemetry log: every injected fault
+// (crash, drop, delay, duplicate, fetch failure) and every persisted
+// checkpoint cut, in time order with its site and payload.
+func printFaultTimeline(evs []telemetry.Event, firstNs int64) {
+	var faults []telemetry.Event
+	for _, ev := range evs {
+		if ev.Op.Category() == "fault" {
+			faults = append(faults, ev)
+		}
+	}
+	if len(faults) == 0 {
+		return
+	}
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].TsNs < faults[j].TsNs })
+	fmt.Printf("fault timeline (%d events):\n", len(faults))
+	for _, ev := range faults {
+		kind := ""
+		switch ev.Kind {
+		case telemetry.KindForward:
+			kind = " fwd"
+		case telemetry.KindBackward:
+			kind = " bwd"
+		}
+		detail := ""
+		switch ev.Op {
+		case telemetry.OpFaultCrash:
+			detail = fmt.Sprintf("incarnation %d", ev.Arg)
+		case telemetry.OpFaultDrop:
+			detail = fmt.Sprintf("attempt %d", ev.Arg)
+		case telemetry.OpFaultDelay:
+			detail = fmt.Sprintf("%.1fµs", float64(ev.Arg)/1e3)
+		case telemetry.OpCheckpoint:
+			detail = fmt.Sprintf("cursor %d", ev.Arg)
+		}
+		fmt.Printf("  %10.3fms  stage %d  subnet %d%s  %-11s %s\n",
+			float64(ev.TsNs-firstNs)/1e6, ev.Stage, ev.Subnet, kind, ev.Op.String(), detail)
+	}
+}
+
 // summarizeEvents loads a telemetry JSONL log, prints the per-op
 // histogram, and renders the reconstructed task spans as a pipeline
 // timeline — the offline view of what the live -progress line and the
@@ -136,6 +176,8 @@ func summarizeEvents(path string) int {
 	for _, op := range ops {
 		fmt.Printf("  %-18s %6d  (%s)\n", op.String(), hist[op], op.Category())
 	}
+
+	printFaultTimeline(evs, firstNs)
 
 	spans := engine.SpansFromEvents(evs)
 	if len(spans) == 0 {

@@ -1,0 +1,230 @@
+package naspipe_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"naspipe"
+	"naspipe/internal/data"
+)
+
+// maxResumes bounds the crash-resume loop for rate-based schedules:
+// each incarnation rolls a fresh fault schedule over ever less
+// remaining work, so convergence is expected long before this.
+const maxResumes = 60
+
+func crashCfg(gpus int) naspipe.Config {
+	return naspipe.Config{
+		Space:      naspipe.NLPc3.Scaled(8, 3),
+		Spec:       naspipe.DefaultCluster(gpus),
+		Seed:       7,
+		NumSubnets: 18,
+	}
+}
+
+func crashTrainCfg(cfg naspipe.Config) naspipe.TrainConfig {
+	return naspipe.TrainConfig{Space: cfg.Space, Dim: 8, Seed: cfg.Seed,
+		BatchSize: 2, LR: 0.05, Dataset: data.WNMT}
+}
+
+// crashSchedules is the fault matrix: deterministic targeted crashes at
+// different pipeline sites and kinds, rate-based crashes layered over
+// message faults, and a crash combined with total prefetch failure.
+// Targeted stages are reduced modulo the GPU count so every schedule
+// crashes on every tested depth.
+var crashSchedules = []struct{ name, spec string }{
+	{"early-fwd", "seed=101,crashat=1:2:F"},
+	{"late-bwd", "seed=102,crashat=0:15:B"},
+	{"mid-fwd+drop", "seed=103,crashat=3:9:F,drop=0.1"},
+	{"stage0-bwd+delay", "seed=104,crashat=0:5:B,delay=0.15"},
+	{"deep-fwd+dup", "seed=105,crashat=7:12:F,dup=0.1"},
+	{"fwd+fetchfail", "seed=106,crashat=1:11:F,fetchfail=1.0"},
+	{"rate+msgs", "seed=107,crash=0.02,drop=0.08,dup=0.08"},
+	{"rate+delay", "seed=108,crash=0.018,delay=0.1"},
+	{"rate-all", "seed=109,crash=0.022,drop=0.06,delay=0.06,dup=0.06"},
+}
+
+// seqReference memoizes the uninterrupted sequential checksum — it
+// depends only on the stream and training config, not the GPU count.
+var seqReference struct {
+	once sync.Once
+	want uint64
+}
+
+// TestCrashResumeMatrix is the acceptance gate: every fault schedule ×
+// {2,4,8} GPUs crashes, resumes from the persisted checkpoint (looping
+// while the fault plan keeps crashing the resumed incarnations), and
+// must land on final weights bitwise identical to the uninterrupted
+// sequential reference — verified by composing the committed sequential
+// prefix with the replayed suffix trace, plus the checkpoint plane's
+// own prefix-checksum verification on every Resume.
+func TestCrashResumeMatrix(t *testing.T) {
+	cfg0 := crashCfg(2)
+	tc := crashTrainCfg(cfg0)
+	full := naspipe.SampleSubnets(cfg0.Space, cfg0.Seed, cfg0.NumSubnets)
+	seqReference.once.Do(func() {
+		seqReference.want = naspipe.TrainSequential(tc, full).Checksum
+	})
+	want := seqReference.want
+
+	for _, gpus := range []int{2, 4, 8} {
+		for _, sc := range crashSchedules {
+			gpus, sc := gpus, sc
+			t.Run(fmt.Sprintf("gpus=%d/%s", gpus, sc.name), func(t *testing.T) {
+				t.Parallel()
+				plan, err := naspipe.ParseFaultPlan(sc.spec)
+				if err != nil {
+					t.Fatalf("plan: %v", err)
+				}
+				if plan.CrashTask != nil {
+					plan.CrashTask.Stage %= gpus
+				}
+				ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+				r, err := naspipe.NewRunner(
+					naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+					naspipe.WithTrace(true),
+					naspipe.WithFaults(plan),
+					naspipe.WithCheckpoint(ckpt),
+					naspipe.WithCheckpointTraining(tc),
+				)
+				if err != nil {
+					t.Fatalf("runner: %v", err)
+				}
+
+				ctx := context.Background()
+				cfg := crashCfg(gpus)
+				res, err := r.Run(ctx, cfg)
+				resumes := 0
+				for err != nil {
+					var crash *naspipe.CrashError
+					if !errors.As(err, &crash) {
+						t.Fatalf("non-crash failure after %d resumes: %v", resumes, err)
+					}
+					ck, lerr := naspipe.LoadCheckpoint(ckpt)
+					if lerr != nil {
+						t.Fatalf("checkpoint unreadable after crash: %v", lerr)
+					}
+					if ck.Incarnation != crash.Incarnation+1 {
+						t.Fatalf("crash at incarnation %d left checkpoint incarnation %d, want %d",
+							crash.Incarnation, ck.Incarnation, crash.Incarnation+1)
+					}
+					if resumes++; resumes > maxResumes {
+						t.Fatalf("still crashing after %d resumes (cursor %d/%d)", maxResumes, ck.Cursor, ck.NumSubnets)
+					}
+					res, err = r.Resume(ctx, cfg)
+				}
+				// Every schedule must actually exercise crash-then-resume.
+				// Fault decisions are pure functions of (seed, incarnation,
+				// site), so this is deterministic, not flaky: the seeds above
+				// are chosen to crash at every tested depth.
+				if resumes == 0 {
+					t.Fatalf("schedule %q never crashed on %d GPUs", sc.spec, gpus)
+				}
+				if res.BaseSeq+res.Completed != cfg.NumSubnets {
+					t.Fatalf("final run covers [%d, %d), want end %d", res.BaseSeq, res.BaseSeq+res.Completed, cfg.NumSubnets)
+				}
+
+				// Bitwise composition: sequential prefix at the final base,
+				// then the resumed suffix's canonical trace replayed on it.
+				prefix := naspipe.TrainSequential(tc, full[:res.BaseSeq])
+				got := prefix.Checksum
+				if res.BaseSeq < len(full) {
+					rep, rerr := naspipe.TrainReplayOn(tc, prefix.Net, full[res.BaseSeq:], res.Trace)
+					if rerr != nil {
+						t.Fatalf("suffix replay: %v", rerr)
+					}
+					got = rep.Checksum
+				}
+				if got != want {
+					t.Fatalf("after %d resumes final weights %016x diverge from sequential reference %016x",
+						resumes, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedConfig pins the checkpoint identity guard:
+// a checkpoint written for one run must refuse to resume a different
+// space, seed, GPU count, or stream length.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	plan, err := naspipe.ParseFaultPlan("seed=1,crashat=1:4:F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := naspipe.NewRunner(
+		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+		naspipe.WithFaults(plan),
+		naspipe.WithCheckpoint(ckpt),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.Run(ctx, crashCfg(4)); err == nil {
+		t.Fatal("targeted crash did not fire")
+	}
+
+	for name, mutate := range map[string]func(*naspipe.Config){
+		"seed":    func(c *naspipe.Config) { c.Seed++ },
+		"gpus":    func(c *naspipe.Config) { c.Spec = naspipe.DefaultCluster(8) },
+		"subnets": func(c *naspipe.Config) { c.NumSubnets++ },
+		"space":   func(c *naspipe.Config) { c.Space = naspipe.NLPc2.Scaled(8, 3) },
+		"jitter":  func(c *naspipe.Config) { c.JitterSeed = 99 },
+	} {
+		cfg := crashCfg(4)
+		mutate(&cfg)
+		if _, err := r.Resume(ctx, cfg); err == nil {
+			t.Errorf("resume accepted a checkpoint with mismatched %s", name)
+		}
+	}
+
+	// The unmutated config must still resume cleanly.
+	if _, err := r.Resume(ctx, crashCfg(4)); err != nil {
+		t.Fatalf("matching config failed to resume: %v", err)
+	}
+}
+
+// TestRunnerFaultOptionValidation pins the option surface: fault and
+// checkpoint options are concurrent-plane-only, refinements require
+// their base option, and invalid plans are rejected at construction.
+func TestRunnerFaultOptionValidation(t *testing.T) {
+	plan := &naspipe.FaultPlan{Seed: 1, DropRate: 0.1}
+	cases := []struct {
+		name string
+		opts []naspipe.RunnerOption
+	}{
+		{"faults-on-simulated", []naspipe.RunnerOption{naspipe.WithFaults(plan)}},
+		{"checkpoint-on-simulated", []naspipe.RunnerOption{naspipe.WithCheckpoint("x.ckpt")}},
+		{"every-without-checkpoint", []naspipe.RunnerOption{
+			naspipe.WithExecutor(naspipe.ExecutorConcurrent), naspipe.WithCheckpointEvery(4)}},
+		{"training-without-checkpoint", []naspipe.RunnerOption{
+			naspipe.WithExecutor(naspipe.ExecutorConcurrent), naspipe.WithCheckpointTraining(naspipe.TrainConfig{})}},
+		{"invalid-plan", []naspipe.RunnerOption{
+			naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+			naspipe.WithFaults(&naspipe.FaultPlan{DropRate: 1.5})}},
+		{"negative-every", []naspipe.RunnerOption{
+			naspipe.WithExecutor(naspipe.ExecutorConcurrent),
+			naspipe.WithCheckpoint("x.ckpt"), naspipe.WithCheckpointEvery(-1)}},
+	}
+	for _, c := range cases {
+		if _, err := naspipe.NewRunner(c.opts...); err == nil {
+			t.Errorf("%s: NewRunner accepted an invalid option set", c.name)
+		}
+	}
+	if _, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorConcurrent)); err != nil {
+		t.Errorf("baseline concurrent runner rejected: %v", err)
+	}
+	r, err := naspipe.NewRunner(naspipe.WithExecutor(naspipe.ExecutorConcurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resume(context.Background(), crashCfg(2)); err == nil {
+		t.Error("Resume without WithCheckpoint must fail")
+	}
+}

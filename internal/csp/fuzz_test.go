@@ -1,0 +1,138 @@
+package csp
+
+import (
+	"testing"
+
+	"naspipe/internal/supernet"
+)
+
+// fuzzWorkload decodes a fuzz input into a single-stage admission
+// workload: up to 12 subnets, each selecting a non-empty subset of a
+// 6-layer universe (one bitmask byte per subnet). Remaining bytes drive
+// the retire policy. The tiny universe forces dense layer collisions —
+// the regime where admission bugs live.
+func fuzzWorkload(data []byte) (masks []byte, policy []byte) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	n := int(data[0])%12 + 1
+	data = data[1:]
+	masks = make([]byte, n)
+	for i := range masks {
+		m := byte(0x01)
+		if i < len(data) {
+			m = data[i] & 0x3f
+			if m == 0 {
+				m = 0x01
+			}
+		}
+		masks[i] = m
+	}
+	if n < len(data) {
+		policy = data[n:]
+	}
+	return masks, policy
+}
+
+func maskLayers(m byte) []supernet.LayerID {
+	var out []supernet.LayerID
+	for b := 0; b < 6; b++ {
+		if m&(1<<b) != 0 {
+			out = append(out, supernet.LayerID(b))
+		}
+	}
+	return out
+}
+
+// FuzzSchedulerAdmission drives a Scheduler through a full admit/retire
+// lifecycle and checks the two CSP admission properties on every step:
+//
+//  1. Safety — no forward is admitted while an earlier unfinished subnet
+//     shares one of its layers (checked directly on the bitmasks, and
+//     differentially against the paper-literal ReferenceSchedule).
+//  2. Liveness — on a fault-free stream the workload always drains: a
+//     Schedule scan that admits nothing while nothing is in flight
+//     would be a permanent stall.
+func FuzzSchedulerAdmission(f *testing.F) {
+	f.Add([]byte{4, 0x03, 0x03, 0x0c, 0x30})             // two colliding pairs
+	f.Add([]byte{8, 0x3f, 0x3f, 0x3f, 0x3f, 0x3f, 0x3f}) // total collision chain
+	f.Add([]byte{3, 0x01, 0x02, 0x04, 0xff, 0x00, 0xaa}) // disjoint + retire noise
+	f.Add([]byte{12})                                    // defaulted masks
+	f.Fuzz(func(t *testing.T, data []byte) {
+		masks, policy := fuzzWorkload(data)
+		if masks == nil {
+			t.Skip()
+		}
+		n := len(masks)
+		s := New(0)
+		for seq, m := range masks {
+			ids := maskLayers(m)
+			if err := s.AddSubnet(SubnetInfo{Seq: seq, AllLayers: ids, StageLayers: ids}); err != nil {
+				t.Fatalf("AddSubnet(%d): %v", seq, err)
+			}
+		}
+
+		queue := make([]int, n)
+		for i := range queue {
+			queue[i] = i
+		}
+		var inflight []int // admitted forwards whose backward has not retired
+		retired := make([]bool, n)
+		pi := 0
+		nextPolicy := func() byte {
+			if len(policy) == 0 {
+				return 0
+			}
+			b := policy[pi%len(policy)]
+			pi++
+			return b
+		}
+		retire := func(k int) { // retire inflight[k]
+			seq := inflight[k]
+			inflight = append(inflight[:k], inflight[k+1:]...)
+			s.MarkWritten(seq, maskLayers(masks[seq]))
+			s.MarkFinished(seq)
+			retired[seq] = true
+		}
+
+		for steps := 0; len(queue) > 0 || len(inflight) > 0; steps++ {
+			if steps > 16*n+16 {
+				t.Fatalf("no progress after %d steps: queue=%v inflight=%v", steps, queue, inflight)
+			}
+			fin, fr, subs := s.Snapshot()
+			qi, qv := s.Schedule(queue)
+			ri, rv := ReferenceSchedule(queue, fin, fr, subs)
+			if qi != ri || qv != rv {
+				t.Fatalf("indexed Schedule (%d,%d) != reference (%d,%d); queue=%v", qi, qv, ri, rv, queue)
+			}
+			if qi >= 0 {
+				// Safety: recompute the causal check from first principles.
+				for w := 0; w < qv; w++ {
+					if !retired[w] && masks[w]&masks[qv] != 0 {
+						t.Fatalf("admitted subnet %d while unfinished subnet %d shares layers %#x",
+							qv, w, masks[w]&masks[qv])
+					}
+				}
+				queue = append(queue[:qi], queue[qi+1:]...)
+				inflight = append(inflight, qv)
+				// Retire policy from the fuzz bytes: any in-flight subnet may
+				// retire, in any order — out-of-order backwards are legal.
+				if p := nextPolicy(); len(inflight) > 0 && p&1 == 1 {
+					retire(int(p>>1) % len(inflight))
+				}
+				continue
+			}
+			// Nothing admissible. Liveness demands something is in flight.
+			if len(inflight) == 0 {
+				t.Fatalf("permanent stall: queue=%v with nothing in flight", queue)
+			}
+			retire(int(nextPolicy()>>1) % len(inflight))
+		}
+		if got := s.Frontier(); got != n {
+			t.Fatalf("drained workload left frontier at %d, want %d", got, n)
+		}
+		if left := s.FinishedSeqs(); len(left) != 0 {
+			t.Fatalf("drained workload left finished gaps %v", left)
+		}
+	})
+}

@@ -309,6 +309,19 @@ func (s *Scheduler) Snapshot() (finished map[int]bool, frontier int, subnets map
 	return f, s.frontier, subs
 }
 
+// FinishedSeqs returns the sequence IDs at or above the frontier whose
+// backward has completed out of order, ascending — the frontier-gap set
+// a consistency cut records alongside the cursor. Seqs below the
+// frontier are already folded into it and are not reported.
+func (s *Scheduler) FinishedSeqs() []int {
+	out := make([]int, 0, len(s.finished))
+	for seq := range s.finished {
+		out = append(out, seq)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // ActiveSeqs returns the registered, non-eliminated sequence IDs in
 // ascending order (diagnostics).
 func (s *Scheduler) ActiveSeqs() []int {

@@ -43,9 +43,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"naspipe/internal/csp"
+	"naspipe/internal/fault"
 	"naspipe/internal/metrics"
 	"naspipe/internal/prefetch"
 	"naspipe/internal/rng"
@@ -79,12 +81,20 @@ type ccBwd struct {
 // and with neighbouring stages; all other cross-stage communication goes
 // through the channels.
 type ccStage struct {
-	k     int
+	k    int
+	base int // global seq of local subnet 0 (Config.SeqBase)
+
 	sched *csp.Scheduler
 
 	fwdIn chan int    // activation arrivals from stage k-1 (nil at stage 0)
 	bwdIn chan ccBwd  // gradient arrivals from stage k+1 (nil at stage D-1)
 	notes chan ccNote // write/finish notifications from other stages
+
+	// seenFwd/seenBwd dedup duplicated fault-plane deliveries (nil when
+	// fault injection is off; with it on, the injector bounds deliveries
+	// per message at two).
+	seenFwd map[int]bool
+	seenBwd map[int]bool
 
 	// Memory-context plane (nil/empty when ConcurrentMem is disabled).
 	cache     *prefetch.Cache
@@ -110,7 +120,8 @@ type ccStage struct {
 	lastDelayWriter int
 }
 
-// telTask emits one task-scoped event at wall-clock now.
+// telTask emits one task-scoped event at wall-clock now. seq is the
+// stage-local sequence; the event carries the global one.
 func (s *ccStage) telTask(op telemetry.Op, ph telemetry.Phase, seq int, kind int8) {
 	if s.tel == nil {
 		return
@@ -118,7 +129,7 @@ func (s *ccStage) telTask(op telemetry.Op, ph telemetry.Phase, seq int, kind int
 	s.tel.Emit(telemetry.Event{
 		Op: op, Phase: ph,
 		Stage: int32(s.k), Worker: telemetry.WorkerStage,
-		Subnet: int32(seq), Kind: kind,
+		Subnet: int32(s.base + seq), Kind: kind,
 	})
 }
 
@@ -131,8 +142,20 @@ func (s *ccStage) telFlow(op telemetry.Op, ph telemetry.Phase, seq int, kind int
 	s.tel.Emit(telemetry.Event{
 		Op: op, Phase: ph,
 		Stage: int32(s.k), Worker: telemetry.WorkerStage,
-		Subnet: int32(seq), Kind: kind,
-		Arg: telemetry.FlowID(kind, int32(seq), int32(from)),
+		Subnet: int32(s.base + seq), Kind: kind,
+		Arg: telemetry.FlowID(kind, int32(s.base+seq), int32(from)),
+	})
+}
+
+// telFault emits one fault-plane event; gseq is already global.
+func (s *ccStage) telFault(op telemetry.Op, gseq int, kind int8, arg int64) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.Emit(telemetry.Event{
+		Op: op, Phase: telemetry.PhaseInstant,
+		Stage: int32(s.k), Worker: telemetry.WorkerStage,
+		Subnet: int32(gseq), Kind: kind, Arg: arg,
 	})
 }
 
@@ -142,6 +165,7 @@ type ccRun struct {
 	cfg    Config
 	w      *World
 	stages []*ccStage
+	base   int // Config.SeqBase
 
 	mu  sync.Mutex
 	obs *trace.Trace // raw interleaving; nil unless RecordTrace
@@ -149,6 +173,22 @@ type ccRun struct {
 	// tel is Config.Telemetry, or a private bus when RecordTrace needs
 	// Result.Spans without one; nil = telemetry disabled.
 	tel *telemetry.Bus
+
+	// Fault plane (nil/zero when Config.Faults is disabled).
+	inj *fault.Injector
+	// crashed aborts every stage goroutine once an injected crash (or a
+	// checkpoint-recorder failure) fires; crashOnce/crashErr capture the
+	// first crash, the one the run reports.
+	crashed   atomic.Bool
+	crashOnce sync.Once
+	crashErr  *fault.CrashError
+
+	// Checkpoint plane: rec receives consistency cuts as stage 0's
+	// backward frontier advances. lastCut/recErr are touched only by the
+	// stage-0 goroutine; RunConcurrent reads them after wg.Wait.
+	rec     fault.Recorder
+	lastCut int
+	recErr  error
 }
 
 // ccParkPoll bounds how long a stage goroutine parks before rescanning its
@@ -185,11 +225,20 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	if mem.CacheFactor < 0 || mem.FetchMsScale < 0 {
 		return Result{}, fmt.Errorf("engine: negative ConcurrentMem parameters: %+v", mem)
 	}
+	if cfg.SeqBase < 0 {
+		return Result{}, fmt.Errorf("engine: negative SeqBase %d", cfg.SeqBase)
+	}
 	w, err := NewWorld(cfg, PartitionBalanced)
 	if err != nil {
 		return Result{}, err
 	}
-	c := &ccRun{cfg: cfg, w: w}
+	c := &ccRun{cfg: cfg, w: w, base: cfg.SeqBase, rec: cfg.Checkpoint}
+	if cfg.Faults.Enabled() {
+		c.inj, err = fault.NewInjector(*cfg.Faults, cfg.FaultIncarnation)
+		if err != nil {
+			return Result{}, fmt.Errorf("engine: %w", err)
+		}
+	}
 	if cfg.RecordTrace {
 		c.obs = &trace.Trace{}
 	}
@@ -201,20 +250,33 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		tel = telemetry.NewBus(32*n*w.D + 4096)
 	}
 	c.tel = tel
+	// Under fault injection a message may be delivered twice (the
+	// injector duplicates only on attempt 0), so the arrival buffers are
+	// doubled: sends stay non-blocking even after a crash empties the
+	// receiving side.
+	arrivalCap := n
+	if c.inj != nil {
+		arrivalCap = 2 * n
+	}
 	c.stages = make([]*ccStage, w.D)
 	for k := 0; k < w.D; k++ {
 		s := &ccStage{
 			k:     k,
+			base:  c.base,
 			sched: csp.New(k),
 			notes: make(chan ccNote, (w.D+1)*n),
 			cont:  metrics.StageContention{Stage: k},
 			tel:   tel,
 		}
+		if c.inj != nil {
+			s.seenFwd = make(map[int]bool, n)
+			s.seenBwd = make(map[int]bool, n)
+		}
 		if k > 0 {
-			s.fwdIn = make(chan int, n)
+			s.fwdIn = make(chan int, arrivalCap)
 		}
 		if k < w.D-1 {
-			s.bwdIn = make(chan ccBwd, n)
+			s.bwdIn = make(chan ccBwd, arrivalCap)
 		}
 		for i := range w.Subnets {
 			if err := s.sched.AddSubnet(csp.SubnetInfo{
@@ -278,6 +340,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	res := Result{
 		Policy: "NASPipe-CC", Space: cfg.Space.Name, D: w.D,
 		SupernetBytes: w.Net.TotalParamBytes(),
+		BaseSeq:       c.base,
 	}
 	res.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
 	res.Completed = c.stages[0].bwdDone
@@ -303,6 +366,17 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return res, err
+	}
+	if c.recErr != nil {
+		return res, fmt.Errorf("engine: checkpoint recorder: %w", c.recErr)
+	}
+	if c.crashErr != nil {
+		// An injected crash aborts the whole run, like the process death
+		// it models. The partial result (Deadlock set, the committed
+		// prefix in the recorder) returns with the typed error so callers
+		// can bump the incarnation and resume; the partial trace is not
+		// checked against the full-run reference.
+		return res, c.crashErr
 	}
 	if res.Deadlock {
 		return res, fmt.Errorf("engine: concurrent run stalled at %d/%d subnets", res.Completed, n)
@@ -371,8 +445,18 @@ func (c *ccRun) prefetchLoop(s *ccStage, stop <-chan struct{}) {
 	}
 }
 
-// applyFetch prefetches every layer of subnet seq's partition on the stage.
+// applyFetch prefetches every layer of subnet seq's partition on the
+// stage. An injected prefetch-copy failure abandons the whole fetch and
+// counts it as a dropped prefetch: the task's later Acquire misses and
+// fetches synchronously — a stall, never a hang. The decision is keyed
+// by (stage, global seq), so every requester of the same fetch fails
+// consistently.
 func (c *ccRun) applyFetch(s *ccStage, seq int) {
+	if c.inj != nil && c.inj.FetchFails(s.k, s.base+seq) {
+		s.telFault(telemetry.OpFaultFetch, s.base+seq, telemetry.KindNone, 0)
+		s.cache.NoteDropped()
+		return
+	}
 	for _, id := range c.w.stageIDs[seq][s.k] {
 		s.cache.Prefetch(id, c.w.Net.Meta[id].ParamBytes)
 	}
@@ -414,7 +498,7 @@ func (c *ccRun) stealFetches(s *ccStage) {
 func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
 	n := len(c.w.Subnets)
 	for s.fwdDone < n || s.bwdDone < n {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || c.crashed.Load() {
 			return
 		}
 		c.drain(s)
@@ -486,8 +570,15 @@ func (c *ccRun) drain(s *ccStage) {
 }
 
 // acceptFwd queues an activation arrival and prefetches its context (the
-// simulator's prefetch-on-arrival).
+// simulator's prefetch-on-arrival). Under fault injection, duplicated
+// deliveries are dropped here before any side effect.
 func (s *ccStage) acceptFwd(seq int) {
+	if s.seenFwd != nil {
+		if s.seenFwd[seq] {
+			return
+		}
+		s.seenFwd[seq] = true
+	}
 	s.fwdQ = append(s.fwdQ, seq)
 	s.telFlow(telemetry.OpTransferRecv, telemetry.PhaseFlowEnd, seq, telemetry.KindForward, s.k-1)
 	s.telTask(telemetry.OpTaskAdmit, telemetry.PhaseInstant, seq, telemetry.KindForward)
@@ -498,6 +589,12 @@ func (s *ccStage) acceptFwd(seq int) {
 // backward records for the predictor, and prefetches the backward's
 // context.
 func (s *ccStage) acceptBwd(b ccBwd) {
+	if s.seenBwd != nil {
+		if s.seenBwd[b.seq] {
+			return
+		}
+		s.seenBwd[b.seq] = true
+	}
 	s.bwdReady = append(s.bwdReady, b.seq)
 	s.telFlow(telemetry.OpTransferRecv, telemetry.PhaseFlowEnd, b.seq, telemetry.KindBackward, s.k+1)
 	s.telTask(telemetry.OpTaskAdmit, telemetry.PhaseInstant, b.seq, telemetry.KindBackward)
@@ -553,6 +650,93 @@ func (c *ccRun) bytesOf(id supernet.LayerID) int64 {
 	return c.w.Net.Meta[id].ParamBytes
 }
 
+// maybeCrash consults the fault plane at a task boundary — after the
+// task is selected, before any of its side effects (trace emission,
+// scheduler state, cache locks) — and, when the injector says so, kills
+// the run: the crash event is recorded, the typed error stashed, and
+// every stage goroutine unwinds at its next loop check, modeling a
+// process death whose durable state is exactly the recorder's last cut.
+func (c *ccRun) maybeCrash(s *ccStage, seq int, kind int8) bool {
+	if c.inj == nil || !c.inj.CrashAt(s.k, s.base+seq, kind) {
+		return false
+	}
+	s.telFault(telemetry.OpFaultCrash, s.base+seq, kind, int64(c.inj.Incarnation()))
+	c.crashOnce.Do(func() {
+		c.crashErr = &fault.CrashError{
+			Stage: s.k, Seq: s.base + seq, Kind: kind,
+			Incarnation: c.inj.Incarnation(),
+		}
+	})
+	c.crashed.Store(true)
+	return true
+}
+
+// transport delivers one cross-stage message through the fault plane.
+// deliver must be a non-blocking buffered-channel send (the arrival
+// buffers are sized for every possible delivery) and is invoked once,
+// twice (Duplicate), or after a wait (Delay). A Drop burns one bounded
+// retry with exponential backoff; when retries are exhausted the message
+// escalates to the reliable path and delivers — faults slow the
+// pipeline, they never wedge it.
+func (c *ccRun) transport(s *ccStage, kind int8, seq int, deliver func()) {
+	if c.inj == nil {
+		deliver()
+		return
+	}
+	gseq := s.base + seq
+	for attempt := 0; ; attempt++ {
+		v := c.inj.Message(kind, s.k, gseq, attempt)
+		if v.Action == fault.Drop && attempt >= c.inj.MaxRetries() {
+			v.Action = fault.Deliver
+		}
+		switch v.Action {
+		case fault.Drop:
+			s.telFault(telemetry.OpFaultDrop, gseq, kind, int64(attempt))
+			time.Sleep(c.inj.Backoff(attempt))
+			continue
+		case fault.Delay:
+			s.telFault(telemetry.OpFaultDelay, gseq, kind, int64(v.Wait))
+			time.Sleep(v.Wait)
+			deliver()
+		case fault.Duplicate:
+			s.telFault(telemetry.OpFaultDup, gseq, kind, 0)
+			deliver()
+			deliver()
+		default:
+			deliver()
+		}
+		return
+	}
+}
+
+// snapshotCut hands the stage-0 backward frontier to the checkpoint
+// recorder when it advanced: subnets below the frontier are fully
+// retired — their WRITEs are in the committed sequential prefix — so
+// (frontier, finished-gaps) is a crash-consistent cut. Called only by
+// the stage-0 goroutine, after the frontier-advancing self-apply.
+func (c *ccRun) snapshotCut(s *ccStage) {
+	if c.rec == nil {
+		return
+	}
+	f := s.sched.Frontier()
+	if f <= c.lastCut && c.lastCut != 0 {
+		return
+	}
+	c.lastCut = f
+	cut := fault.Cut{Cursor: c.base + f}
+	for _, seq := range s.sched.FinishedSeqs() {
+		cut.Finished = append(cut.Finished, c.base+seq)
+	}
+	if err := c.rec.Snapshot(cut); err != nil {
+		if c.recErr == nil {
+			c.recErr = err
+		}
+		c.crashed.Store(true)
+		return
+	}
+	s.telFault(telemetry.OpCheckpoint, c.base+f, telemetry.KindNone, int64(c.base+f))
+}
+
 // runBackward executes the lowest-sequence ready backward, emits its
 // WRITEs, and broadcasts the dependency release. Returns false if no
 // backward is ready.
@@ -567,13 +751,16 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 		}
 	}
 	seq := s.bwdReady[best]
+	if c.maybeCrash(s, seq, telemetry.KindBackward) {
+		return true
+	}
 	s.bwdReady = append(s.bwdReady[:best], s.bwdReady[best+1:]...)
 	ids := c.w.stageIDs[seq][s.k]
 	if s.tel != nil {
 		s.tel.Emit(telemetry.Event{
 			Op: telemetry.OpSchedAdmit, Phase: telemetry.PhaseInstant,
 			Stage: int32(s.k), Worker: telemetry.WorkerStage,
-			Subnet: int32(seq), Kind: telemetry.KindBackward, Arg: int64(best),
+			Subnet: int32(s.base + seq), Kind: telemetry.KindBackward, Arg: int64(best),
 		})
 	}
 	s.telTask(telemetry.OpTaskStart, telemetry.PhaseBegin, seq, telemetry.KindBackward)
@@ -606,6 +793,9 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	finished := s.k == 0
 	s.apply(ccNote{seq: seq, ids: ids, finished: finished})
 	s.cont.Notes-- // self-application is not cross-stage traffic
+	if finished {
+		c.snapshotCut(s)
+	}
 	for _, t := range c.stages {
 		if t != s {
 			t.sendNote(ccNote{seq: seq, ids: ids, finished: finished})
@@ -613,7 +803,10 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	}
 	if s.k > 0 {
 		s.telFlow(telemetry.OpTransferSend, telemetry.PhaseFlowBegin, seq, telemetry.KindBackward, s.k)
-		c.stages[s.k-1].bwdIn <- ccBwd{seq: seq, carried: s.pendingCarry()}
+		grad := ccBwd{seq: seq, carried: s.pendingCarry()}
+		c.transport(s, telemetry.KindBackward, seq, func() {
+			c.stages[s.k-1].bwdIn <- grad
+		})
 	}
 	if s.cache != nil {
 		s.cache.Release(ids)
@@ -667,15 +860,22 @@ func (c *ccRun) runForward(s *ccStage) bool {
 			writer := s.sched.BlockingWriter(head)
 			if head != s.lastDelaySeq || writer != s.lastDelayWriter {
 				s.lastDelaySeq, s.lastDelayWriter = head, writer
+				gwriter := int64(writer)
+				if writer >= 0 {
+					gwriter = int64(s.base + writer)
+				}
 				s.tel.Emit(telemetry.Event{
 					Op: telemetry.OpSchedDelay, Phase: telemetry.PhaseInstant,
 					Stage: int32(s.k), Worker: telemetry.WorkerStage,
-					Subnet: int32(head), Kind: telemetry.KindForward,
-					Arg: int64(writer),
+					Subnet: int32(s.base + head), Kind: telemetry.KindForward,
+					Arg: gwriter,
 				})
 			}
 		}
 		return false
+	}
+	if c.maybeCrash(s, seq, telemetry.KindForward) {
+		return true
 	}
 	s.lastDelaySeq, s.lastDelayWriter = -1, -1
 	s.fwdQ = append(s.fwdQ[:qidx], s.fwdQ[qidx+1:]...)
@@ -684,7 +884,7 @@ func (c *ccRun) runForward(s *ccStage) bool {
 		s.tel.Emit(telemetry.Event{
 			Op: telemetry.OpSchedAdmit, Phase: telemetry.PhaseInstant,
 			Stage: int32(s.k), Worker: telemetry.WorkerStage,
-			Subnet: int32(seq), Kind: telemetry.KindForward, Arg: int64(qidx),
+			Subnet: int32(s.base + seq), Kind: telemetry.KindForward, Arg: int64(qidx),
 		})
 	}
 	s.telTask(telemetry.OpTaskStart, telemetry.PhaseBegin, seq, telemetry.KindForward)
@@ -715,7 +915,9 @@ func (c *ccRun) runForward(s *ccStage) bool {
 	}
 	s.telTask(telemetry.OpTaskComplete, telemetry.PhaseEnd, seq, telemetry.KindForward)
 	if s.k < c.w.D-1 {
-		c.stages[s.k+1].fwdIn <- seq
+		c.transport(s, telemetry.KindForward, seq, func() {
+			c.stages[s.k+1].fwdIn <- seq
+		})
 	} else {
 		// Loss computed: the backward is immediately ready locally.
 		s.bwdReady = append(s.bwdReady, seq)
@@ -733,7 +935,7 @@ func (c *ccRun) runForward(s *ccStage) bool {
 // stage interleavings stay adversarial rather than lockstep.
 func (c *ccRun) compute(seq, stage int, kind task.Kind) {
 	if c.cfg.TimingJitter > 0 {
-		r := rng.Labeled(c.cfg.JitterSeed, fmt.Sprintf("ccjitter/%d/%d/%d", seq, stage, int(kind)))
+		r := rng.Labeled(c.cfg.JitterSeed, fmt.Sprintf("ccjitter/%d/%d/%d", c.base+seq, stage, int(kind)))
 		d := time.Duration(c.cfg.TimingJitter * r.Float64() * float64(50*time.Microsecond))
 		if d > 0 {
 			time.Sleep(d)
@@ -751,7 +953,7 @@ func (c *ccRun) emit(ids []supernet.LayerID, seq, stage int, kind trace.AccessKi
 	}
 	c.mu.Lock()
 	for _, id := range ids {
-		c.obs.Append(0, id, seq, stage, kind)
+		c.obs.Append(0, id, c.base+seq, stage, kind)
 	}
 	c.mu.Unlock()
 }
@@ -767,12 +969,12 @@ func CanonicalTrace(w *World) *trace.Trace {
 	for seq := range w.Subnets {
 		for k := 0; k < w.D; k++ {
 			for _, id := range w.stageIDs[seq][k] {
-				tr.Append(0, id, seq, k, trace.Read)
+				tr.Append(0, id, w.SeqBase+seq, k, trace.Read)
 			}
 		}
 		for k := w.D - 1; k >= 0; k-- {
 			for _, id := range w.stageIDs[seq][k] {
-				tr.Append(0, id, seq, k, trace.Write)
+				tr.Append(0, id, w.SeqBase+seq, k, trace.Write)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"naspipe/internal/cluster"
+	"naspipe/internal/fault"
 	"naspipe/internal/memctx"
 	"naspipe/internal/metrics"
 	"naspipe/internal/partition"
@@ -68,6 +69,33 @@ type Config struct {
 	// bus epoch, so span-derived output (Result.Spans, timelines) wants a
 	// bus constructed just before the run.
 	Telemetry *telemetry.Bus
+
+	// Faults, when non-nil and enabled, activates the deterministic
+	// fault-injection plane on the concurrent executor: seed-driven stage
+	// crashes at task boundaries, dropped/delayed/duplicated cross-stage
+	// messages with bounded retry, and prefetch-copy failures surfaced as
+	// cache misses. The simulated plane rejects it — its discrete-event
+	// clock has no goroutines to crash.
+	Faults *fault.Plan
+
+	// FaultIncarnation is the restart epoch fault decisions are keyed by
+	// (0 for a fresh run; resumes pass the checkpoint's). Injected
+	// crashes re-roll per incarnation, so recovery terminates.
+	FaultIncarnation int
+
+	// Checkpoint, when non-nil, receives a consistency cut every time
+	// stage 0's backward frontier advances: the global cursor (subnets
+	// [0, cursor) fully retired) plus out-of-order finished seqs above
+	// it. Concurrent plane only.
+	Checkpoint fault.Recorder
+
+	// SeqBase offsets every externally visible sequence ID (trace,
+	// telemetry, fault decisions, checkpoint cuts) by a resume cursor:
+	// the engine executes Subnets with local seqs 0..len-1 while the
+	// outside world sees BaseSeq..BaseSeq+len-1. Used by Runner.Resume to
+	// run the uncommitted suffix of an interrupted stream. Concurrent
+	// plane only.
+	SeqBase int
 }
 
 // MemPlaneConfig is the concurrent plane's memory-context configuration.
@@ -91,6 +119,19 @@ type MemPlaneConfig struct {
 
 // Enabled reports whether the concurrent memory plane is active.
 func (m MemPlaneConfig) Enabled() bool { return m.CacheFactor > 0 }
+
+// ResolveSubnets returns the full explore stream this config denotes:
+// the injected Subnets when present, otherwise the SPOS sample the
+// engine would draw. Checkpoint/resume callers use it to reason about
+// the whole stream (prefix checksums, suffix renumbering) outside the
+// engine.
+func (c Config) ResolveSubnets() []supernet.Subnet {
+	c = c.withDefaults()
+	if len(c.Subnets) > 0 {
+		return c.Subnets
+	}
+	return supernet.Sample(c.Space, c.Seed, c.NumSubnets)
+}
 
 func (c Config) withDefaults() Config {
 	if len(c.Subnets) > 0 {
@@ -170,6 +211,11 @@ type Result struct {
 	// cache is disabled or on the simulated plane (which reports the
 	// aggregate fields above instead).
 	CacheStats []metrics.StageCache
+
+	// BaseSeq echoes Config.SeqBase: the global sequence ID of the run's
+	// first subnet. Trace and telemetry seqs start here; Completed counts
+	// subnets of this run only.
+	BaseSeq int
 }
 
 // TaskSpan is one task's timeline extent on its stage. Start is the
@@ -319,6 +365,12 @@ func RunContext(ctx context.Context, cfg Config, policy Policy) (Result, error) 
 	if err := cfg.Spec.Validate(); err != nil {
 		return Result{}, fmt.Errorf("engine: invalid cluster spec: %w", err)
 	}
+	if cfg.Faults.Enabled() {
+		return Result{}, fmt.Errorf("engine: fault injection targets the concurrent plane; the simulated clock has no goroutines to crash")
+	}
+	if cfg.Checkpoint != nil || cfg.SeqBase != 0 {
+		return Result{}, fmt.Errorf("engine: checkpoint/resume (Checkpoint, SeqBase) is a concurrent-plane feature")
+	}
 	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits(), tel: cfg.Telemetry}
 	if err := e.buildWorld(); err != nil {
 		return Result{}, err
@@ -381,6 +433,7 @@ func NewWorld(cfg Config, mode PartitionMode) (*World, error) {
 	w := &World{
 		Space: cfg.Space, Net: net, Spec: cfg.Spec, D: d,
 		Subnets: subs, Home: home, Parts: parts,
+		SeqBase: cfg.SeqBase,
 	}
 	w.BuildIndexes()
 	return w, nil

@@ -77,6 +77,12 @@ type World struct {
 	Home  partition.Partition
 	Parts []partition.Partition
 
+	// SeqBase is the global sequence ID of Subnets[0] (Config.SeqBase):
+	// nonzero when this world is the uncommitted suffix of a resumed
+	// stream. Externally visible seqs (canonical trace, telemetry) are
+	// local index + SeqBase.
+	SeqBase int
+
 	// stageIDs[i][k] are subnet i's layer IDs on stage k under Parts[i];
 	// allIDs[i] is the full layer set.
 	stageIDs [][][]supernet.LayerID

@@ -1,0 +1,189 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"naspipe/internal/engine"
+	"naspipe/internal/fault"
+	"naspipe/internal/supernet"
+	"naspipe/internal/train"
+)
+
+// schedSample is one point of the schedule-fuzzing space: pipeline
+// depth × scheduler parallelism × timing jitter × message/fetch fault
+// rates. The CSP property under test is Definition 1: none of these may
+// change the per-layer access order, so every sample's canonical trace
+// must replay to the sequential reference checksum bitwise.
+type schedSample struct {
+	GPUs       int
+	MaxProcs   int // runtime.GOMAXPROCS during the run; 0 = leave as-is
+	Jitter     float64
+	JitterSeed uint64
+	Drop       float64
+	Delay      float64
+	Dup        float64
+	FetchFail  float64
+	FaultSeed  uint64
+	Cache      float64 // per-stage cache factor; 0 = no cache
+}
+
+func (s schedSample) String() string {
+	return fmt.Sprintf("gpus=%d procs=%d jitter=%.2f/%d drop=%.2f delay=%.2f dup=%.2f fetchfail=%.2f fseed=%d cache=%.1f",
+		s.GPUs, s.MaxProcs, s.Jitter, s.JitterSeed, s.Drop, s.Delay, s.Dup, s.FetchFail, s.FaultSeed, s.Cache)
+}
+
+// pinnedSamples promotes the original {1,2,4,8}-GPU trace-equivalence
+// matrix into the harness: fault-free, jitter-on, paper cache.
+func pinnedSamples() []schedSample {
+	out := make([]schedSample, 0, 4)
+	for _, d := range []int{1, 2, 4, 8} {
+		out = append(out, schedSample{GPUs: d, Jitter: 0.3, JitterSeed: 11, Cache: 3})
+	}
+	return out
+}
+
+// randomSample draws one seeded point; every field is independently
+// optional so shrinking can zero them one at a time.
+func randomSample(r *rand.Rand) schedSample {
+	s := schedSample{
+		GPUs:     []int{1, 2, 4, 8}[r.Intn(4)],
+		MaxProcs: []int{0, 1, 2, 4, 8}[r.Intn(5)],
+	}
+	if r.Intn(2) == 0 {
+		s.Jitter = 0.1 + 0.4*r.Float64()
+		s.JitterSeed = uint64(r.Intn(100))
+	}
+	if r.Intn(2) == 0 {
+		s.Drop = 0.2 * r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		s.Delay = 0.2 * r.Float64()
+	}
+	if r.Intn(2) == 0 {
+		s.Dup = 0.2 * r.Float64()
+	}
+	if r.Intn(3) == 0 {
+		s.FetchFail = r.Float64()
+	}
+	s.FaultSeed = uint64(r.Intn(1000))
+	if r.Intn(2) == 0 {
+		s.Cache = []float64{1, 2, 3}[r.Intn(3)]
+	}
+	return s
+}
+
+// runSample executes one sample and returns an error describing any
+// property violation: run failure, incomplete stream, or a canonical
+// trace that does not replay to the sequential reference checksum.
+func runSample(s schedSample, tc train.Config, subs []supernet.Subnet, want uint64) error {
+	if s.MaxProcs > 0 {
+		old := runtime.GOMAXPROCS(s.MaxProcs)
+		defer runtime.GOMAXPROCS(old)
+	}
+	cfg := ccCfg(s.GPUs, false)
+	cfg.TimingJitter = s.Jitter
+	cfg.JitterSeed = s.JitterSeed
+	if s.Cache > 0 {
+		cfg.ConcurrentMem = engine.MemPlaneConfig{CacheFactor: s.Cache}
+	}
+	if s.Drop > 0 || s.Delay > 0 || s.Dup > 0 || s.FetchFail > 0 {
+		cfg.Faults = &fault.Plan{
+			Seed: s.FaultSeed, DropRate: s.Drop, DelayRate: s.Delay,
+			DupRate: s.Dup, FetchFailRate: s.FetchFail,
+		}
+	}
+	res, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if res.Completed != cfg.NumSubnets {
+		return fmt.Errorf("completed %d/%d", res.Completed, cfg.NumSubnets)
+	}
+	got, err := train.Replay(tc, subs, res.Trace)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if got.Checksum != want {
+		return fmt.Errorf("trace replays to %016x, sequential reference %016x", got.Checksum, want)
+	}
+	return nil
+}
+
+// shrink minimizes a failing sample by repeatedly applying the first
+// single-field simplification that still fails, so the report names the
+// smallest reproducer rather than the random point that found it.
+func shrink(s schedSample, fails func(schedSample) bool) schedSample {
+	simplify := []func(*schedSample) bool{
+		func(c *schedSample) bool { ch := c.MaxProcs != 0; c.MaxProcs = 0; return ch },
+		func(c *schedSample) bool { ch := c.FetchFail != 0; c.FetchFail = 0; return ch },
+		func(c *schedSample) bool { ch := c.Dup != 0; c.Dup = 0; return ch },
+		func(c *schedSample) bool { ch := c.Delay != 0; c.Delay = 0; return ch },
+		func(c *schedSample) bool { ch := c.Drop != 0; c.Drop = 0; return ch },
+		func(c *schedSample) bool { ch := c.Jitter != 0; c.Jitter, c.JitterSeed = 0, 0; return ch },
+		func(c *schedSample) bool { ch := c.Cache != 0; c.Cache = 0; return ch },
+		func(c *schedSample) bool { ch := c.GPUs > 1; c.GPUs /= 2; return ch },
+	}
+	for progress := true; progress; {
+		progress = false
+		for _, f := range simplify {
+			cand := s
+			if f(&cand) && fails(cand) {
+				s = cand
+				progress = true
+			}
+		}
+	}
+	return s
+}
+
+// TestScheduleFuzzReplaysToSequential is the property harness: pinned
+// {1,2,4,8}-GPU samples plus seeded random GOMAXPROCS × jitter × fault
+// schedules, every one required to replay bitwise to the sequential
+// reference. Override the sample seed with NASPIPE_SCHEDFUZZ_SEED to
+// explore a different slice of the space; failures are shrunk to a
+// minimal single-field reproducer before reporting.
+func TestScheduleFuzzReplaysToSequential(t *testing.T) {
+	seed := int64(1)
+	if env := os.Getenv("NASPIPE_SCHEDFUZZ_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("NASPIPE_SCHEDFUZZ_SEED: %v", err)
+		}
+		seed = v
+	}
+	nRandom := 10
+	if testing.Short() {
+		nRandom = 3
+	}
+	r := rand.New(rand.NewSource(seed))
+	samples := pinnedSamples()
+	for i := 0; i < nRandom; i++ {
+		samples = append(samples, randomSample(r))
+	}
+
+	cfg := ccCfg(2, false)
+	tc := faultTrainCfg(cfg)
+	subs := supernet.Sample(cfg.Space, cfg.Seed, cfg.NumSubnets)
+	want := train.Sequential(tc, subs).Checksum
+
+	for i, s := range samples {
+		s := s
+		t.Run(fmt.Sprintf("sample=%d", i), func(t *testing.T) {
+			err := runSample(s, tc, subs, want)
+			if err == nil {
+				return
+			}
+			min := shrink(s, func(c schedSample) bool {
+				return runSample(c, tc, subs, want) != nil
+			})
+			t.Fatalf("sample {%v} violates the CSP property: %v\nminimal reproducer: {%v} (seed %d)",
+				s, err, min, seed)
+		})
+	}
+}

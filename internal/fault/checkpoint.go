@@ -1,0 +1,287 @@
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpoint is the crash-consistent resume state of a concurrent run.
+//
+// The durability model leans on CSP (Definition 1): weights materialize
+// only through the per-layer sequential WRITE order, so the committed
+// prefix [0, Cursor) at stage 0 — subnets whose backward has fully
+// retired — is exactly the state a sequential run would have after
+// Cursor steps. A crash discards the in-flight suffix; resume replays
+// from Cursor and lands on bitwise-identical final weights.
+//
+// Identity fields (Space..JitterSeed) fingerprint the run so a
+// checkpoint cannot be resumed against a different workload.
+type Checkpoint struct {
+	Space       string // search-space name
+	Seed        uint64 // exploration seed (subnet stream)
+	GPUs        int    // pipeline depth
+	NumSubnets  int    // total explore-stream length
+	Cursor      int    // committed prefix: subnets [0, Cursor) fully retired
+	Incarnation int    // restart epoch; bumped after every injected crash
+	// WeightChecksum is the FNV-64 checksum of the supernet weights at
+	// Cursor (train.Checksum of the sequential prefix). 0 = not recorded
+	// (no training config attached); resume then skips verification.
+	WeightChecksum uint64
+	FaultSeed      uint64 // fault plan seed active when the snapshot was cut
+	JitterSeed     uint64 // compute-jitter seed (part of run identity)
+	// Finished holds globally-sequenced subnets at or above Cursor whose
+	// stage-0 backward retired out of order (frontier gap); informational
+	// for the replay tool — resume re-executes them.
+	Finished []int
+}
+
+// Binary file format (all little-endian):
+//
+//	"NPCK" | version u8 | space u16-len + bytes | seed u64 | gpus u32 |
+//	numSubnets u32 | cursor u32 | incarnation u32 | weightChecksum u64 |
+//	faultSeed u64 | jitterSeed u64 | finished u32-count + u32 entries |
+//	fnv64a-of-preceding u64
+const (
+	ckptMagic   = "NPCK"
+	ckptVersion = 1
+)
+
+// Encode renders the checkpoint in the versioned binary format.
+func (c Checkpoint) Encode() []byte {
+	buf := make([]byte, 0, 64+len(c.Space)+4*len(c.Finished))
+	buf = append(buf, ckptMagic...)
+	buf = append(buf, ckptVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Space)))
+	buf = append(buf, c.Space...)
+	buf = binary.LittleEndian.AppendUint64(buf, c.Seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.GPUs))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.NumSubnets))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Cursor))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Incarnation))
+	buf = binary.LittleEndian.AppendUint64(buf, c.WeightChecksum)
+	buf = binary.LittleEndian.AppendUint64(buf, c.FaultSeed)
+	buf = binary.LittleEndian.AppendUint64(buf, c.JitterSeed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Finished)))
+	for _, s := range c.Finished {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// Decode parses and integrity-checks an encoded checkpoint.
+func Decode(buf []byte) (Checkpoint, error) {
+	var c Checkpoint
+	if len(buf) < len(ckptMagic)+1+2+8 {
+		return c, fmt.Errorf("fault: checkpoint truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:4]) != ckptMagic {
+		return c, fmt.Errorf("fault: bad checkpoint magic %q", buf[:4])
+	}
+	if v := buf[4]; v != ckptVersion {
+		return c, fmt.Errorf("fault: unsupported checkpoint version %d (want %d)", v, ckptVersion)
+	}
+	body, sum := buf[:len(buf)-8], binary.LittleEndian.Uint64(buf[len(buf)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return c, fmt.Errorf("fault: checkpoint integrity checksum mismatch (corrupt or torn write)")
+	}
+	off := 5
+	need := func(n int) error {
+		if off+n > len(body) {
+			return fmt.Errorf("fault: checkpoint truncated at offset %d", off)
+		}
+		return nil
+	}
+	if err := need(2); err != nil {
+		return c, err
+	}
+	nameLen := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if err := need(nameLen + 8 + 4*4 + 8*3 + 4); err != nil {
+		return c, err
+	}
+	c.Space = string(body[off : off+nameLen])
+	off += nameLen
+	c.Seed = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	c.GPUs = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	c.NumSubnets = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	c.Cursor = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	c.Incarnation = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	c.WeightChecksum = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	c.FaultSeed = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	c.JitterSeed = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if err := need(4 * count); err != nil {
+		return c, err
+	}
+	if count > 0 {
+		c.Finished = make([]int, count)
+		for i := range c.Finished {
+			c.Finished[i] = int(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+	}
+	if off != len(body) {
+		return c, fmt.Errorf("fault: %d trailing bytes after checkpoint", len(body)-off)
+	}
+	return c, nil
+}
+
+// Save writes the checkpoint atomically: encode to a temp file in the
+// destination directory, fsync, then rename over the target. A crash
+// mid-save leaves either the old checkpoint or the new one, never a
+// torn file (and Decode's trailing checksum catches torn media writes).
+func (c Checkpoint) Save(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(c.Encode())
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fault: checkpoint save %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint file.
+func Load(path string) (Checkpoint, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("fault: checkpoint load: %w", err)
+	}
+	return Decode(buf)
+}
+
+// Cut is one consistency point the engine offers to its Recorder: the
+// stage-0 frontier (global cursor) plus any out-of-order finished seqs
+// above it.
+type Cut struct {
+	Cursor   int
+	Finished []int
+}
+
+// Recorder receives consistency cuts from the engine as the stage-0
+// backward frontier advances. Implementations decide persistence policy
+// (throttling, destinations); Snapshot errors abort the run.
+type Recorder interface {
+	Snapshot(Cut) error
+}
+
+// FileRecorder persists cuts to a checkpoint file, throttled to every
+// Nth cursor advance (the final cut — cursor == NumSubnets — is always
+// written). An optional weight function attaches the sequential-prefix
+// weight checksum to each saved snapshot.
+type FileRecorder struct {
+	mu       sync.Mutex
+	path     string
+	ckpt     Checkpoint
+	every    int
+	weightFn func(cursor int) uint64 // nil = no weight checksums
+	saves    int
+}
+
+// NewFileRecorder builds a recorder writing to path. ident carries the
+// run identity (and, on resume, the starting cursor/incarnation); every
+// throttles persistence to one save per `every` cursor advances (<=1
+// saves every cut); weightFn, when non-nil, supplies the weight
+// checksum for a cursor and is invoked only for cuts actually saved.
+func NewFileRecorder(path string, ident Checkpoint, every int, weightFn func(int) uint64) *FileRecorder {
+	if every < 1 {
+		every = 1
+	}
+	return &FileRecorder{path: path, ckpt: ident, every: every, weightFn: weightFn}
+}
+
+// Init persists the recorder's initial state, so a crash before the
+// first cut still leaves a resumable file.
+func (r *FileRecorder) Init() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.save()
+}
+
+// Snapshot implements Recorder: it advances the checkpoint to the cut
+// and persists it if due. Cuts that do not advance the cursor are
+// ignored (the engine's frontier is monotone; a stale cut is a no-op).
+func (r *FileRecorder) Snapshot(cut Cut) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cut.Cursor < r.ckpt.Cursor {
+		return nil
+	}
+	r.ckpt.Cursor = cut.Cursor
+	r.ckpt.Finished = append([]int(nil), cut.Finished...)
+	sort.Ints(r.ckpt.Finished)
+	final := cut.Cursor >= r.ckpt.NumSubnets
+	if !final && cut.Cursor%r.every != 0 {
+		return nil
+	}
+	return r.save()
+}
+
+// Bump increments the restart incarnation and persists — called after a
+// crash so the resumed run rolls a fresh fault schedule.
+func (r *FileRecorder) Bump() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ckpt.Incarnation++
+	return r.save()
+}
+
+// Last returns the most recently persisted checkpoint state.
+func (r *FileRecorder) Last() Checkpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.ckpt
+	c.Finished = append([]int(nil), c.Finished...)
+	return c
+}
+
+// Saves reports how many times the recorder hit disk (test hook for the
+// throttle).
+func (r *FileRecorder) Saves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.saves
+}
+
+// save persists r.ckpt; callers hold r.mu.
+func (r *FileRecorder) save() error {
+	if r.weightFn != nil {
+		r.ckpt.WeightChecksum = r.weightFn(r.ckpt.Cursor)
+	}
+	if err := r.ckpt.Save(r.path); err != nil {
+		return err
+	}
+	r.saves++
+	return nil
+}

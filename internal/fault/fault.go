@@ -1,0 +1,385 @@
+// Package fault is the deterministic fault-injection plane of the
+// concurrent CSP executor, plus the crash-consistent checkpoint format
+// the engine writes so an interrupted run can resume (checkpoint.go).
+//
+// Every fault decision — whether a stage crashes at a task boundary,
+// whether a cross-stage message attempt is dropped, delayed, or
+// duplicated, whether a prefetch copy fails — is drawn from a keyed
+// rng substream (rng.Labeled) of the plan's seed, with the decision
+// site (stage, global sequence ID, kind, attempt) and the restart
+// incarnation folded into the label. Two consequences:
+//
+//  1. Reproducible chaos. A (plan, incarnation) pair yields the same
+//     fault schedule on every run, every platform, and any GOMAXPROCS;
+//     a failing fuzz sample is a seed, not a heisenbug.
+//  2. Terminating recovery. Decisions are re-keyed per incarnation (the
+//     restart epoch a checkpoint carries), so an injected crash cannot
+//     deterministically re-fire at the same site forever: every resume
+//     rolls a fresh schedule, and targeted one-shot crashes fire only
+//     in incarnation 0.
+//
+// Faults perturb timing and delivery, never the causal schedule: CSP
+// admission decisions do not consult the injector, so any run that
+// survives its fault schedule still replays to the sequential reference
+// (Definition 1) — which the schedule-fuzzing harness verifies
+// mechanically.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"naspipe/internal/rng"
+)
+
+// Task kinds, mirroring internal/telemetry without the import.
+const (
+	KindForward  int8 = 0
+	KindBackward int8 = 1
+)
+
+// TaskRef names one task boundary on the concurrent plane: a (stage,
+// global sequence ID, kind) triple. Used for targeted one-shot crashes.
+type TaskRef struct {
+	Stage int
+	Seq   int  // global sequence ID (checkpoint-base offset included)
+	Kind  int8 // KindForward or KindBackward
+}
+
+func (t TaskRef) String() string {
+	k := "F"
+	if t.Kind == KindBackward {
+		k = "B"
+	}
+	return fmt.Sprintf("%d:%d:%s", t.Stage, t.Seq, k)
+}
+
+// Plan is a deterministic, seed-driven fault schedule. The zero value
+// injects nothing; rates are per-decision probabilities in [0, 1].
+type Plan struct {
+	// Seed keys every fault decision's rng substream. Plans with equal
+	// seeds and rates produce identical schedules at equal incarnations.
+	Seed uint64
+
+	// CrashRate is the probability that a stage goroutine crashes at any
+	// given task boundary (checked once per admitted forward and once per
+	// selected backward, before the task's side effects).
+	CrashRate float64
+
+	// CrashTask, when non-nil, crashes the named task boundary exactly
+	// once — in incarnation 0 only, so the resumed run gets past it.
+	CrashTask *TaskRef
+
+	// Message faults, applied per delivery attempt of every cross-stage
+	// activation (forward) and gradient (backward) transfer. A dropped
+	// attempt is retried with exponential backoff up to MaxRetries, after
+	// which delivery escalates to the reliable path; a delayed attempt
+	// sleeps up to MaxDelay before delivering; a duplicated message is
+	// delivered twice (receivers dedup).
+	DropRate  float64
+	DelayRate float64
+	DupRate   float64
+	MaxDelay  time.Duration // 0 = default 200µs
+
+	// FetchFailRate is the probability that a subnet's prefetch copy
+	// fails on a stage: the fetch is abandoned and counted as a dropped
+	// prefetch, so the later Acquire misses and fetches synchronously —
+	// a slowdown, never a hang.
+	FetchFailRate float64
+
+	// Bounded-retry parameters for dropped messages.
+	MaxRetries  int           // 0 = default 4
+	BackoffBase time.Duration // 0 = default 50µs; doubles per retry
+	BackoffMax  time.Duration // 0 = default 2ms; backoff ceiling
+}
+
+// Default retry/delay parameters (see Plan field comments).
+const (
+	DefaultMaxDelay    = 200 * time.Microsecond
+	DefaultMaxRetries  = 4
+	DefaultBackoffBase = 50 * time.Microsecond
+	DefaultBackoffMax  = 2 * time.Millisecond
+)
+
+// Enabled reports whether the plan injects any fault at all.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.CrashRate > 0 || p.CrashTask != nil ||
+		p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 || p.FetchFailRate > 0)
+}
+
+// Validate rejects out-of-range rates and negative durations.
+func (p Plan) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"crash", p.CrashRate}, {"drop", p.DropRate}, {"delay", p.DelayRate},
+		{"dup", p.DupRate}, {"fetchfail", p.FetchFailRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if p.DropRate+p.DelayRate+p.DupRate > 1 {
+		return fmt.Errorf("fault: message rates sum to %v > 1 (drop %v + delay %v + dup %v)",
+			p.DropRate+p.DelayRate+p.DupRate, p.DropRate, p.DelayRate, p.DupRate)
+	}
+	if p.MaxDelay < 0 || p.BackoffBase < 0 || p.BackoffMax < 0 {
+		return fmt.Errorf("fault: negative duration in plan: maxdelay %v backoff %v/%v",
+			p.MaxDelay, p.BackoffBase, p.BackoffMax)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative MaxRetries %d", p.MaxRetries)
+	}
+	if t := p.CrashTask; t != nil {
+		if t.Stage < 0 || t.Seq < 0 || (t.Kind != KindForward && t.Kind != KindBackward) {
+			return fmt.Errorf("fault: malformed crash task %+v", *t)
+		}
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued retry/delay parameters.
+func (p Plan) withDefaults() Plan {
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = DefaultMaxRetries
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = DefaultBackoffBase
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = DefaultBackoffMax
+	}
+	return p
+}
+
+// ParsePlan builds a plan from a compact comma-separated spec, the form
+// the -faults CLI flag takes:
+//
+//	seed=7,drop=0.05,delay=0.02,dup=0.01,crash=0.005,fetchfail=0.1,
+//	crashat=2:30:B,maxdelay=200us,retries=4,backoff=50us
+//
+// crashat is stage:seq:kind with kind F or B. Unknown keys are errors.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "crash":
+			p.CrashRate, err = strconv.ParseFloat(val, 64)
+		case "drop":
+			p.DropRate, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			p.DelayRate, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			p.DupRate, err = strconv.ParseFloat(val, 64)
+		case "fetchfail":
+			p.FetchFailRate, err = strconv.ParseFloat(val, 64)
+		case "maxdelay":
+			p.MaxDelay, err = time.ParseDuration(val)
+		case "backoff":
+			p.BackoffBase, err = time.ParseDuration(val)
+		case "backoffmax":
+			p.BackoffMax, err = time.ParseDuration(val)
+		case "retries":
+			p.MaxRetries, err = strconv.Atoi(val)
+		case "crashat":
+			var t *TaskRef
+			t, err = parseTaskRef(val)
+			p.CrashTask = t
+		default:
+			return nil, fmt.Errorf("fault: unknown plan key %q (known: seed, crash, crashat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad value for %s: %w", key, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseTaskRef(s string) (*TaskRef, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("want stage:seq:kind, got %q", s)
+	}
+	stage, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	seq, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	var kind int8
+	switch parts[2] {
+	case "F", "f":
+		kind = KindForward
+	case "B", "b":
+		kind = KindBackward
+	default:
+		return nil, fmt.Errorf("kind %q is not F or B", parts[2])
+	}
+	return &TaskRef{Stage: stage, Seq: seq, Kind: kind}, nil
+}
+
+// String renders the plan back in ParsePlan's spec form (defaulted
+// fields omitted), so CLIs can echo the effective schedule.
+func (p Plan) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	add("seed", strconv.FormatUint(p.Seed, 10))
+	rate := func(k string, v float64) {
+		if v > 0 {
+			add(k, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	rate("crash", p.CrashRate)
+	if p.CrashTask != nil {
+		add("crashat", p.CrashTask.String())
+	}
+	rate("drop", p.DropRate)
+	rate("delay", p.DelayRate)
+	rate("dup", p.DupRate)
+	rate("fetchfail", p.FetchFailRate)
+	return strings.Join(parts, ",")
+}
+
+// CrashError reports an injected stage-goroutine crash. The engine
+// returns it from RunConcurrent with the partial Result; callers
+// (Runner, CLI, tests) detect it with errors.As, bump the checkpoint
+// incarnation, and resume.
+type CrashError struct {
+	Stage       int
+	Seq         int // global sequence ID of the task at whose boundary the stage died
+	Kind        int8
+	Incarnation int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: injected crash on stage %d at task %s (incarnation %d)",
+		e.Stage, TaskRef{Stage: e.Stage, Seq: e.Seq, Kind: e.Kind}, e.Incarnation)
+}
+
+// Action is a message-transport verdict.
+type Action int
+
+const (
+	Deliver   Action = iota
+	Drop             // this attempt is lost; retry after backoff
+	Delay            // deliver after Verdict.Wait
+	Duplicate        // deliver twice (receivers dedup)
+)
+
+// Verdict is the injector's decision for one delivery attempt.
+type Verdict struct {
+	Action Action
+	Wait   time.Duration // Delay only
+}
+
+// Injector draws fault decisions for one run. It is stateless after
+// construction (every decision is a pure function of its site), so it is
+// safe for concurrent use by all stage and prefetcher goroutines.
+type Injector struct {
+	plan        Plan
+	incarnation int
+}
+
+// NewInjector validates the plan and binds it to a restart incarnation
+// (0 for a fresh run; resumed runs pass the checkpoint's).
+func NewInjector(p Plan, incarnation int) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if incarnation < 0 {
+		return nil, fmt.Errorf("fault: negative incarnation %d", incarnation)
+	}
+	return &Injector{plan: p.withDefaults(), incarnation: incarnation}, nil
+}
+
+// Incarnation returns the restart epoch this injector rolls under.
+func (in *Injector) Incarnation() int { return in.incarnation }
+
+// MaxRetries returns the bounded-retry limit for dropped messages.
+func (in *Injector) MaxRetries() int { return in.plan.MaxRetries }
+
+// roll returns a uniform [0,1) draw keyed by the decision site.
+func (in *Injector) roll(label string) float64 {
+	return rng.Labeled(in.plan.Seed, label).Float64()
+}
+
+// CrashAt decides whether the stage crashes at the (stage, seq, kind)
+// task boundary. seq is the global sequence ID.
+func (in *Injector) CrashAt(stage, seq int, kind int8) bool {
+	if t := in.plan.CrashTask; t != nil && in.incarnation == 0 &&
+		t.Stage == stage && t.Seq == seq && t.Kind == kind {
+		return true
+	}
+	if in.plan.CrashRate <= 0 {
+		return false
+	}
+	return in.roll(fmt.Sprintf("crash/%d/%d/%d/%d", in.incarnation, stage, seq, kind)) < in.plan.CrashRate
+}
+
+// Message decides the fate of one delivery attempt of a cross-stage
+// transfer (kind: forward activation or backward gradient) sent by
+// fromStage for global sequence seq. Duplicates fire only on attempt 0,
+// bounding deliveries per message at two — the receivers' channel-sizing
+// invariant.
+func (in *Injector) Message(kind int8, fromStage, seq, attempt int) Verdict {
+	p := in.plan
+	if p.DropRate == 0 && p.DelayRate == 0 && p.DupRate == 0 {
+		return Verdict{Action: Deliver}
+	}
+	r := rng.Labeled(p.Seed, fmt.Sprintf("msg/%d/%d/%d/%d/%d", in.incarnation, kind, fromStage, seq, attempt))
+	u := r.Float64()
+	switch {
+	case u < p.DropRate:
+		return Verdict{Action: Drop}
+	case u < p.DropRate+p.DelayRate:
+		return Verdict{Action: Delay, Wait: time.Duration(r.Float64() * float64(p.MaxDelay))}
+	case u < p.DropRate+p.DelayRate+p.DupRate && attempt == 0:
+		return Verdict{Action: Duplicate}
+	}
+	return Verdict{Action: Deliver}
+}
+
+// FetchFails decides whether the stage's prefetch copy for global
+// sequence seq fails (surfaced by the engine as a dropped prefetch).
+func (in *Injector) FetchFails(stage, seq int) bool {
+	if in.plan.FetchFailRate <= 0 {
+		return false
+	}
+	return in.roll(fmt.Sprintf("fetch/%d/%d/%d", in.incarnation, stage, seq)) < in.plan.FetchFailRate
+}
+
+// Backoff returns the exponential retry delay after the given dropped
+// attempt: BackoffBase·2^attempt, capped at BackoffMax.
+func (in *Injector) Backoff(attempt int) time.Duration {
+	d := in.plan.BackoffBase
+	for i := 0; i < attempt && d < in.plan.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > in.plan.BackoffMax {
+		d = in.plan.BackoffMax
+	}
+	return d
+}

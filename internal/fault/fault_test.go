@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "seed=7,crash=0.005,crashat=2:30:B,drop=0.05,delay=0.02,dup=0.01,fetchfail=0.1"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	if p.Seed != 7 || p.CrashRate != 0.005 || p.DropRate != 0.05 ||
+		p.DelayRate != 0.02 || p.DupRate != 0.01 || p.FetchFailRate != 0.1 {
+		t.Fatalf("parsed plan fields wrong: %+v", *p)
+	}
+	if p.CrashTask == nil || *p.CrashTask != (TaskRef{Stage: 2, Seq: 30, Kind: KindBackward}) {
+		t.Fatalf("crashat parsed wrong: %+v", p.CrashTask)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if *p2.CrashTask != *p.CrashTask {
+		t.Fatalf("reparse crashat mismatch")
+	}
+	p2.CrashTask, p.CrashTask = nil, nil
+	if *p2 != *p {
+		t.Fatalf("reparse mismatch: %+v vs %+v", *p2, *p)
+	}
+}
+
+func TestParsePlanDurations(t *testing.T) {
+	p, err := ParsePlan("seed=1,drop=0.1,maxdelay=300us,backoff=10us,backoffmax=1ms,retries=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxDelay != 300*time.Microsecond || p.BackoffBase != 10*time.Microsecond ||
+		p.BackoffMax != time.Millisecond || p.MaxRetries != 7 {
+		t.Fatalf("duration fields wrong: %+v", *p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop",               // not key=value
+		"bogus=1",            // unknown key
+		"drop=nope",          // bad float
+		"drop=1.5",           // rate out of range
+		"drop=-0.1",          // negative rate
+		"drop=0.6,delay=0.5", // rates sum > 1
+		"crashat=1:2",        // malformed task ref
+		"crashat=1:2:X",      // bad kind
+		"crashat=-1:2:F",     // negative stage
+		"maxdelay=abc",       // bad duration
+		"retries=-1",         // negative retries
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan reports enabled")
+	}
+	if (&Plan{Seed: 9}).Enabled() {
+		t.Fatal("seed-only plan reports enabled")
+	}
+	if !(&Plan{DropRate: 0.1}).Enabled() {
+		t.Fatal("drop plan reports disabled")
+	}
+	if !(&Plan{CrashTask: &TaskRef{}}).Enabled() {
+		t.Fatal("crashat plan reports disabled")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	p := Plan{Seed: 42, CrashRate: 0.1, DropRate: 0.2, DelayRate: 0.1, DupRate: 0.1, FetchFailRate: 0.3}
+	a, err := NewInjector(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(p, 1)
+	for seq := 0; seq < 50; seq++ {
+		for stage := 0; stage < 4; stage++ {
+			for _, kind := range []int8{KindForward, KindBackward} {
+				if a.CrashAt(stage, seq, kind) != b.CrashAt(stage, seq, kind) {
+					t.Fatalf("CrashAt(%d,%d,%d) nondeterministic", stage, seq, kind)
+				}
+				for attempt := 0; attempt < 3; attempt++ {
+					va, vb := a.Message(kind, stage, seq, attempt), b.Message(kind, stage, seq, attempt)
+					if va != vb {
+						t.Fatalf("Message(%d,%d,%d,%d) nondeterministic: %+v vs %+v",
+							kind, stage, seq, attempt, va, vb)
+					}
+				}
+			}
+			if a.FetchFails(stage, seq) != b.FetchFails(stage, seq) {
+				t.Fatalf("FetchFails(%d,%d) nondeterministic", stage, seq)
+			}
+		}
+	}
+}
+
+func TestInjectorIncarnationsDiffer(t *testing.T) {
+	p := Plan{Seed: 42, CrashRate: 0.3}
+	a, _ := NewInjector(p, 0)
+	b, _ := NewInjector(p, 1)
+	same := true
+	for seq := 0; seq < 100 && same; seq++ {
+		if a.CrashAt(0, seq, KindForward) != b.CrashAt(0, seq, KindForward) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("incarnations 0 and 1 rolled identical crash schedules across 100 sites")
+	}
+}
+
+func TestTargetedCrashFiresOnlyInIncarnationZero(t *testing.T) {
+	p := Plan{Seed: 1, CrashTask: &TaskRef{Stage: 2, Seq: 30, Kind: KindBackward}}
+	in0, _ := NewInjector(p, 0)
+	in1, _ := NewInjector(p, 1)
+	if !in0.CrashAt(2, 30, KindBackward) {
+		t.Fatal("targeted crash did not fire in incarnation 0")
+	}
+	if in0.CrashAt(2, 30, KindForward) || in0.CrashAt(2, 29, KindBackward) || in0.CrashAt(1, 30, KindBackward) {
+		t.Fatal("targeted crash fired at a non-matching site")
+	}
+	if in1.CrashAt(2, 30, KindBackward) {
+		t.Fatal("targeted crash re-fired in incarnation 1 — resume would livelock")
+	}
+}
+
+func TestMessageRatePartition(t *testing.T) {
+	p := Plan{Seed: 7, DropRate: 0.3, DelayRate: 0.3, DupRate: 0.3}
+	in, _ := NewInjector(p, 0)
+	counts := map[Action]int{}
+	const n = 2000
+	for seq := 0; seq < n; seq++ {
+		v := in.Message(KindForward, 1, seq, 0)
+		counts[v.Action]++
+		if v.Action == Delay {
+			if v.Wait < 0 || v.Wait >= DefaultMaxDelay {
+				t.Fatalf("delay wait %v outside [0, %v)", v.Wait, DefaultMaxDelay)
+			}
+		} else if v.Wait != 0 {
+			t.Fatalf("non-delay verdict carries wait %v", v.Wait)
+		}
+	}
+	for _, a := range []Action{Deliver, Drop, Delay, Duplicate} {
+		frac := float64(counts[a]) / n
+		want := 0.3
+		if a == Deliver {
+			want = 0.1
+		}
+		if frac < want-0.08 || frac > want+0.08 {
+			t.Errorf("action %v frequency %.3f, want ~%.1f", a, frac, want)
+		}
+	}
+	// Duplicates must never fire past attempt 0 (bounds deliveries at 2).
+	for seq := 0; seq < n; seq++ {
+		for attempt := 1; attempt < 4; attempt++ {
+			if in.Message(KindBackward, 0, seq, attempt).Action == Duplicate {
+				t.Fatalf("duplicate verdict on attempt %d", attempt)
+			}
+		}
+	}
+}
+
+func TestBackoffExponentialCapped(t *testing.T) {
+	in, _ := NewInjector(Plan{Seed: 1, DropRate: 0.5}, 0)
+	if got := in.Backoff(0); got != DefaultBackoffBase {
+		t.Fatalf("Backoff(0) = %v, want %v", got, DefaultBackoffBase)
+	}
+	if got := in.Backoff(1); got != 2*DefaultBackoffBase {
+		t.Fatalf("Backoff(1) = %v, want %v", got, 2*DefaultBackoffBase)
+	}
+	if got := in.Backoff(20); got != DefaultBackoffMax {
+		t.Fatalf("Backoff(20) = %v, want cap %v", got, DefaultBackoffMax)
+	}
+	prev := time.Duration(0)
+	for a := 0; a < 10; a++ {
+		d := in.Backoff(a)
+		if d < prev {
+			t.Fatalf("backoff not monotone: Backoff(%d)=%v < %v", a, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestNewInjectorRejectsBadPlans(t *testing.T) {
+	if _, err := NewInjector(Plan{DropRate: 2}, 0); err == nil {
+		t.Fatal("want error for rate > 1")
+	}
+	if _, err := NewInjector(Plan{}, -1); err == nil {
+		t.Fatal("want error for negative incarnation")
+	}
+	if _, err := NewInjector(Plan{CrashTask: &TaskRef{Kind: 3}}, 0); err == nil {
+		t.Fatal("want error for bad crash-task kind")
+	}
+}
+
+func TestCrashErrorMessage(t *testing.T) {
+	e := &CrashError{Stage: 2, Seq: 30, Kind: KindBackward, Incarnation: 1}
+	msg := e.Error()
+	for _, want := range []string{"stage 2", "2:30:B", "incarnation 1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("CrashError message %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the checkpoint parser:
+// it must reject garbage with an error (never panic or over-read), and
+// anything it accepts must re-encode to the exact input bytes — the
+// format has a single canonical encoding.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte("NPCK"))
+	f.Add(sampleCheckpoint().Encode())
+	f.Add(Checkpoint{Space: "x", Finished: []int{1, 2, 3}}.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if got := c.Encode(); !bytes.Equal(got, data) {
+			t.Fatalf("accepted checkpoint does not round-trip:\n in  %x\n out %x", data, got)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"encoding/hex"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenCheckpointHex pins the version-1 checkpoint wire format byte for
+// byte. If this test fails, the format changed: bump ckptVersion and
+// keep a decoder for version 1, or resume breaks across PRs.
+const goldenCheckpointHex = "4e50434b010b004e4c502e63335b3878335d2a00000000000000040000003000" +
+	"000011000000020000003412fecaefbeadde07000000000000000b0000000000" +
+	"0000020000001300000015000000031897ce5b86e5b5"
+
+func TestCheckpointGoldenBytes(t *testing.T) {
+	c := sampleCheckpoint()
+	got := hex.EncodeToString(c.Encode())
+	if got != goldenCheckpointHex {
+		t.Fatalf("checkpoint wire format drifted from the pinned version-1 golden:\n got %s\nwant %s\n"+
+			"(bump ckptVersion if this is intentional)", got, goldenCheckpointHex)
+	}
+	// The golden bytes must also decode — guards against pinning a
+	// format the decoder can't read.
+	raw, err := hex.DecodeString(goldenCheckpointHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("golden bytes do not decode: %v", err)
+	}
+	if !reflect.DeepEqual(dec, c) {
+		t.Fatalf("golden decode mismatch:\n got %+v\nwant %+v", dec, c)
+	}
+}
+
+func TestCheckpointGoldenLayout(t *testing.T) {
+	raw, _ := hex.DecodeString(goldenCheckpointHex)
+	if !strings.HasPrefix(string(raw), ckptMagic) {
+		t.Fatalf("golden does not start with magic %q", ckptMagic)
+	}
+	if raw[4] != ckptVersion {
+		t.Fatalf("golden version byte %d, want %d", raw[4], ckptVersion)
+	}
+}

@@ -63,6 +63,17 @@ const (
 	OpTransferSend // activation/gradient handed to the next stage (Arg = flow id)
 	OpTransferRecv // transfer consumed by the receiving task (Arg = flow id)
 
+	// Fault plane (category "fault"): injected failures and the
+	// checkpoint cuts that make them survivable. Every injected fault
+	// appears on the stream, so naspipe-replay can reconstruct a failure
+	// timeline from the JSONL log alone.
+	OpFaultCrash // stage goroutine crashed at a task boundary (Arg = incarnation)
+	OpFaultDrop  // message attempt dropped; retried with backoff (Arg = attempt)
+	OpFaultDelay // message delivery delayed (Arg = delay ns)
+	OpFaultDup   // message delivered twice (receiver dedups)
+	OpFaultFetch // prefetch copy failed; surfaced as a cache miss
+	OpCheckpoint // consistency cut recorded (Arg = global cursor)
+
 	opCount
 )
 
@@ -72,6 +83,8 @@ var opNames = [opCount]string{
 	"prefetch-request", "prefetch-land", "prefetch-drop",
 	"cache-hit", "cache-miss", "cache-evict", "cache-stall",
 	"transfer-send", "transfer-recv",
+	"fault-crash", "fault-drop", "fault-delay", "fault-dup", "fault-fetch",
+	"checkpoint",
 }
 
 func (o Op) String() string {
@@ -91,7 +104,8 @@ func OpByName(name string) (Op, bool) {
 	return 0, false
 }
 
-// Category groups an op for exporters ("task", "sched", "mem", "flow").
+// Category groups an op for exporters ("task", "sched", "mem", "flow",
+// "fault").
 func (o Op) Category() string {
 	switch {
 	case o <= OpTaskComplete:
@@ -100,8 +114,10 @@ func (o Op) Category() string {
 		return "sched"
 	case o <= OpCacheStall:
 		return "mem"
-	default:
+	case o <= OpTransferRecv:
 		return "flow"
+	default:
+		return "fault"
 	}
 }
 
@@ -327,6 +343,13 @@ type Snapshot struct {
 	CacheMisses      int64 `json:"cache_misses"`
 	CacheEvicts      int64 `json:"cache_evicts"`
 	StallNs          int64 `json:"stall_ns"`
+
+	Crashes      int64 `json:"fault_crashes"`
+	FaultDrops   int64 `json:"fault_drops"`
+	FaultDelays  int64 `json:"fault_delays"`
+	FaultDups    int64 `json:"fault_dups"`
+	FaultFetches int64 `json:"fault_fetches"`
+	Checkpoints  int64 `json:"checkpoints"`
 }
 
 // Snapshot reads the live counters. Nil-safe (zero snapshot).
@@ -350,6 +373,12 @@ func (b *Bus) Snapshot() Snapshot {
 		CacheMisses:      b.counters[OpCacheMiss].Load(),
 		CacheEvicts:      b.counters[OpCacheEvict].Load(),
 		StallNs:          b.stallNs.Load(),
+		Crashes:          b.counters[OpFaultCrash].Load(),
+		FaultDrops:       b.counters[OpFaultDrop].Load(),
+		FaultDelays:      b.counters[OpFaultDelay].Load(),
+		FaultDups:        b.counters[OpFaultDup].Load(),
+		FaultFetches:     b.counters[OpFaultFetch].Load(),
+		Checkpoints:      b.counters[OpCheckpoint].Load(),
 	}
 }
 
@@ -372,6 +401,9 @@ func (s Snapshot) String() string {
 	if s.CacheHits+s.CacheMisses > 0 {
 		out += fmt.Sprintf(", cache %.1f%% hit (%.1f stall ms)",
 			100*s.HitRate(), float64(s.StallNs)/1e6)
+	}
+	if faults := s.Crashes + s.FaultDrops + s.FaultDelays + s.FaultDups + s.FaultFetches; faults > 0 {
+		out += fmt.Sprintf(", faults %d (%d crashes), ckpts %d", faults, s.Crashes, s.Checkpoints)
 	}
 	out += fmt.Sprintf(", events %d (%d dropped)", s.Emitted, s.Dropped)
 	return out

@@ -1,0 +1,62 @@
+package train
+
+import (
+	"sync"
+
+	"naspipe/internal/data"
+	"naspipe/internal/layers"
+	"naspipe/internal/supernet"
+)
+
+// Checkpointer incrementally materializes the sequential-prefix weight
+// state of a subnet stream, so checkpoint cuts can carry a weight
+// checksum without retraining the prefix from scratch at every save.
+// ChecksumAt(cursor) is the checksum a fresh Sequential run over
+// subnets[:cursor] would produce; cursors normally arrive monotonically
+// (the engine's frontier only advances) and each call then trains only
+// the delta. A regressed cursor falls back to a from-scratch rebuild.
+type Checkpointer struct {
+	mu   sync.Mutex
+	cfg  Config
+	subs []supernet.Subnet
+	net  *supernet.Numeric
+	src  *data.Source
+	done int // subnets [0, done) are applied to net
+}
+
+// NewCheckpointer builds a checkpointer over the full subnet stream.
+func NewCheckpointer(cfg Config, subs []supernet.Subnet) *Checkpointer {
+	cfg = cfg.withDefaults()
+	return &Checkpointer{
+		cfg:  cfg,
+		subs: subs,
+		net:  supernet.BuildNumeric(cfg.Space, cfg.Dim, cfg.Seed),
+		src:  data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed),
+	}
+}
+
+// ChecksumAt returns the sequential weight checksum after the first
+// cursor subnets. Safe for concurrent use.
+func (c *Checkpointer) ChecksumAt(cursor int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cursor > len(c.subs) {
+		cursor = len(c.subs)
+	}
+	if cursor < c.done {
+		c.net = supernet.BuildNumeric(c.cfg.Space, c.cfg.Dim, c.cfg.Seed)
+		c.done = 0
+	}
+	for ; c.done < cursor; c.done++ {
+		sub := c.subs[c.done]
+		views := make([]*layers.Layer, len(sub.Choices))
+		for b, ch := range sub.Choices {
+			views[b] = c.net.At(b, ch)
+		}
+		_, grads := step(c.cfg, c.src, sub, views)
+		for b, ch := range sub.Choices {
+			c.net.At(b, ch).ApplySGD(grads[b], c.cfg.LR)
+		}
+	}
+	return c.net.Checksum()
+}

@@ -110,6 +110,17 @@ func step(cfg Config, src *data.Source, sub supernet.Subnet, views []*layers.Lay
 func Sequential(cfg Config, subnets []supernet.Subnet) Result {
 	cfg = cfg.withDefaults()
 	net := supernet.BuildNumeric(cfg.Space, cfg.Dim, cfg.Seed)
+	return SequentialOn(cfg, net, subnets)
+}
+
+// SequentialOn trains the subnets strictly in order on an existing live
+// supernet — the resume path's building block: a sequential prefix run
+// on a fresh net, then the suffix continues on the same net. Each
+// subnet's data batch is keyed by its own (global) Seq, so a suffix
+// trained here consumes exactly the batches the uninterrupted run would
+// have. Losses are indexed by position in subnets.
+func SequentialOn(cfg Config, net *supernet.Numeric, subnets []supernet.Subnet) Result {
+	cfg = cfg.withDefaults()
 	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
 	losses := make([]float32, len(subnets))
 	for i, sub := range subnets {
@@ -143,15 +154,27 @@ type pendingSubnet struct {
 func Replay(cfg Config, subnets []supernet.Subnet, tr *trace.Trace) (Result, error) {
 	cfg = cfg.withDefaults()
 	net := supernet.BuildNumeric(cfg.Space, cfg.Dim, cfg.Seed)
+	return ReplayOn(cfg, net, subnets, tr)
+}
+
+// ReplayOn executes a trace's access order against an existing live
+// supernet. Subnets keep their original (global) Seq — trace events and
+// data batches are keyed by it — so replaying a resumed run's suffix
+// trace onto a sequential-prefix net reproduces the uninterrupted run.
+// Losses are indexed by position in subnets.
+func ReplayOn(cfg Config, net *supernet.Numeric, subnets []supernet.Subnet, tr *trace.Trace) (Result, error) {
+	cfg = cfg.withDefaults()
 	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
 
 	pend := make(map[int]*pendingSubnet, len(subnets))
-	for _, sub := range subnets {
+	posOf := make(map[int]int, len(subnets))
+	for i, sub := range subnets {
 		pend[sub.Seq] = &pendingSubnet{
 			sub:        sub,
 			views:      make([]*layers.Layer, len(sub.Choices)),
 			writesLeft: len(sub.Choices),
 		}
+		posOf[sub.Seq] = i
 	}
 	losses := make([]float32, len(subnets))
 
@@ -179,7 +202,7 @@ func Replay(cfg Config, subnets []supernet.Subnet, tr *trace.Trace) (Result, err
 				}
 				p.loss, p.grads = step(cfg, src, p.sub, p.views)
 				p.computed = true
-				losses[ev.Subnet] = p.loss
+				losses[posOf[ev.Subnet]] = p.loss
 			}
 			net.At(block, choice).ApplySGD(p.grads[block], cfg.LR)
 			p.writesLeft--

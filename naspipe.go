@@ -36,6 +36,7 @@ import (
 	"naspipe/internal/cluster"
 	"naspipe/internal/engine"
 	"naspipe/internal/experiments"
+	"naspipe/internal/fault"
 	"naspipe/internal/explore"
 	"naspipe/internal/hybrid"
 	"naspipe/internal/metrics"
@@ -107,6 +108,18 @@ type (
 	StalenessReport = analysis.StalenessReport
 	// DepStats characterizes a subnet stream's dependency structure.
 	DepStats = analysis.DepStats
+	// FaultPlan is a deterministic seed-driven fault-injection schedule
+	// for the concurrent plane (crashes, message drops/delays/duplicates,
+	// prefetch failures); see WithFaults and ParseFaultPlan.
+	FaultPlan = fault.Plan
+	// FaultTaskRef pins a targeted crash to one (stage, seq, kind) task.
+	FaultTaskRef = fault.TaskRef
+	// CrashError is the typed error an injected stage crash surfaces;
+	// detect it with errors.As to drive a resume loop.
+	CrashError = fault.CrashError
+	// Checkpoint is the crash-consistent resume state persisted by
+	// WithCheckpoint; see LoadCheckpoint and Runner.Resume.
+	Checkpoint = fault.Checkpoint
 )
 
 // The paper's Table 1 search spaces.
@@ -188,6 +201,29 @@ func TrainSequential(cfg TrainConfig, subnets []Subnet) TrainResult {
 func TrainReplay(cfg TrainConfig, subnets []Subnet, tr *Trace) (TrainResult, error) {
 	return train.Replay(cfg, subnets, tr)
 }
+
+// TrainSequentialOn continues sequential training on an existing live
+// supernet — the resume path's reference semantics: train the committed
+// prefix on a fresh net, then the suffix on the same net.
+func TrainSequentialOn(cfg TrainConfig, net *Numeric, subnets []Subnet) TrainResult {
+	return train.SequentialOn(cfg, net, subnets)
+}
+
+// TrainReplayOn executes a trace's access order against an existing live
+// supernet; with a resumed run's suffix trace on a sequential-prefix
+// net, it reproduces the uninterrupted run bitwise.
+func TrainReplayOn(cfg TrainConfig, net *Numeric, subnets []Subnet, tr *Trace) (TrainResult, error) {
+	return train.ReplayOn(cfg, net, subnets, tr)
+}
+
+// ParseFaultPlan parses a comma-separated fault plan spec, e.g.
+// "seed=7,drop=0.1,delay=0.05,crashat=2:9:F" (see fault.ParsePlan for
+// the full key set). Feed the result to WithFaults.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// LoadCheckpoint reads and integrity-checks a checkpoint file written by
+// a WithCheckpoint run.
+func LoadCheckpoint(path string) (Checkpoint, error) { return fault.Load(path) }
 
 // Evaluate returns a subnet's validation loss on a trained supernet.
 func Evaluate(cfg TrainConfig, net *Numeric, sub Subnet, nBatches int) float64 {

@@ -2,12 +2,16 @@ package naspipe
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"naspipe/internal/engine"
+	"naspipe/internal/fault"
 	"naspipe/internal/parallel"
 	"naspipe/internal/sched"
+	"naspipe/internal/supernet"
 	"naspipe/internal/telemetry"
+	"naspipe/internal/train"
 )
 
 // ExecutorKind selects which execution plane a Runner drives.
@@ -62,6 +66,11 @@ type Runner struct {
 	cacheSet    bool
 	predictor   bool
 	tel         *telemetry.Bus
+
+	faults    *fault.Plan
+	ckptPath  string
+	ckptEvery int
+	trainCfg  *train.Config
 }
 
 // RunnerOption configures a Runner under construction.
@@ -118,6 +127,40 @@ func WithTelemetry(bus *telemetry.Bus) RunnerOption {
 	return func(r *Runner) { r.tel = bus }
 }
 
+// WithFaults activates the deterministic fault-injection plane for every
+// run: seed-driven stage crashes at task boundaries, dropped/delayed/
+// duplicated cross-stage messages with bounded retry and exponential
+// backoff, and prefetch-copy failures surfaced as cache misses. Build a
+// plan directly or with ParseFaultPlan. Concurrent executor only.
+func WithFaults(plan *FaultPlan) RunnerOption {
+	return func(r *Runner) { r.faults = plan }
+}
+
+// WithCheckpoint persists crash-consistent checkpoints to path as the
+// pipeline's committed frontier advances, and enables Resume from that
+// file. Run starts fresh (overwriting path); Resume continues from it.
+// Concurrent executor only.
+func WithCheckpoint(path string) RunnerOption {
+	return func(r *Runner) { r.ckptPath = path }
+}
+
+// WithCheckpointEvery throttles checkpoint persistence to one save per n
+// cursor advances (default 1 = every advance; the final cut is always
+// saved). Requires WithCheckpoint.
+func WithCheckpointEvery(n int) RunnerOption {
+	return func(r *Runner) { r.ckptEvery = n }
+}
+
+// WithCheckpointTraining attaches a numeric training config to the
+// checkpoint plane: every saved checkpoint then carries the FNV-64
+// weight checksum of the committed sequential prefix, and Resume
+// verifies the stream against it before continuing. Requires
+// WithCheckpoint; costs one incremental training step per committed
+// subnet at save time.
+func WithCheckpointTraining(tc TrainConfig) RunnerOption {
+	return func(r *Runner) { r.trainCfg = &tc }
+}
+
 // NewRunner validates the option set and returns an immutable Runner.
 func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	r := &Runner{policy: "naspipe"}
@@ -149,28 +192,48 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 		r.cacheFactor = 3 // the paper's default footprint
 		r.cacheSet = true
 	}
+	if (r.faults != nil || r.ckptPath != "" || r.ckptEvery != 0 || r.trainCfg != nil) && r.executor != ExecutorConcurrent {
+		return nil, fmt.Errorf("naspipe: WithFaults/WithCheckpoint configure the concurrent execution plane; the %v executor has no goroutines to crash or resume", r.executor)
+	}
+	if r.faults != nil {
+		if err := r.faults.Validate(); err != nil {
+			return nil, fmt.Errorf("naspipe: %w", err)
+		}
+	}
+	if r.ckptEvery < 0 {
+		return nil, fmt.Errorf("naspipe: negative checkpoint interval %d", r.ckptEvery)
+	}
+	if (r.ckptEvery != 0 || r.trainCfg != nil) && r.ckptPath == "" {
+		return nil, fmt.Errorf("naspipe: WithCheckpointEvery/WithCheckpointTraining refine WithCheckpoint, which is not set")
+	}
 	return r, nil
 }
 
 // Run executes one pipeline training run on the configured plane. It
 // honors ctx between pipeline steps; on cancellation it returns the
 // partial Result together with ctx.Err().
+//
+// With WithCheckpoint, Run starts fresh — it overwrites the checkpoint
+// file with cursor 0 and persists cuts as the run commits subnets. A
+// fault-injected crash surfaces as a *CrashError after the crash
+// incarnation has been recorded, so a subsequent Resume continues where
+// the committed frontier stopped.
 func (r *Runner) Run(ctx context.Context, cfg Config) (Result, error) {
-	if r.traceSet {
-		cfg.RecordTrace = r.trace
-	}
-	if r.tel != nil {
-		cfg.Telemetry = r.tel
-	}
+	r.applyOverrides(&cfg)
 	switch r.executor {
 	case ExecutorConcurrent:
-		if r.cacheSet {
-			cfg.ConcurrentMem = engine.MemPlaneConfig{
-				CacheFactor: r.cacheFactor,
-				Predictor:   r.predictor,
-			}
+		if r.ckptPath == "" {
+			return engine.RunConcurrent(ctx, cfg)
 		}
-		return engine.RunConcurrent(ctx, cfg)
+		full := cfg.ResolveSubnets()
+		return r.runCheckpointed(ctx, cfg, full, fault.Checkpoint{
+			Space:      cfg.Space.Name,
+			Seed:       cfg.Seed,
+			GPUs:       cfg.Spec.GPUs,
+			NumSubnets: len(full),
+			FaultSeed:  r.faultSeed(),
+			JitterSeed: cfg.JitterSeed,
+		})
 	default:
 		p, err := sched.New(r.policy)
 		if err != nil {
@@ -178,6 +241,123 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (Result, error) {
 		}
 		return engine.RunContext(ctx, cfg, p)
 	}
+}
+
+// Resume continues an interrupted checkpointed run from the file set
+// with WithCheckpoint. cfg must describe the same run handed to Run —
+// the checkpoint's identity fields (space, seed, GPU count, stream
+// length, jitter seed) are verified against it, and with
+// WithCheckpointTraining the recorded prefix weight checksum is
+// verified by retraining the committed prefix. The suffix then executes
+// with the checkpoint's cursor as its sequence base and the next crash
+// incarnation's fault schedule; the returned Result covers the suffix
+// only (Result.BaseSeq tells how many subnets the checkpoint had
+// already committed). Resume may itself crash under an aggressive fault
+// plan — call it in a loop until the error is no longer a *CrashError.
+func (r *Runner) Resume(ctx context.Context, cfg Config) (Result, error) {
+	if r.ckptPath == "" {
+		return Result{}, fmt.Errorf("naspipe: Resume requires WithCheckpoint")
+	}
+	ck, err := fault.Load(r.ckptPath)
+	if err != nil {
+		return Result{}, fmt.Errorf("naspipe: resume: %w", err)
+	}
+	r.applyOverrides(&cfg)
+	full := cfg.ResolveSubnets()
+	switch {
+	case ck.Space != cfg.Space.Name:
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint is for space %q, config says %q", ck.Space, cfg.Space.Name)
+	case ck.Seed != cfg.Seed:
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint seed %d != config seed %d", ck.Seed, cfg.Seed)
+	case ck.GPUs != cfg.Spec.GPUs:
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint ran on %d GPUs, config says %d", ck.GPUs, cfg.Spec.GPUs)
+	case ck.NumSubnets != len(full):
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint stream has %d subnets, config has %d", ck.NumSubnets, len(full))
+	case ck.JitterSeed != cfg.JitterSeed:
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint jitter seed %d != config jitter seed %d", ck.JitterSeed, cfg.JitterSeed)
+	case ck.Cursor < 0 || ck.Cursor > len(full):
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint cursor %d out of range [0, %d]", ck.Cursor, len(full))
+	}
+	if r.trainCfg != nil && ck.WeightChecksum != 0 {
+		if got := train.NewCheckpointer(*r.trainCfg, full).ChecksumAt(ck.Cursor); got != ck.WeightChecksum {
+			return Result{}, fmt.Errorf("naspipe: resume: prefix weight checksum %#x does not match checkpoint %#x — wrong training config or corrupt stream", got, ck.WeightChecksum)
+		}
+	}
+	if ck.Cursor == len(full) {
+		// Nothing left to run: the crash landed after the final commit.
+		return Result{BaseSeq: ck.Cursor}, nil
+	}
+	// The engine runs the suffix under local 0-based seqs; SeqBase maps
+	// every externally visible sequence number (trace, telemetry, fault
+	// labels, checkpoint cuts) back to the global stream.
+	suffix := make([]supernet.Subnet, len(full)-ck.Cursor)
+	for i := range suffix {
+		suffix[i] = full[ck.Cursor+i]
+		suffix[i].Seq = i
+	}
+	cfg.Subnets = suffix
+	cfg.NumSubnets = len(suffix)
+	cfg.SeqBase = ck.Cursor
+	cfg.FaultIncarnation = ck.Incarnation
+	ck.FaultSeed = r.faultSeed()
+	return r.runCheckpointed(ctx, cfg, full, ck)
+}
+
+// applyOverrides folds the Runner's option overrides into a run config;
+// shared by Run and Resume.
+func (r *Runner) applyOverrides(cfg *Config) {
+	if r.traceSet {
+		cfg.RecordTrace = r.trace
+	}
+	if r.tel != nil {
+		cfg.Telemetry = r.tel
+	}
+	if r.executor == ExecutorConcurrent {
+		if r.cacheSet {
+			cfg.ConcurrentMem = engine.MemPlaneConfig{
+				CacheFactor: r.cacheFactor,
+				Predictor:   r.predictor,
+			}
+		}
+		if r.faults != nil {
+			cfg.Faults = r.faults
+		}
+	}
+}
+
+// faultSeed reports the active fault plan's seed for checkpoint identity.
+func (r *Runner) faultSeed() uint64 {
+	if r.faults == nil {
+		return 0
+	}
+	return r.faults.Seed
+}
+
+// runCheckpointed executes a concurrent run with a file recorder wired
+// to the engine's consistency cuts. full is the complete global subnet
+// stream (the checkpointer retrains committed prefixes from it); ident
+// seeds the recorder with the run identity plus, on resume, the
+// starting cursor and incarnation. After an injected crash the
+// recorder's incarnation is bumped on disk before the *CrashError is
+// returned, so the next Resume rolls a fresh fault schedule.
+func (r *Runner) runCheckpointed(ctx context.Context, cfg Config, full []supernet.Subnet, ident fault.Checkpoint) (Result, error) {
+	var weightFn func(int) uint64
+	if r.trainCfg != nil {
+		weightFn = train.NewCheckpointer(*r.trainCfg, full).ChecksumAt
+	}
+	rec := fault.NewFileRecorder(r.ckptPath, ident, r.ckptEvery, weightFn)
+	if err := rec.Init(); err != nil {
+		return Result{}, fmt.Errorf("naspipe: checkpoint init: %w", err)
+	}
+	cfg.Checkpoint = rec
+	res, err := engine.RunConcurrent(ctx, cfg)
+	var crash *fault.CrashError
+	if errors.As(err, &crash) {
+		if berr := rec.Bump(); berr != nil {
+			return res, fmt.Errorf("naspipe: recording crash incarnation: %w (run failed with: %v)", berr, err)
+		}
+	}
+	return res, err
 }
 
 // RunMany fans the configurations out over a bounded worker pool (see
