@@ -28,6 +28,15 @@
 // (when -checkpoint is set), so a shell loop can resume until clean; a
 // resumed run that completes verifies its suffix trace composes with
 // the committed prefix to the uninterrupted sequential result, bitwise.
+// With -supervise the supervision plane does the resume loop in-process
+// (crashes and watchdog-diagnosed stalls auto-resume from the latest
+// checkpoint) and the completed run is verified the same way:
+//
+//	naspipe-bench -concurrent -faults "seed=7,crash=0.02" -checkpoint run.ckpt -supervise
+//
+// Exit codes: 0 complete+verified, 1 run/verification failure (including
+// supervisor give-up), 2 usage, 3 resumable (injected crash without
+// -supervise, or SIGINT/SIGTERM with a valid checkpoint).
 //
 // The -parallel fan-out changes wall-clock time only: reports are
 // assembled in canonical experiment order and are byte-identical to a
@@ -43,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"naspipe"
@@ -52,6 +62,7 @@ import (
 )
 
 func main() {
+	supDef := naspipe.DefaultSuperviseConfig()
 	var (
 		exps       = flag.String("exp", "all", "comma-separated experiment names, or 'all' (known: "+strings.Join(naspipe.ExperimentNames(), ", ")+")")
 		quick      = flag.Bool("quick", false, "reduced sizes for a fast smoke pass")
@@ -70,10 +81,18 @@ func main() {
 		faultSpec  = flag.String("faults", "", "with -concurrent: deterministic fault plan, e.g. \"seed=7,drop=0.1,crashat=2:9:F\" (keys: seed, crash, crashat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)")
 		ckptPath   = flag.String("checkpoint", "", "with -concurrent: persist crash-consistent checkpoints to this file (an injected crash then exits 3, resumable)")
 		resume     = flag.Bool("resume", false, "with -concurrent: resume from -checkpoint instead of starting fresh, then verify bitwise against the sequential reference")
+		jitter     = flag.Float64("jitter", 0, "with -concurrent: compute-timing jitter magnitude for the smoke workload (tasks really sleep)")
+
+		supervised   = flag.Bool("supervise", false, "with -concurrent: auto-resume crashes and watchdog-diagnosed stalls in-process (requires -checkpoint)")
+		stallTimeout = flag.Duration("stall-timeout", supDef.Watchdog.StallAfter, "with -supervise: declare a stall after this long without frontier or task progress")
+		maxRestarts  = flag.Int("max-restarts", supDef.MaxRestarts, "with -supervise: retry budget across the whole run")
+		elasticAfter = flag.Int("elastic", 0, "with -supervise: halve the pipeline depth after N consecutive incidents on one stage (0 = off)")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel between tasks; a checkpointed run exits
+	// resumable (3) with its committed frontier already on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *debugAddr != "" {
@@ -92,8 +111,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "naspipe-bench: -resume requires -checkpoint")
 		os.Exit(2)
 	}
-	if (*faultSpec != "" || *ckptPath != "") && !*concurrent {
-		fmt.Fprintln(os.Stderr, "naspipe-bench: -faults/-checkpoint/-resume require -concurrent")
+	if (*faultSpec != "" || *ckptPath != "" || *supervised) && !*concurrent {
+		fmt.Fprintln(os.Stderr, "naspipe-bench: -faults/-checkpoint/-resume/-supervise require -concurrent")
+		os.Exit(2)
+	}
+	if *supervised && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "naspipe-bench: -supervise requires -checkpoint (recovery resumes from it)")
 		os.Exit(2)
 	}
 	if *concurrent {
@@ -101,6 +124,9 @@ func main() {
 			seed: *seed, gpus: *gpus, cacheFactor: *cacheFac, predictor: *predictor,
 			traceOut: *traceOut, eventsOut: *eventsOut, debugAddr: *debugAddr,
 			progress: *progress, ckpt: *ckptPath, resume: *resume,
+			subnets: *subnets, jitter: *jitter,
+			supervised: *supervised, stallTimeout: *stallTimeout,
+			maxRestarts: *maxRestarts, elastic: *elasticAfter,
 		}
 		if *faultSpec != "" {
 			plan, err := naspipe.ParseFaultPlan(*faultSpec)
@@ -168,16 +194,31 @@ type ccOptions struct {
 	faults      *naspipe.FaultPlan
 	ckpt        string
 	resume      bool
+	subnets     int     // 0 = the default smoke stream length
+	jitter      float64 // compute-timing jitter magnitude
+
+	supervised   bool
+	stallTimeout time.Duration
+	maxRestarts  int
+	elastic      int
 }
 
 // smokeConfig is the concurrent plane's canonical smoke workload.
 func (cc ccOptions) smokeConfig() naspipe.Config {
-	return naspipe.Config{
+	cfg := naspipe.Config{
 		Space:      naspipe.NLPc3.Scaled(8, 3),
 		Spec:       naspipe.DefaultCluster(cc.gpus),
 		Seed:       cc.seed,
 		NumSubnets: 48,
 	}
+	if cc.subnets > 0 {
+		cfg.NumSubnets = cc.subnets
+	}
+	if cc.jitter > 0 {
+		cfg.TimingJitter = cc.jitter
+		cfg.JitterSeed = cc.seed
+	}
+	return cfg
 }
 
 // runConcurrent executes one smoke run, optionally publishing to bus.
@@ -194,8 +235,8 @@ func (cc ccOptions) trainConfig() naspipe.TrainConfig {
 	}
 }
 
-// runConfig executes one concurrent run of cfg, optionally publishing to bus.
-func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
+// newRunner builds the runner for the concurrent smoke from the flag set.
+func (cc ccOptions) newRunner(bus *telemetry.Bus, trace bool) (*naspipe.Runner, error) {
 	opts := []naspipe.RunnerOption{
 		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
 		naspipe.WithTrace(trace),
@@ -215,7 +256,15 @@ func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *tele
 			naspipe.WithCheckpoint(cc.ckpt),
 			naspipe.WithCheckpointTraining(cc.trainConfig()))
 	}
-	r, err := naspipe.NewRunner(opts...)
+	if cc.elastic > 0 {
+		opts = append(opts, naspipe.WithElasticResume())
+	}
+	return naspipe.NewRunner(opts...)
+}
+
+// runConfig executes one concurrent run of cfg, optionally publishing to bus.
+func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
+	r, err := cc.newRunner(bus, trace)
 	if err != nil {
 		return naspipe.Result{}, err
 	}
@@ -223,6 +272,30 @@ func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *tele
 		return r.Resume(ctx, cfg)
 	}
 	return r.Run(ctx, cfg)
+}
+
+// runSupervised executes the smoke workload under the supervision plane:
+// crashes and watchdog-diagnosed stalls auto-resume in-process from the
+// checkpoint, and health transitions land on the same telemetry bus as
+// the engine events.
+func (cc ccOptions) runSupervised(ctx context.Context, bus *telemetry.Bus) (naspipe.Result, *naspipe.SuperviseReport, error) {
+	r, err := cc.newRunner(bus, true)
+	if err != nil {
+		return naspipe.Result{}, nil, err
+	}
+	sc := naspipe.DefaultSuperviseConfig()
+	sc.Watchdog.StallAfter = cc.stallTimeout
+	sc.MaxRestarts = cc.maxRestarts
+	sc.ElasticAfter = cc.elastic
+	sc.Telemetry = bus
+	sc.Log = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	cfg := cc.smokeConfig()
+	if cc.resume {
+		return r.ResumeSupervised(ctx, cfg, sc)
+	}
+	return r.RunSupervised(ctx, cfg, sc)
 }
 
 // concurrentSmoke exercises the goroutine-per-stage execution plane once
@@ -240,17 +313,31 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 	stopProgress := telemetry.StartProgress(os.Stderr, bus, cc.progress)
 
 	t0 := time.Now()
-	res, err := cc.runConcurrent(ctx, bus, true)
+	var (
+		res naspipe.Result
+		rep *naspipe.SuperviseReport
+		err error
+	)
+	if cc.supervised {
+		res, rep, err = cc.runSupervised(ctx, bus)
+	} else {
+		res, err = cc.runConcurrent(ctx, bus, true)
+	}
 	stopProgress()
 	if err != nil {
 		var crash *naspipe.CrashError
-		if errors.As(err, &crash) {
+		var giveUp *naspipe.GiveUpError
+		switch {
+		case errors.As(err, &giveUp):
+			fmt.Fprintf(os.Stderr, "concurrent: supervisor gave up: %v\n", err)
+			if bus != nil {
+				exportTelemetry(bus, cc.traceOut, cc.eventsOut)
+			}
+			return 1
+		case errors.As(err, &crash):
 			fmt.Fprintf(os.Stderr, "concurrent: injected crash: %v\n", err)
 			if cc.ckpt != "" {
-				if ck, lerr := naspipe.LoadCheckpoint(cc.ckpt); lerr == nil {
-					fmt.Fprintf(os.Stderr, "checkpoint: %s at cursor %d/%d, incarnation %d — rerun with -resume\n",
-						cc.ckpt, ck.Cursor, ck.NumSubnets, ck.Incarnation)
-				}
+				printBenchCheckpoint(cc.ckpt, "rerun with -resume")
 			}
 			if bus != nil {
 				// The fault timeline up to the crash is the artifact that
@@ -258,17 +345,35 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 				exportTelemetry(bus, cc.traceOut, cc.eventsOut)
 			}
 			return 3
+		case ctx.Err() != nil:
+			fmt.Fprintf(os.Stderr, "concurrent: interrupted: %v\n", err)
+			if cc.ckpt != "" {
+				printBenchCheckpoint(cc.ckpt, "rerun with -resume (or -supervise -resume)")
+				if bus != nil {
+					exportTelemetry(bus, cc.traceOut, cc.eventsOut)
+				}
+				return 3
+			}
+			return 1
+		default:
+			fmt.Fprintf(os.Stderr, "concurrent: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "concurrent: %v\n", err)
-		return 1
 	}
 	fmt.Printf("concurrent CSP plane: %d subnets, %d stages, %v wall clock\n",
 		res.Completed, res.D, time.Since(t0).Round(time.Microsecond))
+	if rep != nil {
+		fmt.Printf("supervised run: %d restarts, %d watchdog fires, final state %s, final D=%d\n",
+			rep.Restarts, rep.WatchdogFires, rep.FinalState, rep.FinalGPUs)
+		if len(rep.ElasticSteps) > 0 {
+			fmt.Printf("elastic depth steps: %v\n", rep.ElasticSteps)
+		}
+	}
 	if res.ObservedTrace != nil {
 		fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
 			len(res.ObservedTrace.Events))
 	}
-	if cc.resume {
+	if cc.resume || cc.supervised {
 		if err := cc.verifyResume(res); err != nil {
 			fmt.Fprintf(os.Stderr, "resume verification: %v\n", err)
 			return 1
@@ -317,6 +422,18 @@ func (cc ccOptions) verifyResume(res naspipe.Result) error {
 		return fmt.Errorf("resumed weights %016x diverge from sequential reference %016x", got, want)
 	}
 	return nil
+}
+
+// printBenchCheckpoint reports the on-disk checkpoint a resumable exit
+// leaves behind, with the flag hint for continuing the run.
+func printBenchCheckpoint(path, hint string) {
+	ck, err := naspipe.LoadCheckpoint(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %s unreadable: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "checkpoint: %s at cursor %d/%d, incarnation %d — %s\n",
+		path, ck.Cursor, ck.NumSubnets, ck.Incarnation, hint)
 }
 
 // exportTelemetry writes the captured stream to the requested files; the

@@ -91,14 +91,15 @@ func main() {
 	}
 }
 
-// printFaultTimeline reconstructs the failure timeline from the
-// fault-category events of a telemetry log: every injected fault
-// (crash, drop, delay, duplicate, fetch failure) and every persisted
-// checkpoint cut, in time order with its site and payload.
+// printFaultTimeline reconstructs the failure timeline from the fault-
+// and health-category events of a telemetry log: every injected fault
+// (crash, wedge, drop, delay, duplicate, fetch failure), every persisted
+// checkpoint cut, and every supervisor health transition, in time order
+// with its site and payload.
 func printFaultTimeline(evs []telemetry.Event, firstNs int64) {
 	var faults []telemetry.Event
 	for _, ev := range evs {
-		if ev.Op.Category() == "fault" {
+		if c := ev.Op.Category(); c == "fault" || c == "health" {
 			faults = append(faults, ev)
 		}
 	}
@@ -117,7 +118,7 @@ func printFaultTimeline(evs []telemetry.Event, firstNs int64) {
 		}
 		detail := ""
 		switch ev.Op {
-		case telemetry.OpFaultCrash:
+		case telemetry.OpFaultCrash, telemetry.OpFaultWedge:
 			detail = fmt.Sprintf("incarnation %d", ev.Arg)
 		case telemetry.OpFaultDrop:
 			detail = fmt.Sprintf("attempt %d", ev.Arg)
@@ -125,11 +126,19 @@ func printFaultTimeline(evs []telemetry.Event, firstNs int64) {
 			detail = fmt.Sprintf("%.1fµs", float64(ev.Arg)/1e3)
 		case telemetry.OpCheckpoint:
 			detail = fmt.Sprintf("cursor %d", ev.Arg)
+		case telemetry.OpHealth:
+			// Subnet carries the incarnation index; Arg packs the edge.
+			from, to := telemetry.HealthFromTo(ev.Arg)
+			detail = fmt.Sprintf("%s → %s (incarnation %d)",
+				healthStateName(from), healthStateName(to), ev.Subnet)
 		}
 		fmt.Printf("  %10.3fms  stage %d  subnet %d%s  %-11s %s\n",
 			float64(ev.TsNs-firstNs)/1e6, ev.Stage, ev.Subnet, kind, ev.Op.String(), detail)
 	}
 }
+
+// healthStateName renders one state code of a packed OpHealth edge.
+func healthStateName(s int32) string { return naspipe.HealthState(s).String() }
 
 // summarizeEvents loads a telemetry JSONL log, prints the per-op
 // histogram, and renders the reconstructed task spans as a pipeline

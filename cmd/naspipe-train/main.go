@@ -14,9 +14,23 @@
 // any of these flags is given:
 //
 //	naspipe-train -faults "seed=7,drop=0.1" -checkpoint run.ckpt
-//	naspipe-train -checkpoint run.ckpt -resume   # continue after a crash
+//	naspipe-train -checkpoint run.ckpt -resume      # continue after a crash
+//	naspipe-train -faults "seed=7,crash=0.02" -checkpoint run.ckpt -supervise
 //
-// An injected crash exits with code 3 after the checkpoint is persisted.
+// With -supervise the supervision plane catches crashes and
+// watchdog-diagnosed stalls in-process and resumes from the latest
+// checkpoint — no operator intervention, no process restarts; -elastic N
+// additionally halves the pipeline depth after N consecutive incidents
+// on one stage. SIGINT/SIGTERM interrupt gracefully: the committed
+// frontier is already checkpointed, so the process exits resumable.
+//
+// Exit codes (the contract CI and operators rely on):
+//
+//	0 — run complete (and verified where applicable)
+//	1 — run or verification failure, including supervisor give-up
+//	2 — usage error
+//	3 — resumable interruption: injected crash without -supervise, or
+//	    SIGINT/SIGTERM with a valid checkpoint; rerun with -resume
 package main
 
 import (
@@ -27,12 +41,15 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"naspipe"
 	"naspipe/internal/telemetry"
 )
 
 func main() {
+	supDef := naspipe.DefaultSuperviseConfig()
 	var (
 		space     = flag.String("space", "NLP.c1", "search space (Table 1 name)")
 		policy    = flag.String("policy", "naspipe", "scheduling policy: "+strings.Join(naspipe.PolicyNames(), ", "))
@@ -48,6 +65,11 @@ func main() {
 		faultSpec = flag.String("faults", "", "deterministic fault plan for the concurrent plane, e.g. \"seed=7,drop=0.1,crashat=2:9:F\"")
 		ckptPath  = flag.String("checkpoint", "", "persist crash-consistent checkpoints to this file (concurrent plane)")
 		resume    = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
+
+		supervised   = flag.Bool("supervise", false, "supervise the run: auto-resume crashes and watchdog-diagnosed stalls in-process (requires -checkpoint)")
+		stallTimeout = flag.Duration("stall-timeout", supDef.Watchdog.StallAfter, "supervised watchdog: declare a stall after this long without frontier or task progress")
+		maxRestarts  = flag.Int("max-restarts", supDef.MaxRestarts, "supervised retry budget across the whole run")
+		elasticAfter = flag.Int("elastic", 0, "supervised elastic recovery: halve the pipeline depth after N consecutive incidents on one stage (0 = off)")
 	)
 	flag.Parse()
 
@@ -56,9 +78,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *faultSpec != "" || *ckptPath != "" || *resume {
-		os.Exit(concurrentFaultRun(sp, *policy, *gpus, *subnets, *seed,
-			*faultSpec, *ckptPath, *resume))
+	if *faultSpec != "" || *ckptPath != "" || *resume || *supervised {
+		os.Exit(concurrentFaultRun(faultRunOpts{
+			space: sp, policy: *policy, gpus: *gpus, subnets: *subnets, seed: *seed,
+			faultSpec: *faultSpec, ckptPath: *ckptPath, resume: *resume,
+			supervised: *supervised, stallTimeout: *stallTimeout,
+			maxRestarts: *maxRestarts, elasticAfter: *elasticAfter,
+			eventsOut: *eventsOut,
+		}))
 	}
 	var bus *naspipe.TelemetryBus
 	if *traceOut != "" || *eventsOut != "" || *debugAddr != "" || *progress > 0 {
@@ -136,66 +163,172 @@ func main() {
 	}
 }
 
-// concurrentFaultRun routes a fault-injected and/or checkpointed run to
-// the concurrent (goroutine-per-stage) plane — the simulated clock has
-// no goroutines to crash. Exit codes: 0 clean, 1 verification/run
-// failure, 2 usage, 3 injected crash (resumable when -checkpoint set).
-func concurrentFaultRun(sp naspipe.Space, policy string, gpus, subnets int, seed uint64, faultSpec, ckptPath string, resume bool) int {
-	if policy != "naspipe" {
-		fmt.Fprintf(os.Stderr, "naspipe-train: fault injection runs on the concurrent CSP plane; policy %q is simulated-only\n", policy)
+// faultRunOpts collects the concurrent-plane run options (fault
+// injection, checkpointing, supervision).
+type faultRunOpts struct {
+	space         naspipe.Space
+	policy        string
+	gpus, subnets int
+	seed          uint64
+	faultSpec     string
+	ckptPath      string
+	resume        bool
+
+	supervised   bool
+	stallTimeout time.Duration
+	maxRestarts  int
+	elasticAfter int
+
+	eventsOut string
+}
+
+// concurrentFaultRun routes a fault-injected, checkpointed, or
+// supervised run to the concurrent (goroutine-per-stage) plane — the
+// simulated clock has no goroutines to crash. Returns the process exit
+// code per the contract in the package comment.
+func concurrentFaultRun(o faultRunOpts) int {
+	if o.policy != "naspipe" {
+		fmt.Fprintf(os.Stderr, "naspipe-train: fault injection runs on the concurrent CSP plane; policy %q is simulated-only\n", o.policy)
 		return 2
 	}
-	if resume && ckptPath == "" {
+	if o.resume && o.ckptPath == "" {
 		fmt.Fprintln(os.Stderr, "naspipe-train: -resume requires -checkpoint")
+		return 2
+	}
+	if o.supervised && o.ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "naspipe-train: -supervise requires -checkpoint (recovery resumes from it)")
 		return 2
 	}
 	opts := []naspipe.RunnerOption{
 		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
 		naspipe.WithTrace(true),
 	}
-	if faultSpec != "" {
-		plan, err := naspipe.ParseFaultPlan(faultSpec)
+	if o.faultSpec != "" {
+		plan, err := naspipe.ParseFaultPlan(o.faultSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 		opts = append(opts, naspipe.WithFaults(plan))
 	}
-	if ckptPath != "" {
-		opts = append(opts, naspipe.WithCheckpoint(ckptPath))
+	if o.ckptPath != "" {
+		opts = append(opts, naspipe.WithCheckpoint(o.ckptPath))
+	}
+	if o.elasticAfter > 0 {
+		opts = append(opts, naspipe.WithElasticResume())
+	}
+	var bus *naspipe.TelemetryBus
+	if o.eventsOut != "" {
+		bus = naspipe.NewTelemetryBus(0)
+		opts = append(opts, naspipe.WithTelemetry(bus))
 	}
 	r, err := naspipe.NewRunner(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the run between tasks; the committed frontier
+	// is already checkpointed (and the incarnation bumped), so the
+	// process exits resumable (3) instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg := naspipe.Config{
-		Space: sp, Spec: naspipe.DefaultCluster(gpus),
-		Seed: seed, NumSubnets: subnets,
+		Space: o.space, Spec: naspipe.DefaultCluster(o.gpus),
+		Seed: o.seed, NumSubnets: o.subnets,
 	}
+
+	code := 0
+	if o.supervised {
+		code = supervisedRun(ctx, r, cfg, o, bus)
+	} else {
+		code = plainRun(ctx, r, cfg, o)
+	}
+	if bus != nil {
+		lines, eerr := telemetry.ExportFiles(bus, "", o.eventsOut)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if eerr != nil {
+			fmt.Fprintln(os.Stderr, eerr)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
+}
+
+// plainRun is the unsupervised path: one incarnation, operator resumes.
+func plainRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o faultRunOpts) int {
 	run := r.Run
-	if resume {
+	if o.resume {
 		run = r.Resume
 	}
 	res, err := run(ctx, cfg)
 	if err != nil {
 		var crash *naspipe.CrashError
-		if errors.As(err, &crash) {
+		switch {
+		case errors.As(err, &crash):
 			fmt.Fprintf(os.Stderr, "injected crash: %v\n", err)
-			if ckptPath != "" {
-				if ck, lerr := naspipe.LoadCheckpoint(ckptPath); lerr == nil {
-					fmt.Fprintf(os.Stderr, "checkpoint: %s at cursor %d/%d, incarnation %d — rerun with -resume\n",
-						ckptPath, ck.Cursor, ck.NumSubnets, ck.Incarnation)
-				}
-			}
+			printCheckpoint(os.Stderr, o.ckptPath, "rerun with -resume")
 			return 3
+		case ctx.Err() != nil:
+			fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
+			if o.ckptPath != "" {
+				printCheckpoint(os.Stderr, o.ckptPath, "rerun with -resume")
+				return 3
+			}
+			return 1
+		default:
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
-		fmt.Fprintln(os.Stderr, err)
-		return 1
 	}
-	fmt.Printf("concurrent CSP plane: %s on %d GPUs, %d subnets completed", sp.Name, gpus, res.Completed)
+	printRunResult(o, res)
+	return 0
+}
+
+// supervisedRun wraps the incarnations in the supervision plane:
+// crashes and watchdog stalls auto-resume in-process.
+func supervisedRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o faultRunOpts, bus *naspipe.TelemetryBus) int {
+	sc := naspipe.DefaultSuperviseConfig()
+	sc.MaxRestarts = o.maxRestarts
+	sc.Watchdog.StallAfter = o.stallTimeout
+	sc.ElasticAfter = o.elasticAfter
+	sc.Telemetry = bus
+	sc.Log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	run := r.RunSupervised
+	if o.resume {
+		run = r.ResumeSupervised
+	}
+	res, rep, err := run(ctx, cfg, sc)
+	if err != nil {
+		var giveUp *naspipe.GiveUpError
+		switch {
+		case ctx.Err() != nil && !errors.As(err, &giveUp):
+			fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
+			printCheckpoint(os.Stderr, o.ckptPath, "rerun with -resume (or -supervise -resume)")
+			return 3
+		case errors.As(err, &giveUp):
+			fmt.Fprintln(os.Stderr, giveUp)
+			return 1
+		default:
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	fmt.Printf("supervised run:    %s, %d restarts, %d watchdog fires, final D=%d\n",
+		rep.FinalState, rep.Restarts, rep.WatchdogFires, rep.FinalGPUs)
+	if len(rep.ElasticSteps) > 0 {
+		fmt.Printf("elastic steps:     depth %v after repeated same-stage incidents\n", rep.ElasticSteps)
+	}
+	printRunResult(o, res)
+	return 0
+}
+
+func printRunResult(o faultRunOpts, res naspipe.Result) {
+	fmt.Printf("concurrent CSP plane: %s on %d GPUs, %d subnets completed", o.space.Name, o.gpus, res.Completed)
 	if res.BaseSeq > 0 {
 		fmt.Printf(" (resumed at cursor %d)", res.BaseSeq)
 	}
@@ -204,13 +337,27 @@ func concurrentFaultRun(sp naspipe.Space, policy string, gpus, subnets int, seed
 		fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
 			len(res.ObservedTrace.Events))
 	}
-	if ckptPath != "" {
-		if ck, lerr := naspipe.LoadCheckpoint(ckptPath); lerr == nil {
-			fmt.Printf("checkpoint:        %s (cursor %d/%d, incarnation %d)\n",
-				ckptPath, ck.Cursor, ck.NumSubnets, ck.Incarnation)
-		}
+	if o.ckptPath != "" {
+		printCheckpoint(os.Stdout, o.ckptPath, "")
 	}
-	return 0
+}
+
+// printCheckpoint echoes the checkpoint file's cursor/incarnation state
+// with an optional operator hint.
+func printCheckpoint(w *os.File, path, hint string) {
+	if path == "" {
+		return
+	}
+	ck, err := naspipe.LoadCheckpoint(path)
+	if err != nil {
+		fmt.Fprintf(w, "checkpoint:        %s unreadable: %v\n", path, err)
+		return
+	}
+	line := fmt.Sprintf("checkpoint:        %s (cursor %d/%d, incarnation %d)", path, ck.Cursor, ck.NumSubnets, ck.Incarnation)
+	if hint != "" {
+		line += " — " + hint
+	}
+	fmt.Fprintln(w, line)
 }
 
 func mustPolicyReproducible(name string) bool {

@@ -110,6 +110,8 @@ type ccStage struct {
 
 	retrieved int // stage 0 only: subnets pulled from the exploration stream
 
+	lastTaskNs int64 // wall-clock ns of the last completed task (health probe)
+
 	cont metrics.StageContention
 
 	tel *telemetry.Bus // nil = telemetry disabled
@@ -189,6 +191,10 @@ type ccRun struct {
 	rec     fault.Recorder
 	lastCut int
 	recErr  error
+
+	// Health plane: probe is Config.Probe (nil = disabled); stages
+	// publish their scheduler state into it at every task boundary.
+	probe *RunProbe
 }
 
 // ccParkPoll bounds how long a stage goroutine parks before rescanning its
@@ -232,7 +238,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	c := &ccRun{cfg: cfg, w: w, base: cfg.SeqBase, rec: cfg.Checkpoint}
+	c := &ccRun{cfg: cfg, w: w, base: cfg.SeqBase, rec: cfg.Checkpoint, probe: cfg.Probe}
 	if cfg.Faults.Enabled() {
 		c.inj, err = fault.NewInjector(*cfg.Faults, cfg.FaultIncarnation)
 		if err != nil {
@@ -308,6 +314,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		}
 		c.stages[k] = s
 	}
+	if c.probe != nil {
+		c.probe.attach(w.D, c.base)
+	}
 
 	start := time.Now()
 	// Async prefetcher goroutines: one per stage, alive for the whole run,
@@ -379,7 +388,13 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		return res, c.crashErr
 	}
 	if res.Deadlock {
-		return res, fmt.Errorf("engine: concurrent run stalled at %d/%d subnets", res.Completed, n)
+		// Safe to read stage state directly: wg.Wait above is the
+		// happens-before edge.
+		stall := &StallError{Completed: res.Completed, Total: n}
+		for _, s := range c.stages {
+			stall.Stages = append(stall.Stages, c.healthOf(s, false))
+		}
+		return res, stall
 	}
 	if c.obs != nil {
 		if !c.obs.PerLayerEqual(res.Trace) {
@@ -508,13 +523,16 @@ func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
 		}
 		// Backward tasks always run first (§3.2): they retire dependencies
 		// and widen every stage's schedulable set.
-		if c.runBackward(s) {
+		if c.runBackward(ctx, s) {
 			continue
 		}
-		if c.runForward(s) {
+		if c.runForward(ctx, s) {
 			continue
 		}
 		// Nothing admissible: park until an input or notification arrives.
+		// The health publish keeps the probe's view of queue/block state
+		// fresh while idle without counting as progress.
+		c.publishHealth(s, false, false)
 		s.cont.Parks++
 		timer := time.NewTimer(ccParkPoll)
 		select {
@@ -650,6 +668,67 @@ func (c *ccRun) bytesOf(id supernet.LayerID) int64 {
 	return c.w.Net.Meta[id].ParamBytes
 }
 
+// healthOf captures one stage's current scheduler state for the health
+// probe and the stall report. Reads only stage-goroutine-owned fields
+// (plus the thread-safe cache), so it is valid from the owning
+// goroutine during the run and from RunConcurrent after wg.Wait.
+func (c *ccRun) healthOf(s *ccStage, wedged bool) StageHealth {
+	h := StageHealth{
+		Stage: s.k, FwdDone: s.fwdDone, BwdDone: s.bwdDone,
+		QueueLen: len(s.fwdQ), BwdQueueLen: len(s.bwdReady),
+		BlockedHead: -1, OwnerSubnet: -1,
+		LastTaskNs: s.lastTaskNs, Wedged: wedged,
+	}
+	if len(s.fwdQ) > 0 {
+		head := s.fwdQ[0]
+		h.BlockedHead = s.base + head
+		if w := s.sched.BlockingWriter(head); w >= 0 {
+			h.OwnerSubnet = s.base + w
+		}
+	}
+	if s.cache != nil {
+		h.CacheResidentBytes = s.cache.Used()
+	}
+	return h
+}
+
+// publishHealth pushes the stage's state into the health probe;
+// taskDone stamps the completion and bumps the probe's monotone
+// progress counter — parks and queue churn never count as progress.
+func (c *ccRun) publishHealth(s *ccStage, taskDone, wedged bool) {
+	if c.probe == nil {
+		return
+	}
+	if taskDone {
+		s.lastTaskNs = time.Now().UnixNano()
+	}
+	c.probe.publish(c.healthOf(s, wedged), taskDone)
+}
+
+// maybeWedge consults the fault plane's targeted wedge at a task
+// boundary — same site discipline as maybeCrash — and, when it fires,
+// hangs the stage goroutine until the run is cancelled or another
+// stage crashes. It models a stuck kernel or lost collective rather
+// than a death: no state is corrupted, no progress is made, and
+// nothing inside the engine will ever unwedge it — detection is the
+// supervision watchdog's job (or the caller's ctx deadline).
+func (c *ccRun) maybeWedge(ctx context.Context, s *ccStage, seq int, kind int8) bool {
+	if c.inj == nil || !c.inj.WedgeAt(s.k, s.base+seq, kind) {
+		return false
+	}
+	s.telFault(telemetry.OpFaultWedge, s.base+seq, kind, int64(c.inj.Incarnation()))
+	c.publishHealth(s, false, true)
+	for ctx.Err() == nil && !c.crashed.Load() {
+		timer := time.NewTimer(ccParkPoll)
+		select {
+		case <-ctx.Done():
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+	return true
+}
+
 // maybeCrash consults the fault plane at a task boundary — after the
 // task is selected, before any of its side effects (trace emission,
 // scheduler state, cache locks) — and, when the injector says so, kills
@@ -740,7 +819,7 @@ func (c *ccRun) snapshotCut(s *ccStage) {
 // runBackward executes the lowest-sequence ready backward, emits its
 // WRITEs, and broadcasts the dependency release. Returns false if no
 // backward is ready.
-func (c *ccRun) runBackward(s *ccStage) bool {
+func (c *ccRun) runBackward(ctx context.Context, s *ccStage) bool {
 	if len(s.bwdReady) == 0 {
 		return false
 	}
@@ -751,6 +830,9 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 		}
 	}
 	seq := s.bwdReady[best]
+	if c.maybeWedge(ctx, s, seq, telemetry.KindBackward) {
+		return true
+	}
 	if c.maybeCrash(s, seq, telemetry.KindBackward) {
 		return true
 	}
@@ -795,6 +877,9 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	s.cont.Notes-- // self-application is not cross-stage traffic
 	if finished {
 		c.snapshotCut(s)
+		if c.probe != nil {
+			c.probe.advanceFrontier(c.base + s.sched.Frontier())
+		}
 	}
 	for _, t := range c.stages {
 		if t != s {
@@ -818,6 +903,7 @@ func (c *ccRun) runBackward(s *ccStage) bool {
 	s.telTask(telemetry.OpTaskComplete, telemetry.PhaseEnd, seq, telemetry.KindBackward)
 	s.bwdDone++
 	s.cont.Tasks++
+	c.publishHealth(s, true, false)
 	return true
 }
 
@@ -846,7 +932,7 @@ func (s *ccStage) pendingCarry() []csp.PendingBackward {
 // runForward admits the first CSP-admissible queued forward (Algorithm 2),
 // emits its READs, and forwards the activation downstream. Returns false
 // if the queue is empty or every queued subnet is blocked.
-func (c *ccRun) runForward(s *ccStage) bool {
+func (c *ccRun) runForward(ctx context.Context, s *ccStage) bool {
 	if len(s.fwdQ) == 0 {
 		return false
 	}
@@ -873,6 +959,9 @@ func (c *ccRun) runForward(s *ccStage) bool {
 			}
 		}
 		return false
+	}
+	if c.maybeWedge(ctx, s, seq, telemetry.KindForward) {
+		return true
 	}
 	if c.maybeCrash(s, seq, telemetry.KindForward) {
 		return true
@@ -924,6 +1013,7 @@ func (c *ccRun) runForward(s *ccStage) bool {
 	}
 	s.fwdDone++
 	s.cont.Tasks++
+	c.publishHealth(s, true, false)
 	return true
 }
 

@@ -96,6 +96,14 @@ type Config struct {
 	// run the uncommitted suffix of an interrupted stream. Concurrent
 	// plane only.
 	SeqBase int
+
+	// Probe, when non-nil, receives the run's live health state: per-stage
+	// scheduler heads and task counters published at every task boundary,
+	// plus the committed stage-0 frontier. The supervision plane's
+	// watchdog polls it to distinguish slow progress from a genuine
+	// stall. A probe may be reused across incarnations; RunConcurrent
+	// re-attaches it at start. Concurrent plane only.
+	Probe *RunProbe
 }
 
 // MemPlaneConfig is the concurrent plane's memory-context configuration.
@@ -370,6 +378,9 @@ func RunContext(ctx context.Context, cfg Config, policy Policy) (Result, error) 
 	}
 	if cfg.Checkpoint != nil || cfg.SeqBase != 0 {
 		return Result{}, fmt.Errorf("engine: checkpoint/resume (Checkpoint, SeqBase) is a concurrent-plane feature")
+	}
+	if cfg.Probe != nil {
+		return Result{}, fmt.Errorf("engine: the health probe (Probe) is a concurrent-plane feature; the simulated clock has no live run to watch")
 	}
 	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits(), tel: cfg.Telemetry}
 	if err := e.buildWorld(); err != nil {

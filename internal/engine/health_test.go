@@ -1,0 +1,143 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"naspipe/internal/engine"
+	"naspipe/internal/fault"
+	"naspipe/internal/sched"
+	"naspipe/internal/telemetry"
+)
+
+// TestConcurrentProbeTracksRun pins what the watchdog sees on a clean
+// run: the frontier ends at the stream length, the task counter at
+// 2·n·D (every stage's forward and backward per subnet), and the final
+// per-stage table shows every stage done and nothing wedged.
+func TestConcurrentProbeTracksRun(t *testing.T) {
+	cfg := ccCfg(4, false)
+	probe := &engine.RunProbe{}
+	cfg.Probe = probe
+	res, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("probed run failed: %v", err)
+	}
+	if res.Completed != cfg.NumSubnets {
+		t.Fatalf("completed %d/%d", res.Completed, cfg.NumSubnets)
+	}
+	f, tasks := probe.Progress()
+	if f != cfg.NumSubnets {
+		t.Fatalf("final frontier %d, want %d", f, cfg.NumSubnets)
+	}
+	if want := int64(2 * cfg.NumSubnets * res.D); tasks != want {
+		t.Fatalf("task counter %d, want %d", tasks, want)
+	}
+	for _, h := range probe.Snapshot() {
+		if h.FwdDone != cfg.NumSubnets || h.BwdDone != cfg.NumSubnets {
+			t.Fatalf("stage %d ended incomplete in the probe: %+v", h.Stage, h)
+		}
+		if h.Wedged {
+			t.Fatalf("stage %d wedged on a fault-free run", h.Stage)
+		}
+		if h.LastTaskNs == 0 {
+			t.Fatalf("stage %d never stamped a task completion", h.Stage)
+		}
+	}
+}
+
+// TestConcurrentWedgeHangsUntilCancelled pins the wedge fault: the
+// targeted stage publishes Wedged and completes nothing more, the run
+// hangs (distinguishable from slow only via the probe), and cancelling
+// the context releases the wedged goroutine with ctx.Err().
+func TestConcurrentWedgeHangsUntilCancelled(t *testing.T) {
+	cfg := ccCfg(4, false)
+	cfg.Faults = &fault.Plan{
+		Seed:      1,
+		WedgeTask: &fault.TaskRef{Stage: 1, Seq: 6, Kind: fault.KindForward},
+	}
+	probe := &engine.RunProbe{}
+	cfg.Probe = probe
+	bus := telemetry.NewBus(0)
+	cfg.Telemetry = bus
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	var res engine.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = engine.RunConcurrent(ctx, cfg)
+	}()
+
+	deadline := time.After(10 * time.Second)
+	wedged := false
+	for !wedged {
+		select {
+		case <-deadline:
+			t.Fatal("stage 1 never published Wedged")
+		case <-time.After(time.Millisecond):
+		}
+		for _, h := range probe.Snapshot() {
+			if h.Stage == 1 && h.Wedged {
+				wedged = true
+			}
+		}
+	}
+	select {
+	case <-done:
+		t.Fatalf("wedged run returned on its own: %v", runErr)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("wedged run did not release on cancellation")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("wedged run returned %v, want context.Canceled", runErr)
+	}
+	if !res.Deadlock || res.Completed == cfg.NumSubnets {
+		t.Fatalf("wedged run claims completion: %+v", res)
+	}
+	if snap := bus.Snapshot(); snap.FaultWedges != 1 {
+		t.Fatalf("wedge events = %d, want 1", snap.FaultWedges)
+	}
+}
+
+// TestConcurrentWedgeSkippedOnResume pins the recovery contract shared
+// with targeted crashes: a wedge names incarnation 0 only, so a resumed
+// incarnation runs the same plan to completion.
+func TestConcurrentWedgeSkippedOnResume(t *testing.T) {
+	cfg := ccCfg(2, false)
+	cfg.Faults = &fault.Plan{
+		Seed:      1,
+		WedgeTask: &fault.TaskRef{Stage: 1, Seq: 4, Kind: fault.KindForward},
+	}
+	cfg.FaultIncarnation = 1
+	res, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("incarnation 1 hit the incarnation-0 wedge: %v", err)
+	}
+	if res.Completed != cfg.NumSubnets {
+		t.Fatalf("completed %d/%d", res.Completed, cfg.NumSubnets)
+	}
+}
+
+// TestSimulatedPlaneRejectsProbe pins the config contract: the
+// discrete-event plane has no live run to watch, so a Probe is refused
+// rather than silently ignored.
+func TestSimulatedPlaneRejectsProbe(t *testing.T) {
+	pol, err := sched.New("naspipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ccCfg(2, false)
+	cfg.Probe = &engine.RunProbe{}
+	if _, err := engine.RunContext(context.Background(), cfg, pol); err == nil {
+		t.Fatal("simulated plane accepted a health probe")
+	}
+}

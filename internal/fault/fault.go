@@ -72,6 +72,13 @@ type Plan struct {
 	// once — in incarnation 0 only, so the resumed run gets past it.
 	CrashTask *TaskRef
 
+	// WedgeTask, when non-nil, hangs the stage goroutine at the named
+	// task boundary until its context is cancelled — the deterministic
+	// deadlock fixture the supervision plane's watchdog is tested
+	// against. Like CrashTask it fires in incarnation 0 only, so a
+	// resume after the watchdog cuts a checkpoint gets past it.
+	WedgeTask *TaskRef
+
 	// Message faults, applied per delivery attempt of every cross-stage
 	// activation (forward) and gradient (backward) transfer. A dropped
 	// attempt is retried with exponential backoff up to MaxRetries, after
@@ -105,7 +112,7 @@ const (
 
 // Enabled reports whether the plan injects any fault at all.
 func (p *Plan) Enabled() bool {
-	return p != nil && (p.CrashRate > 0 || p.CrashTask != nil ||
+	return p != nil && (p.CrashRate > 0 || p.CrashTask != nil || p.WedgeTask != nil ||
 		p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 || p.FetchFailRate > 0)
 }
 
@@ -137,6 +144,11 @@ func (p Plan) Validate() error {
 	if t := p.CrashTask; t != nil {
 		if t.Stage < 0 || t.Seq < 0 || (t.Kind != KindForward && t.Kind != KindBackward) {
 			return fmt.Errorf("fault: malformed crash task %+v", *t)
+		}
+	}
+	if t := p.WedgeTask; t != nil {
+		if t.Stage < 0 || t.Seq < 0 || (t.Kind != KindForward && t.Kind != KindBackward) {
+			return fmt.Errorf("fault: malformed wedge task %+v", *t)
 		}
 	}
 	return nil
@@ -203,8 +215,12 @@ func ParsePlan(spec string) (*Plan, error) {
 			var t *TaskRef
 			t, err = parseTaskRef(val)
 			p.CrashTask = t
+		case "wedgeat":
+			var t *TaskRef
+			t, err = parseTaskRef(val)
+			p.WedgeTask = t
 		default:
-			return nil, fmt.Errorf("fault: unknown plan key %q (known: seed, crash, crashat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)", key)
+			return nil, fmt.Errorf("fault: unknown plan key %q (known: seed, crash, crashat, wedgeat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)", key)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("fault: bad value for %s: %w", key, err)
@@ -255,6 +271,9 @@ func (p Plan) String() string {
 	rate("crash", p.CrashRate)
 	if p.CrashTask != nil {
 		add("crashat", p.CrashTask.String())
+	}
+	if p.WedgeTask != nil {
+		add("wedgeat", p.WedgeTask.String())
 	}
 	rate("drop", p.DropRate)
 	rate("delay", p.DelayRate)
@@ -337,6 +356,15 @@ func (in *Injector) CrashAt(stage, seq int, kind int8) bool {
 		return false
 	}
 	return in.roll(fmt.Sprintf("crash/%d/%d/%d/%d", in.incarnation, stage, seq, kind)) < in.plan.CrashRate
+}
+
+// WedgeAt decides whether the stage hangs at the (stage, seq, kind)
+// task boundary until cancelled. Fires in incarnation 0 only, so runs
+// resumed after a watchdog-cut checkpoint are not re-wedged.
+func (in *Injector) WedgeAt(stage, seq int, kind int8) bool {
+	t := in.plan.WedgeTask
+	return t != nil && in.incarnation == 0 &&
+		t.Stage == stage && t.Seq == seq && t.Kind == kind
 }
 
 // Message decides the fate of one delivery attempt of a cross-stage

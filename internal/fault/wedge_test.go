@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePlanWedgeRoundTrip pins the wedgeat spec syntax and its
+// String round-trip.
+func TestParsePlanWedgeRoundTrip(t *testing.T) {
+	p, err := ParsePlan("seed=3,wedgeat=1:6:F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WedgeTask == nil || p.WedgeTask.Stage != 1 || p.WedgeTask.Seq != 6 || p.WedgeTask.Kind != KindForward {
+		t.Fatalf("wedge task parsed wrong: %+v", p.WedgeTask)
+	}
+	if !p.Enabled() {
+		t.Fatal("plan with only a wedge task reports disabled")
+	}
+	s := p.String()
+	if !strings.Contains(s, "wedgeat=1:6:F") {
+		t.Fatalf("String() lost the wedge: %q", s)
+	}
+	back, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if *back.WedgeTask != *p.WedgeTask {
+		t.Fatalf("round trip changed the wedge: %+v vs %+v", back.WedgeTask, p.WedgeTask)
+	}
+}
+
+func TestValidateRejectsMalformedWedge(t *testing.T) {
+	p := &Plan{Seed: 1, WedgeTask: &TaskRef{Stage: -1, Seq: 0, Kind: KindForward}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative wedge stage accepted")
+	}
+	if _, err := ParsePlan("wedgeat=1:2"); err == nil {
+		t.Fatal("two-field wedge ref accepted")
+	}
+}
+
+// TestWedgeAtIncarnationGating pins the recovery contract: a wedge
+// names incarnation 0 only — the resumed incarnation after the
+// watchdog cuts the checkpoint must not re-wedge, or recovery would
+// never terminate.
+func TestWedgeAtIncarnationGating(t *testing.T) {
+	plan := Plan{Seed: 5, WedgeTask: &TaskRef{Stage: 2, Seq: 9, Kind: KindBackward}}
+	in0, err := NewInjector(plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in0.WedgeAt(2, 9, KindBackward) {
+		t.Fatal("incarnation 0 did not wedge at the named site")
+	}
+	for name, args := range map[string][3]int{
+		"wrong-stage": {1, 9, int(KindBackward)},
+		"wrong-seq":   {2, 8, int(KindBackward)},
+		"wrong-kind":  {2, 9, int(KindForward)},
+	} {
+		if in0.WedgeAt(args[0], args[1], int8(args[2])) {
+			t.Errorf("%s: wedge fired off-site", name)
+		}
+	}
+	in1, err := NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1.WedgeAt(2, 9, KindBackward) {
+		t.Fatal("incarnation 1 re-wedged — recovery would never terminate")
+	}
+}

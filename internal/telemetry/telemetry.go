@@ -72,7 +72,14 @@ const (
 	OpFaultDelay // message delivery delayed (Arg = delay ns)
 	OpFaultDup   // message delivered twice (receiver dedups)
 	OpFaultFetch // prefetch copy failed; surfaced as a cache miss
+	OpFaultWedge // stage goroutine hung at a task boundary until cancelled (Arg = incarnation)
 	OpCheckpoint // consistency cut recorded (Arg = global cursor)
+
+	// Supervision plane (category "health"): the supervisor's state
+	// machine transitions (Arg = HealthArg(from, to), Subnet =
+	// incarnation), so a JSONL log reconstructs the full
+	// running→degraded→recovering→done|failed history of a supervised run.
+	OpHealth
 
 	opCount
 )
@@ -84,7 +91,8 @@ var opNames = [opCount]string{
 	"cache-hit", "cache-miss", "cache-evict", "cache-stall",
 	"transfer-send", "transfer-recv",
 	"fault-crash", "fault-drop", "fault-delay", "fault-dup", "fault-fetch",
-	"checkpoint",
+	"fault-wedge", "checkpoint",
+	"health",
 }
 
 func (o Op) String() string {
@@ -105,7 +113,7 @@ func OpByName(name string) (Op, bool) {
 }
 
 // Category groups an op for exporters ("task", "sched", "mem", "flow",
-// "fault").
+// "fault", "health").
 func (o Op) Category() string {
 	switch {
 	case o <= OpTaskComplete:
@@ -116,8 +124,10 @@ func (o Op) Category() string {
 		return "mem"
 	case o <= OpTransferRecv:
 		return "flow"
-	default:
+	case o <= OpCheckpoint:
 		return "fault"
+	default:
+		return "health"
 	}
 }
 
@@ -349,7 +359,10 @@ type Snapshot struct {
 	FaultDelays  int64 `json:"fault_delays"`
 	FaultDups    int64 `json:"fault_dups"`
 	FaultFetches int64 `json:"fault_fetches"`
+	FaultWedges  int64 `json:"fault_wedges"`
 	Checkpoints  int64 `json:"checkpoints"`
+
+	HealthTransitions int64 `json:"health_transitions"`
 }
 
 // Snapshot reads the live counters. Nil-safe (zero snapshot).
@@ -378,7 +391,10 @@ func (b *Bus) Snapshot() Snapshot {
 		FaultDelays:      b.counters[OpFaultDelay].Load(),
 		FaultDups:        b.counters[OpFaultDup].Load(),
 		FaultFetches:     b.counters[OpFaultFetch].Load(),
+		FaultWedges:      b.counters[OpFaultWedge].Load(),
 		Checkpoints:      b.counters[OpCheckpoint].Load(),
+
+		HealthTransitions: b.counters[OpHealth].Load(),
 	}
 }
 
@@ -402,8 +418,11 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(", cache %.1f%% hit (%.1f stall ms)",
 			100*s.HitRate(), float64(s.StallNs)/1e6)
 	}
-	if faults := s.Crashes + s.FaultDrops + s.FaultDelays + s.FaultDups + s.FaultFetches; faults > 0 {
+	if faults := s.Crashes + s.FaultDrops + s.FaultDelays + s.FaultDups + s.FaultFetches + s.FaultWedges; faults > 0 {
 		out += fmt.Sprintf(", faults %d (%d crashes), ckpts %d", faults, s.Crashes, s.Checkpoints)
+	}
+	if s.HealthTransitions > 0 {
+		out += fmt.Sprintf(", health %d transitions", s.HealthTransitions)
 	}
 	out += fmt.Sprintf(", events %d (%d dropped)", s.Emitted, s.Dropped)
 	return out
@@ -414,4 +433,17 @@ func (s Snapshot) String() string {
 // receiving side can name the same flow without shared state.
 func FlowID(kind int8, subnet, fromStage int32) int64 {
 	return int64(kind+1)<<40 | int64(subnet)<<16 | int64(fromStage)
+}
+
+// HealthArg packs a supervision state transition into an OpHealth event's
+// Arg payload. State codes are the supervision plane's (see
+// internal/supervise): 0 running, 1 degraded, 2 recovering, 3 done,
+// 4 failed; the bus itself stays dependency-free.
+func HealthArg(from, to int32) int64 {
+	return int64(from)<<8 | int64(to)
+}
+
+// HealthFromTo unpacks a HealthArg payload.
+func HealthFromTo(arg int64) (from, to int32) {
+	return int32(arg>>8) & 0xff, int32(arg) & 0xff
 }

@@ -71,6 +71,7 @@ type Runner struct {
 	ckptPath  string
 	ckptEvery int
 	trainCfg  *train.Config
+	elastic   bool
 }
 
 // RunnerOption configures a Runner under construction.
@@ -161,6 +162,18 @@ func WithCheckpointTraining(tc TrainConfig) RunnerOption {
 	return func(r *Runner) { r.trainCfg = &tc }
 }
 
+// WithElasticResume allows Resume to re-partition an interrupted run
+// across a different GPU count than the checkpoint recorded: the GPU
+// identity check is relaxed, the suffix is re-partitioned at the
+// config's depth, and the checkpoint is rewritten to the new depth.
+// Legal under CSP — Definition 1 orders parameter accesses by subnet
+// sequence, not stage count, so the re-partitioned suffix still
+// composes bitwise with the committed prefix. The supervision plane's
+// elastic degraded-mode recovery requires it. Requires WithCheckpoint.
+func WithElasticResume() RunnerOption {
+	return func(r *Runner) { r.elastic = true }
+}
+
 // NewRunner validates the option set and returns an immutable Runner.
 func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	r := &Runner{policy: "naspipe"}
@@ -203,8 +216,8 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	if r.ckptEvery < 0 {
 		return nil, fmt.Errorf("naspipe: negative checkpoint interval %d", r.ckptEvery)
 	}
-	if (r.ckptEvery != 0 || r.trainCfg != nil) && r.ckptPath == "" {
-		return nil, fmt.Errorf("naspipe: WithCheckpointEvery/WithCheckpointTraining refine WithCheckpoint, which is not set")
+	if (r.ckptEvery != 0 || r.trainCfg != nil || r.elastic) && r.ckptPath == "" {
+		return nil, fmt.Errorf("naspipe: WithCheckpointEvery/WithCheckpointTraining/WithElasticResume refine WithCheckpoint, which is not set")
 	}
 	return r, nil
 }
@@ -269,8 +282,8 @@ func (r *Runner) Resume(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("naspipe: resume: checkpoint is for space %q, config says %q", ck.Space, cfg.Space.Name)
 	case ck.Seed != cfg.Seed:
 		return Result{}, fmt.Errorf("naspipe: resume: checkpoint seed %d != config seed %d", ck.Seed, cfg.Seed)
-	case ck.GPUs != cfg.Spec.GPUs:
-		return Result{}, fmt.Errorf("naspipe: resume: checkpoint ran on %d GPUs, config says %d", ck.GPUs, cfg.Spec.GPUs)
+	case ck.GPUs != cfg.Spec.GPUs && !r.elastic:
+		return Result{}, fmt.Errorf("naspipe: resume: checkpoint ran on %d GPUs, config says %d (WithElasticResume permits re-partitioning)", ck.GPUs, cfg.Spec.GPUs)
 	case ck.NumSubnets != len(full):
 		return Result{}, fmt.Errorf("naspipe: resume: checkpoint stream has %d subnets, config has %d", ck.NumSubnets, len(full))
 	case ck.JitterSeed != cfg.JitterSeed:
@@ -300,6 +313,10 @@ func (r *Runner) Resume(ctx context.Context, cfg Config) (Result, error) {
 	cfg.SeqBase = ck.Cursor
 	cfg.FaultIncarnation = ck.Incarnation
 	ck.FaultSeed = r.faultSeed()
+	// Elastic resume: the suffix re-partitions at the config's depth, and
+	// the rewritten identity persists it so later resumes verify against
+	// the depth actually running.
+	ck.GPUs = cfg.Spec.GPUs
 	return r.runCheckpointed(ctx, cfg, full, ck)
 }
 
@@ -352,9 +369,18 @@ func (r *Runner) runCheckpointed(ctx context.Context, cfg Config, full []superne
 	cfg.Checkpoint = rec
 	res, err := engine.RunConcurrent(ctx, cfg)
 	var crash *fault.CrashError
-	if errors.As(err, &crash) {
+	switch {
+	case errors.As(err, &crash):
 		if berr := rec.Bump(); berr != nil {
 			return res, fmt.Errorf("naspipe: recording crash incarnation: %w (run failed with: %v)", berr, err)
+		}
+	case err != nil && ctx.Err() != nil:
+		// Interrupted (signal, watchdog, deadline): the committed frontier
+		// is already on disk; bump the incarnation so the resumed run
+		// rolls a fresh fault schedule — in particular, an incarnation-0
+		// wedge that forced the interruption cannot refire.
+		if berr := rec.Bump(); berr != nil {
+			return res, fmt.Errorf("naspipe: recording interrupted incarnation: %w (run stopped with: %v)", berr, err)
 		}
 	}
 	return res, err
