@@ -9,6 +9,12 @@
 //	naspipe-bench -exp all -parallel 4   # fan experiments over 4 workers
 //	naspipe-bench -concurrent            # smoke the goroutine-per-stage plane
 //
+// The smoke's run flags are the shared set from internal/clicfg, parsed
+// into the canonical naspipe.JobSpec — the same knobs, names, and
+// validation as naspipe-train and the naspiped service API. The default
+// smoke workload is NLP.c3 re-geometried to 8 blocks × 3 choices, 48
+// subnets (override with -space/-scale-blocks/-scale-choices/-subnets).
+//
 // The concurrent smoke doubles as the telemetry showcase:
 //
 //	naspipe-bench -concurrent -trace-out trace.json   # Chrome/Perfetto trace
@@ -34,9 +40,10 @@
 //
 //	naspipe-bench -concurrent -faults "seed=7,crash=0.02" -checkpoint run.ckpt -supervise
 //
-// Exit codes: 0 complete+verified, 1 run/verification failure (including
-// supervisor give-up), 2 usage, 3 resumable (injected crash without
-// -supervise, or SIGINT/SIGTERM with a valid checkpoint).
+// Exit codes are the naspipe.ExitCode contract: 0 complete+verified,
+// 1 run/verification failure (including supervisor give-up), 2 usage,
+// 3 resumable (injected crash without -supervise, or SIGINT/SIGTERM
+// with a valid checkpoint).
 //
 // The -parallel fan-out changes wall-clock time only: reports are
 // assembled in canonical experiment order and are byte-identical to a
@@ -56,37 +63,23 @@ import (
 	"time"
 
 	"naspipe"
-	"naspipe/internal/data"
+	"naspipe/internal/clicfg"
 	"naspipe/internal/metrics"
 	"naspipe/internal/telemetry"
 )
 
 func main() {
-	supDef := naspipe.DefaultSuperviseConfig()
+	os.Exit(int(run()))
+}
+
+func run() naspipe.ExitCode {
+	f := clicfg.Register(flag.CommandLine, clicfg.Defaults{Space: "NLP.c3", GPUs: 8})
 	var (
 		exps       = flag.String("exp", "all", "comma-separated experiment names, or 'all' (known: "+strings.Join(naspipe.ExperimentNames(), ", ")+")")
 		quick      = flag.Bool("quick", false, "reduced sizes for a fast smoke pass")
-		seed       = flag.Uint64("seed", 42, "global random seed")
-		gpus       = flag.Int("gpus", 8, "default GPU count for single-cluster experiments")
-		subnets    = flag.Int("subnets", 0, "performance-plane subnets per run (0 = default)")
 		par        = flag.Int("parallel", 0, "experiment fan-out workers (0 = GOMAXPROCS, 1 = serial)")
 		concurrent = flag.Bool("concurrent", false, "run a goroutine-per-stage CSP smoke instead of experiments")
-		predictor  = flag.Bool("predictor", false, "with -concurrent: enable the Algorithm 3 context predictor")
-		cacheFac   = flag.Float64("cachefactor", 3, "with -concurrent: per-stage cache budget as a multiple of the average subnet footprint (0 disables the cache)")
-		traceOut   = flag.String("trace-out", "", "with -concurrent: write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing)")
-		eventsOut  = flag.String("events-out", "", "with -concurrent: write the raw telemetry stream as JSONL (inspect with naspipe-replay -events)")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/telemetry on this address for the process lifetime")
-		progress   = flag.Duration("progress", 0, "with -concurrent: print a live counter line at this interval (e.g. 200ms)")
 		overhead   = flag.Bool("overhead", false, "with -concurrent: measure telemetry overhead (off vs on) and fail above 5%")
-		faultSpec  = flag.String("faults", "", "with -concurrent: deterministic fault plan, e.g. \"seed=7,drop=0.1,crashat=2:9:F\" (keys: seed, crash, crashat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)")
-		ckptPath   = flag.String("checkpoint", "", "with -concurrent: persist crash-consistent checkpoints to this file (an injected crash then exits 3, resumable)")
-		resume     = flag.Bool("resume", false, "with -concurrent: resume from -checkpoint instead of starting fresh, then verify bitwise against the sequential reference")
-		jitter     = flag.Float64("jitter", 0, "with -concurrent: compute-timing jitter magnitude for the smoke workload (tasks really sleep)")
-
-		supervised   = flag.Bool("supervise", false, "with -concurrent: auto-resume crashes and watchdog-diagnosed stalls in-process (requires -checkpoint)")
-		stallTimeout = flag.Duration("stall-timeout", supDef.Watchdog.StallAfter, "with -supervise: declare a stall after this long without frontier or task progress")
-		maxRestarts  = flag.Int("max-restarts", supDef.MaxRestarts, "with -supervise: retry budget across the whole run")
-		elasticAfter = flag.Int("elastic", 0, "with -supervise: halve the pipeline depth after N consecutive incidents on one stage (0 = off)")
 	)
 	flag.Parse()
 
@@ -95,62 +88,42 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *debugAddr != "" {
+	if f.DebugAddr != "" {
 		// The bus is swapped in by whichever mode runs; serve immediately so
 		// pprof is reachable even during long experiment sweeps.
-		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, nil)
+		addr, shutdown, err := telemetry.ServeDebug(f.DebugAddr, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
-			os.Exit(2)
+			return naspipe.ExitUsage
 		}
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, telemetry)\n", addr)
 	}
 
-	if *resume && *ckptPath == "" {
+	if f.Resume && f.Checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "naspipe-bench: -resume requires -checkpoint")
-		os.Exit(2)
+		return naspipe.ExitUsage
 	}
-	if (*faultSpec != "" || *ckptPath != "" || *supervised) && !*concurrent {
+	if f.ConcurrentRequested() && !*concurrent {
 		fmt.Fprintln(os.Stderr, "naspipe-bench: -faults/-checkpoint/-resume/-supervise require -concurrent")
-		os.Exit(2)
-	}
-	if *supervised && *ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "naspipe-bench: -supervise requires -checkpoint (recovery resumes from it)")
-		os.Exit(2)
+		return naspipe.ExitUsage
 	}
 	if *concurrent {
-		cc := ccOptions{
-			seed: *seed, gpus: *gpus, cacheFactor: *cacheFac, predictor: *predictor,
-			traceOut: *traceOut, eventsOut: *eventsOut, debugAddr: *debugAddr,
-			progress: *progress, ckpt: *ckptPath, resume: *resume,
-			subnets: *subnets, jitter: *jitter,
-			supervised: *supervised, stallTimeout: *stallTimeout,
-			maxRestarts: *maxRestarts, elastic: *elasticAfter,
-		}
-		if *faultSpec != "" {
-			plan, err := naspipe.ParseFaultPlan(*faultSpec)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			cc.faults = plan
-		}
 		if *overhead {
-			os.Exit(overheadGate(ctx, cc))
+			return overheadGate(ctx, f)
 		}
-		os.Exit(concurrentSmoke(ctx, cc))
+		return concurrentSmoke(ctx, f)
 	}
 
 	o := naspipe.DefaultExperimentOptions()
 	if *quick {
 		o = naspipe.QuickExperimentOptions()
 	}
-	o.Seed = *seed
-	o.GPUs = *gpus
+	o.Seed = f.Seed
+	o.GPUs = f.GPUs
 	o.Parallelism = *par
-	if *subnets > 0 {
-		o.Subnets = *subnets
+	if f.Subnets > 0 {
+		o.Subnets = f.Subnets
 	}
 
 	if *exps == "all" {
@@ -159,140 +132,89 @@ func main() {
 		fmt.Print(out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "all: %v\n", err)
-			os.Exit(1)
+			return naspipe.ExitFailure
 		}
 		fmt.Printf("[all %d experiments completed in %v]\n", len(naspipe.ExperimentNames()), time.Since(t0).Round(time.Millisecond))
-		return
+		return naspipe.ExitOK
 	}
 
-	exit := 0
+	exit := naspipe.ExitOK
 	for _, name := range strings.Split(*exps, ",") {
 		name = strings.TrimSpace(name)
 		t0 := time.Now()
 		out, err := naspipe.ExperimentContext(ctx, name, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			exit = 1
+			exit = naspipe.ExitFailure
 			continue
 		}
 		fmt.Print(out)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
-	os.Exit(exit)
+	return exit
 }
 
-// ccOptions parameterize the concurrent smoke and its telemetry outputs.
-type ccOptions struct {
-	seed        uint64
-	gpus        int
-	cacheFactor float64
-	predictor   bool
-	traceOut    string
-	eventsOut   string
-	debugAddr   string
-	progress    time.Duration
-	faults      *naspipe.FaultPlan
-	ckpt        string
-	resume      bool
-	subnets     int     // 0 = the default smoke stream length
-	jitter      float64 // compute-timing jitter magnitude
-
-	supervised   bool
-	stallTimeout time.Duration
-	maxRestarts  int
-	elastic      int
+// smokeSpec assembles the concurrent smoke's JobSpec from the shared
+// flags: the canonical workload is NLP.c3 scaled to 8×3 with 48 subnets
+// unless overridden, with the numeric training plane attached whenever
+// a checkpoint is kept (prefix checksums + resume verification).
+func smokeSpec(f *clicfg.Flags, trace bool) naspipe.JobSpec {
+	spec := f.Spec(naspipe.ExecutorConcurrent.String())
+	if spec.ScaleBlocks == 0 && spec.ScaleChoices == 0 {
+		spec.ScaleBlocks, spec.ScaleChoices = 8, 3
+	}
+	if spec.Subnets == 0 {
+		spec.Subnets = 48
+	}
+	spec.Trace = &trace
+	if spec.Checkpoint != "" {
+		spec.Train = &naspipe.TrainSpec{Dim: 8, BatchSize: 2, LR: 0.05}
+	}
+	return spec
 }
 
-// smokeConfig is the concurrent plane's canonical smoke workload.
-func (cc ccOptions) smokeConfig() naspipe.Config {
-	cfg := naspipe.Config{
-		Space:      naspipe.NLPc3.Scaled(8, 3),
-		Spec:       naspipe.DefaultCluster(cc.gpus),
-		Seed:       cc.seed,
-		NumSubnets: 48,
-	}
-	if cc.subnets > 0 {
-		cfg.NumSubnets = cc.subnets
-	}
-	if cc.jitter > 0 {
-		cfg.TimingJitter = cc.jitter
-		cfg.JitterSeed = cc.seed
-	}
-	return cfg
-}
-
-// runConcurrent executes one smoke run, optionally publishing to bus.
-func (cc ccOptions) runConcurrent(ctx context.Context, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
-	return cc.runConfig(ctx, cc.smokeConfig(), bus, trace)
-}
-
-// trainConfig is the numeric training config paired with the smoke
-// workload for checkpoint weight checksums and resume verification.
-func (cc ccOptions) trainConfig() naspipe.TrainConfig {
-	return naspipe.TrainConfig{
-		Space: cc.smokeConfig().Space, Dim: 8, Seed: cc.seed,
-		BatchSize: 2, LR: 0.05, Dataset: data.WNMT,
-	}
-}
-
-// newRunner builds the runner for the concurrent smoke from the flag set.
-func (cc ccOptions) newRunner(bus *telemetry.Bus, trace bool) (*naspipe.Runner, error) {
-	opts := []naspipe.RunnerOption{
-		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
-		naspipe.WithTrace(trace),
-		naspipe.WithCache(cc.cacheFactor),
-	}
-	if cc.predictor {
-		opts = append(opts, naspipe.WithPredictor(true))
+// runSpec builds the runner for spec and executes it, optionally
+// publishing to bus, resuming when the flags say so.
+func runSpec(ctx context.Context, f *clicfg.Flags, spec naspipe.JobSpec, bus *telemetry.Bus) (naspipe.Result, error) {
+	opts, cfg, err := naspipe.FromSpec(spec)
+	if err != nil {
+		return naspipe.Result{}, err
 	}
 	if bus != nil {
 		opts = append(opts, naspipe.WithTelemetry(bus))
 	}
-	if cc.faults != nil {
-		opts = append(opts, naspipe.WithFaults(cc.faults))
-	}
-	if cc.ckpt != "" {
-		opts = append(opts,
-			naspipe.WithCheckpoint(cc.ckpt),
-			naspipe.WithCheckpointTraining(cc.trainConfig()))
-	}
-	if cc.elastic > 0 {
-		opts = append(opts, naspipe.WithElasticResume())
-	}
-	return naspipe.NewRunner(opts...)
-}
-
-// runConfig executes one concurrent run of cfg, optionally publishing to bus.
-func (cc ccOptions) runConfig(ctx context.Context, cfg naspipe.Config, bus *telemetry.Bus, trace bool) (naspipe.Result, error) {
-	r, err := cc.newRunner(bus, trace)
+	r, err := naspipe.NewRunner(opts...)
 	if err != nil {
 		return naspipe.Result{}, err
 	}
-	if cc.resume {
+	if f.Resume {
 		return r.Resume(ctx, cfg)
 	}
 	return r.Run(ctx, cfg)
 }
 
-// runSupervised executes the smoke workload under the supervision plane:
-// crashes and watchdog-diagnosed stalls auto-resume in-process from the
-// checkpoint, and health transitions land on the same telemetry bus as
-// the engine events.
-func (cc ccOptions) runSupervised(ctx context.Context, bus *telemetry.Bus) (naspipe.Result, *naspipe.SuperviseReport, error) {
-	r, err := cc.newRunner(bus, true)
+// runSupervisedSpec executes the smoke workload under the supervision
+// plane: crashes and watchdog-diagnosed stalls auto-resume in-process
+// from the checkpoint, and health transitions land on the same
+// telemetry bus as the engine events.
+func runSupervisedSpec(ctx context.Context, f *clicfg.Flags, spec naspipe.JobSpec, bus *telemetry.Bus) (naspipe.Result, *naspipe.SuperviseReport, error) {
+	opts, cfg, err := naspipe.FromSpec(spec)
 	if err != nil {
 		return naspipe.Result{}, nil, err
 	}
-	sc := naspipe.DefaultSuperviseConfig()
-	sc.Watchdog.StallAfter = cc.stallTimeout
-	sc.MaxRestarts = cc.maxRestarts
-	sc.ElasticAfter = cc.elastic
+	if bus != nil {
+		opts = append(opts, naspipe.WithTelemetry(bus))
+	}
+	r, err := naspipe.NewRunner(opts...)
+	if err != nil {
+		return naspipe.Result{}, nil, err
+	}
+	sc, _ := spec.SuperviseConfig()
 	sc.Telemetry = bus
 	sc.Log = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	cfg := cc.smokeConfig()
-	if cc.resume {
+	if f.Resume {
 		return r.ResumeSupervised(ctx, cfg, sc)
 	}
 	return r.RunSupervised(ctx, cfg, sc)
@@ -302,15 +224,20 @@ func (cc ccOptions) runSupervised(ctx context.Context, bus *telemetry.Bus) (nasp
 // and prints its verification verdict, contention profile, and — with the
 // cache enabled — the memory-context profile. With the predictor on, a
 // hit rate at or below zero is a regression and fails the smoke.
-func concurrentSmoke(ctx context.Context, cc ccOptions) int {
+func concurrentSmoke(ctx context.Context, f *clicfg.Flags) naspipe.ExitCode {
+	spec := smokeSpec(f, true)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return naspipe.ExitUsage
+	}
 	var bus *telemetry.Bus
-	if cc.traceOut != "" || cc.eventsOut != "" || cc.debugAddr != "" || cc.progress > 0 {
+	if f.TraceOut != "" || f.EventsOut != "" || f.DebugAddr != "" || f.Progress > 0 {
 		bus = telemetry.NewBus(0)
-		if cc.debugAddr != "" {
+		if f.DebugAddr != "" {
 			telemetry.PublishBus(bus)
 		}
 	}
-	stopProgress := telemetry.StartProgress(os.Stderr, bus, cc.progress)
+	stopProgress := telemetry.StartProgress(os.Stderr, bus, f.Progress)
 
 	t0 := time.Now()
 	var (
@@ -318,10 +245,10 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 		rep *naspipe.SuperviseReport
 		err error
 	)
-	if cc.supervised {
-		res, rep, err = cc.runSupervised(ctx, bus)
+	if spec.Supervise != nil {
+		res, rep, err = runSupervisedSpec(ctx, f, spec, bus)
 	} else {
-		res, err = cc.runConcurrent(ctx, bus, true)
+		res, err = runSpec(ctx, f, spec, bus)
 	}
 	stopProgress()
 	if err != nil {
@@ -331,33 +258,33 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 		case errors.As(err, &giveUp):
 			fmt.Fprintf(os.Stderr, "concurrent: supervisor gave up: %v\n", err)
 			if bus != nil {
-				exportTelemetry(bus, cc.traceOut, cc.eventsOut)
+				exportTelemetry(bus, f.TraceOut, f.EventsOut)
 			}
-			return 1
+			return naspipe.ExitFailure
 		case errors.As(err, &crash):
 			fmt.Fprintf(os.Stderr, "concurrent: injected crash: %v\n", err)
-			if cc.ckpt != "" {
-				printBenchCheckpoint(cc.ckpt, "rerun with -resume")
+			if spec.Checkpoint != "" {
+				printBenchCheckpoint(spec.Checkpoint, "rerun with -resume")
 			}
 			if bus != nil {
 				// The fault timeline up to the crash is the artifact that
 				// matters; export it even though the run died.
-				exportTelemetry(bus, cc.traceOut, cc.eventsOut)
+				exportTelemetry(bus, f.TraceOut, f.EventsOut)
 			}
-			return 3
+			return naspipe.ExitResumable
 		case ctx.Err() != nil:
 			fmt.Fprintf(os.Stderr, "concurrent: interrupted: %v\n", err)
-			if cc.ckpt != "" {
-				printBenchCheckpoint(cc.ckpt, "rerun with -resume (or -supervise -resume)")
+			if spec.Checkpoint != "" {
+				printBenchCheckpoint(spec.Checkpoint, "rerun with -resume (or -supervise -resume)")
 				if bus != nil {
-					exportTelemetry(bus, cc.traceOut, cc.eventsOut)
+					exportTelemetry(bus, f.TraceOut, f.EventsOut)
 				}
-				return 3
+				return naspipe.ExitResumable
 			}
-			return 1
+			return naspipe.ExitFailure
 		default:
 			fmt.Fprintf(os.Stderr, "concurrent: %v\n", err)
-			return 1
+			return naspipe.ExitFailure
 		}
 	}
 	fmt.Printf("concurrent CSP plane: %d subnets, %d stages, %v wall clock\n",
@@ -373,10 +300,16 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 		fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
 			len(res.ObservedTrace.Events))
 	}
-	if cc.resume || cc.supervised {
-		if err := cc.verifyResume(res); err != nil {
-			fmt.Fprintf(os.Stderr, "resume verification: %v\n", err)
-			return 1
+	if f.Resume || spec.Supervise != nil {
+		tc, ok := spec.TrainConfig()
+		cfg, cerr := spec.Config()
+		if !ok || cerr != nil {
+			fmt.Fprintln(os.Stderr, "resume verification: no training plane attached (set -checkpoint)")
+			return naspipe.ExitFailure
+		}
+		if _, verr := naspipe.VerifyAgainstSequential(tc, cfg, res); verr != nil {
+			fmt.Fprintf(os.Stderr, "resume verification: %v\n", verr)
+			return naspipe.ExitFailure
 		}
 		fmt.Printf("resume verified: prefix [0,%d) + replayed suffix == uninterrupted sequential weights, bitwise\n", res.BaseSeq)
 	}
@@ -385,43 +318,19 @@ func concurrentSmoke(ctx context.Context, cc ccOptions) int {
 		fmt.Print(metrics.CacheTable(res.CacheStats))
 		fmt.Printf("cache hit rate %s (budget %s of %s supernet, predictor %v)\n",
 			metrics.Percent(res.CacheHitRate), metrics.Gigabytes(res.CachedParamBytes),
-			metrics.Gigabytes(res.CPUMemBytes), cc.predictor)
-		if cc.predictor && res.CacheHitRate <= 0 {
+			metrics.Gigabytes(res.CPUMemBytes), spec.Predictor)
+		if spec.Predictor && res.CacheHitRate <= 0 {
 			fmt.Fprintf(os.Stderr, "concurrent: predictor enabled but cache hit rate is %v\n", res.CacheHitRate)
-			return 1
+			return naspipe.ExitFailure
 		}
 	}
 	if bus != nil {
 		fmt.Println("telemetry: " + bus.Snapshot().String())
-		if code := exportTelemetry(bus, cc.traceOut, cc.eventsOut); code != 0 {
-			return code
+		if code := exportTelemetry(bus, f.TraceOut, f.EventsOut); code != 0 {
+			return naspipe.ExitCode(code)
 		}
 	}
-	return 0
-}
-
-// verifyResume checks the crash-resume composition law on real weights:
-// training the committed prefix sequentially and replaying the resumed
-// run's suffix trace on the same net must land bitwise on the
-// uninterrupted sequential run's checksum.
-func (cc ccOptions) verifyResume(res naspipe.Result) error {
-	tc := cc.trainConfig()
-	cfg := cc.smokeConfig()
-	full := naspipe.SampleSubnets(cfg.Space, cfg.Seed, cfg.NumSubnets)
-	want := naspipe.TrainSequential(tc, full).Checksum
-	prefix := naspipe.TrainSequential(tc, full[:res.BaseSeq])
-	got := prefix.Checksum
-	if res.BaseSeq < len(full) {
-		rep, err := naspipe.TrainReplayOn(tc, prefix.Net, full[res.BaseSeq:], res.ObservedTrace)
-		if err != nil {
-			return err
-		}
-		got = rep.Checksum
-	}
-	if got != want {
-		return fmt.Errorf("resumed weights %016x diverge from sequential reference %016x", got, want)
-	}
-	return nil
+	return naspipe.ExitOK
 }
 
 // printBenchCheckpoint reports the on-disk checkpoint a resumable exit
@@ -466,15 +375,30 @@ const overheadRuns = 3
 // "compute" is a single scheduler yield, i.e. zero-length tasks — any
 // fixed per-event cost is unboundedly large in relative terms, which
 // measures the degenerate baseline rather than the telemetry.
-func overheadGate(ctx context.Context, cc ccOptions) int {
-	cfg := cc.smokeConfig()
-	cfg.TimingJitter = 1.0
-	cfg.JitterSeed = cc.seed
+func overheadGate(ctx context.Context, f *clicfg.Flags) naspipe.ExitCode {
+	spec := smokeSpec(f, false)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return naspipe.ExitUsage
+	}
 	minRun := func(bus func() *telemetry.Bus) (time.Duration, error) {
 		best := time.Duration(-1)
 		for i := 0; i < overheadRuns; i++ {
+			opts, cfg, err := naspipe.FromSpec(spec)
+			if err != nil {
+				return 0, err
+			}
+			cfg.TimingJitter = 1.0
+			cfg.JitterSeed = spec.Seed
+			if b := bus(); b != nil {
+				opts = append(opts, naspipe.WithTelemetry(b))
+			}
+			r, err := naspipe.NewRunner(opts...)
+			if err != nil {
+				return 0, err
+			}
 			t0 := time.Now()
-			if _, err := cc.runConfig(ctx, cfg, bus(), false); err != nil {
+			if _, err := r.Run(ctx, cfg); err != nil {
 				return 0, err
 			}
 			if d := time.Since(t0); best < 0 || d < best {
@@ -486,19 +410,19 @@ func overheadGate(ctx context.Context, cc ccOptions) int {
 	off, err := minRun(func() *telemetry.Bus { return nil })
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "overhead (telemetry off): %v\n", err)
-		return 1
+		return naspipe.ExitFailure
 	}
 	on, err := minRun(func() *telemetry.Bus { return telemetry.NewBus(0) })
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "overhead (telemetry on): %v\n", err)
-		return 1
+		return naspipe.ExitFailure
 	}
 	pct := 100 * (float64(on)/float64(off) - 1)
 	fmt.Printf("telemetry overhead: off=%v on=%v (%+.1f%%, min of %d runs each, gate 5%%)\n",
 		off.Round(time.Microsecond), on.Round(time.Microsecond), pct, overheadRuns)
 	if pct > 5 {
 		fmt.Fprintf(os.Stderr, "overhead: telemetry costs %.1f%% on the smoke config (gate: 5%%)\n", pct)
-		return 1
+		return naspipe.ExitFailure
 	}
-	return 0
+	return naspipe.ExitOK
 }

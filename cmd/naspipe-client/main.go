@@ -1,0 +1,312 @@
+// Command naspipe-client is the thin CLI for a running naspiped: it
+// submits JobSpecs and drives the versioned /v1/jobs API.
+//
+// Usage:
+//
+//	naspipe-client [-addr http://localhost:7419] <subcommand> [flags]
+//
+// Subcommands:
+//
+//	version                         server API version probe
+//	submit [run flags]              submit a job (same flags as naspipe-train)
+//	submit -spec job.json           submit a JobSpec file verbatim
+//	list [-tenant t]                list jobs in submission order
+//	status <job-id>                 one job's status + effective spec
+//	events <job-id> [-follow]       stream the job's telemetry JSONL
+//	cancel <job-id>                 cancel (idempotent on finished jobs)
+//	resume <job-id>                 continue a canceled/interrupted job
+//	checkpoint <job-id> -o f.ckpt   fetch the job's checkpoint file
+//	wait <job-id>                   block until the job finishes
+//
+// The submit run flags are the shared set from internal/clicfg — the
+// exact flags naspipe-train and naspipe-bench take — plus -tenant,
+// -name, -executor, and -verify/-train-* for the service's bitwise
+// verification. Exit codes follow the naspipe contract; wait (and
+// submit -wait) exits with the job's own mapped code (0 done, 1
+// failed, 3 resumable).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"naspipe"
+	"naspipe/internal/clicfg"
+	"naspipe/internal/service"
+)
+
+func main() {
+	os.Exit(int(run()))
+}
+
+func run() naspipe.ExitCode {
+	var (
+		addr = flag.String("addr", "http://localhost:7419", "naspiped base URL")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: naspipe-client [-addr url] <version|submit|list|status|events|cancel|resume|checkpoint|wait> [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return naspipe.ExitUsage
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := service.NewClient(*addr)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "version":
+		v, err := c.Version(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("server API %s (supported: %v)\n", v.Version, v.Supported)
+		return naspipe.ExitOK
+	case "submit":
+		return submit(ctx, c, args)
+	case "list":
+		return list(ctx, c, args)
+	case "status":
+		return status(ctx, c, args)
+	case "events":
+		return events(ctx, c, args)
+	case "cancel":
+		return verb(ctx, c, args, "cancel", c.Cancel)
+	case "resume":
+		return verb(ctx, c, args, "resume", c.Resume)
+	case "checkpoint":
+		return checkpoint(ctx, c, args)
+	case "wait":
+		return wait(ctx, c, args)
+	default:
+		fmt.Fprintf(os.Stderr, "naspipe-client: unknown subcommand %q\n", cmd)
+		flag.Usage()
+		return naspipe.ExitUsage
+	}
+}
+
+// fail prints an error and maps it to the exit contract: API usage
+// errors (bad spec, unknown job, version mismatch) are usage; the rest
+// are failures.
+func fail(err error) naspipe.ExitCode {
+	fmt.Fprintln(os.Stderr, err)
+	var ae *service.APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case service.CodeInvalidSpec, service.CodeNotFound, service.CodeUnsupportedVersion:
+			return naspipe.ExitUsage
+		}
+	}
+	return naspipe.ExitFailure
+}
+
+func submit(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	f := clicfg.Register(fs, clicfg.Defaults{Space: "NLP.c3", GPUs: 4, Subnets: 48})
+	var (
+		specFile   = fs.String("spec", "", "submit this JobSpec JSON file verbatim (other run flags ignored)")
+		tenant     = fs.String("tenant", "", "tenant the job is accounted to")
+		name       = fs.String("name", "", "free-form job label")
+		executor   = fs.String("executor", "concurrent", "execution plane: concurrent (supervised, resumable) or simulated")
+		verify     = fs.Bool("verify", false, "after completion, verify the weights bitwise against the sequential reference (attaches the numeric training plane)")
+		trainDim   = fs.Int("train-dim", 8, "with -verify: numeric model dimension")
+		trainBatch = fs.Int("train-batch", 2, "with -verify: items per subnet step")
+		trainLR    = fs.Float64("train-lr", 0.05, "with -verify: SGD learning rate")
+		doWait     = fs.Bool("wait", false, "block until the job finishes; exit with its mapped code")
+	)
+	_ = fs.Parse(args)
+	var spec naspipe.JobSpec
+	if *specFile != "" {
+		buf, err := os.ReadFile(*specFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := json.Unmarshal(buf, &spec); err != nil {
+			return fail(fmt.Errorf("naspipe-client: %s: %w", *specFile, err))
+		}
+	} else {
+		spec = f.Spec(*executor)
+		if spec.Subnets == 0 {
+			spec.Subnets = 48
+		}
+		if *verify {
+			spec.Verify = true
+			spec.Train = &naspipe.TrainSpec{Dim: *trainDim, BatchSize: *trainBatch, LR: *trainLR}
+		}
+	}
+	if *tenant != "" {
+		spec.Tenant = *tenant
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fail(err)
+	}
+	printStatus(st)
+	if !*doWait {
+		return naspipe.ExitOK
+	}
+	final, err := c.Wait(ctx, st.ID, 200*time.Millisecond)
+	if err != nil {
+		return fail(err)
+	}
+	printStatus(final)
+	return naspipe.ExitCode(final.ExitCode)
+}
+
+func list(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	tenant := fs.String("tenant", "", "filter to one tenant")
+	_ = fs.Parse(args)
+	jobs, err := c.List(ctx, *tenant)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%-8s %-10s %-12s %-11s %9s %8s %s\n", "ID", "TENANT", "STATE", "HEALTH", "CURSOR", "RESTARTS", "DETAIL")
+	for _, j := range jobs {
+		fmt.Printf("%-8s %-10s %-12s %-11s %4d/%-4d %8d %s\n",
+			j.ID, orDefault(j.Tenant), j.State, j.Health, j.Cursor, j.Total, j.Restarts, clip(j.Detail, 60))
+	}
+	return naspipe.ExitOK
+}
+
+func status(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	id, code := oneID(args, "status")
+	if code != naspipe.ExitOK {
+		return code
+	}
+	st, err := c.Get(ctx, id)
+	if err != nil {
+		return fail(err)
+	}
+	printStatus(st)
+	return naspipe.ExitOK
+}
+
+func events(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	follow := fs.Bool("follow", false, "stream until the job reaches a terminal state")
+	_ = fs.Parse(args)
+	id, code := oneID(fs.Args(), "events")
+	if code != naspipe.ExitOK {
+		return code
+	}
+	body, err := c.Events(ctx, id, *follow)
+	if err != nil {
+		return fail(err)
+	}
+	defer body.Close()
+	if _, err := io.Copy(os.Stdout, body); err != nil && ctx.Err() == nil {
+		return fail(err)
+	}
+	return naspipe.ExitOK
+}
+
+// verb runs a status-returning POST action (cancel, resume).
+func verb(ctx context.Context, c *service.Client, args []string, what string,
+	do func(context.Context, string) (service.JobStatus, error)) naspipe.ExitCode {
+	id, code := oneID(args, what)
+	if code != naspipe.ExitOK {
+		return code
+	}
+	st, err := do(ctx, id)
+	if err != nil {
+		return fail(err)
+	}
+	printStatus(st)
+	return naspipe.ExitOK
+}
+
+func checkpoint(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
+	out := fs.String("o", "", "write the checkpoint to this file (default: stdout)")
+	_ = fs.Parse(args)
+	id, code := oneID(fs.Args(), "checkpoint")
+	if code != naspipe.ExitOK {
+		return code
+	}
+	buf, err := c.Checkpoint(ctx, id)
+	if err != nil {
+		return fail(err)
+	}
+	if *out == "" {
+		_, _ = os.Stdout.Write(buf)
+		return naspipe.ExitOK
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %d bytes to %s\n", len(buf), *out)
+	return naspipe.ExitOK
+}
+
+func wait(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	id, code := oneID(args, "wait")
+	if code != naspipe.ExitOK {
+		return code
+	}
+	st, err := c.Wait(ctx, id, 200*time.Millisecond)
+	if err != nil {
+		return fail(err)
+	}
+	printStatus(st)
+	return naspipe.ExitCode(st.ExitCode)
+}
+
+func oneID(args []string, what string) (string, naspipe.ExitCode) {
+	if len(args) != 1 {
+		fmt.Fprintf(os.Stderr, "naspipe-client: %s takes exactly one job ID\n", what)
+		return "", naspipe.ExitUsage
+	}
+	return args[0], naspipe.ExitOK
+}
+
+func printStatus(st service.JobStatus) {
+	fmt.Printf("job %s (tenant %s): %s", st.ID, orDefault(st.Tenant), st.State)
+	if st.Health != "" && string(st.State) != st.Health {
+		fmt.Printf(" [health %s]", st.Health)
+	}
+	fmt.Printf(", cursor %d/%d, D=%d, restarts %d", st.Cursor, st.Total, st.GPUs, st.Restarts)
+	if st.WatchdogFires > 0 {
+		fmt.Printf(", %d watchdog fires", st.WatchdogFires)
+	}
+	if st.Verified {
+		fmt.Printf(", verified %s", st.Checksum)
+	}
+	if st.Resumable {
+		fmt.Print(", resumable")
+	}
+	if st.ExitCode >= 0 {
+		fmt.Printf(", exit %d (%s)", st.ExitCode, st.ExitName)
+	}
+	fmt.Println()
+	if st.Detail != "" {
+		fmt.Printf("  %s\n", st.Detail)
+	}
+}
+
+func orDefault(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

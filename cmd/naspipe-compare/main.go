@@ -36,7 +36,7 @@ func main() {
 	base, err := naspipe.SpaceByName(*space)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	sp := base.Scaled(*blocks, *choices)
 	cfg := naspipe.TrainConfig{Space: sp, Dim: 12, Seed: *seed, BatchSize: 4, LR: 0.05}
@@ -49,16 +49,16 @@ func main() {
 		}, *policy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(int(naspipe.ExitUsage))
 		}
 		if res.Failed {
 			fmt.Fprintf(os.Stderr, "%s cannot run on %d GPUs: %s\n", *policy, d, res.FailReason)
-			os.Exit(1)
+			os.Exit(int(naspipe.ExitFailure))
 		}
 		num, err := naspipe.TrainReplay(cfg, subs, res.Trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(int(naspipe.ExitUsage))
 		}
 		return num
 	}
@@ -87,5 +87,5 @@ func main() {
 		return
 	}
 	fmt.Println("RESULT: NOT reproducible (expected for BSP/ASP policies)")
-	os.Exit(1)
+	os.Exit(int(naspipe.ExitFailure))
 }

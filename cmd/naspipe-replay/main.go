@@ -40,22 +40,22 @@ func main() {
 	)
 	flag.Parse()
 	if *events != "" {
-		os.Exit(summarizeEvents(*events))
+		os.Exit(int(summarizeEvents(*events)))
 	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "naspipe-replay: -trace or -events is required")
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	f, err := os.Open(*path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	rec, err := naspipe.ReadTraceRecord(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 
 	sp := rec.Space()
@@ -67,7 +67,7 @@ func main() {
 	res, err := naspipe.TrainReplay(cfg, subs, rec.Trace())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(int(naspipe.ExitFailure))
 	}
 	if *every > 0 {
 		for i := 0; i < len(res.Losses); i += *every {
@@ -87,7 +87,7 @@ func main() {
 			return
 		}
 		fmt.Println("CHECK: replay DIVERGES from sequential training (schedule violated causal order)")
-		os.Exit(1)
+		os.Exit(int(naspipe.ExitFailure))
 	}
 }
 
@@ -144,21 +144,21 @@ func healthStateName(s int32) string { return naspipe.HealthState(s).String() }
 // histogram, and renders the reconstructed task spans as a pipeline
 // timeline — the offline view of what the live -progress line and the
 // Chrome trace show.
-func summarizeEvents(path string) int {
+func summarizeEvents(path string) naspipe.ExitCode {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return naspipe.ExitUsage
 	}
 	evs, err := telemetry.ReadJSONL(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return naspipe.ExitUsage
 	}
 	if len(evs) == 0 {
 		fmt.Printf("%s: empty event log\n", path)
-		return 0
+		return naspipe.ExitOK
 	}
 
 	var firstNs, lastNs int64 = evs[0].TsNs, evs[0].TsNs
@@ -191,7 +191,7 @@ func summarizeEvents(path string) int {
 	spans := engine.SpansFromEvents(evs)
 	if len(spans) == 0 {
 		fmt.Println("no completed task spans in the log (timeline omitted)")
-		return 0
+		return naspipe.ExitOK
 	}
 	d := 0
 	for _, s := range spans {
@@ -201,5 +201,5 @@ func summarizeEvents(path string) int {
 	}
 	fmt.Printf("reconstructed %d task spans:\n%s", len(spans),
 		engine.RenderTimeline(spans, d, 72, float64(lastNs)/1e6))
-	return 0
+	return naspipe.ExitOK
 }

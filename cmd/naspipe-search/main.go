@@ -33,7 +33,7 @@ func main() {
 	base, err := naspipe.SpaceByName(*space)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	sp := base.Scaled(*blocks, *choices)
 	cfg := naspipe.TrainConfig{Space: sp, Dim: 12, Seed: *seed, BatchSize: 4, LR: 0.05}
@@ -46,13 +46,13 @@ func main() {
 	}, "naspipe")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	subs := naspipe.SampleSubnets(sp, *seed, *steps)
 	num, err := naspipe.TrainReplay(cfg, subs, res.Trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	fmt.Printf("trained: final weights checksum %016x (simulated %.1fs on %d GPUs, %.0f subnets/hour)\n",
 		num.Checksum, res.TotalMs/1000, *gpus, res.SubnetsPerHour)
@@ -61,11 +61,11 @@ func main() {
 		f, err := os.Create(*saveNet)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(int(naspipe.ExitUsage))
 		}
 		if err := num.Net.Save(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(int(naspipe.ExitUsage))
 		}
 		f.Close()
 		fmt.Printf("supernet checkpoint saved to %s\n", *saveNet)
@@ -77,7 +77,7 @@ func main() {
 	sr, err := naspipe.Search(cfg, num.Net, sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(int(naspipe.ExitUsage))
 	}
 	fmt.Printf("evolution: %d candidates evaluated over %d generations\n", sr.Evaluated, *gens)
 	fmt.Printf("best architecture: choices=%v\n", sr.Best.Subnet.Choices)

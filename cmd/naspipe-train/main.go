@@ -9,6 +9,10 @@
 //	naspipe-train -trace-out run.json           # Chrome trace (simulated time)
 //	naspipe-train -debug-addr :6060             # pprof + live counters
 //
+// Every run flag is the shared set from internal/clicfg, parsed into
+// the canonical naspipe.JobSpec — the same knobs, names, and validation
+// as naspipe-bench and the naspiped service API.
+//
 // Fault injection and crash-consistent checkpoint/resume run on the
 // concurrent (goroutine-per-stage) plane, selected automatically when
 // any of these flags is given:
@@ -24,7 +28,7 @@
 // on one stage. SIGINT/SIGTERM interrupt gracefully: the committed
 // frontier is already checkpointed, so the process exits resumable.
 //
-// Exit codes (the contract CI and operators rely on):
+// Exit codes are the naspipe.ExitCode contract CI and operators rely on:
 //
 //	0 — run complete (and verified where applicable)
 //	1 — run or verification failure, including supervisor give-up
@@ -40,85 +44,67 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
-	"time"
 
 	"naspipe"
+	"naspipe/internal/clicfg"
 	"naspipe/internal/telemetry"
 )
 
 func main() {
-	supDef := naspipe.DefaultSuperviseConfig()
-	var (
-		space     = flag.String("space", "NLP.c1", "search space (Table 1 name)")
-		policy    = flag.String("policy", "naspipe", "scheduling policy: "+strings.Join(naspipe.PolicyNames(), ", "))
-		gpus      = flag.Int("gpus", 8, "GPU count (pipeline depth)")
-		subnets   = flag.Int("subnets", 240, "subnets to train")
-		seed      = flag.Uint64("seed", 42, "exploration seed")
-		window    = flag.Int("window", 48, "pipeline admission window")
-		saveTr    = flag.String("save-trace", "", "write the parameter-access trace record to this file for naspipe-replay")
-		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run, stamped in simulated time (load in Perfetto / chrome://tracing)")
-		eventsOut = flag.String("events-out", "", "write the raw telemetry stream as JSONL (inspect with naspipe-replay -events)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/telemetry on this address for the process lifetime")
-		progress  = flag.Duration("progress", 0, "print a live counter line at this interval (e.g. 200ms)")
-		faultSpec = flag.String("faults", "", "deterministic fault plan for the concurrent plane, e.g. \"seed=7,drop=0.1,crashat=2:9:F\"")
-		ckptPath  = flag.String("checkpoint", "", "persist crash-consistent checkpoints to this file (concurrent plane)")
-		resume    = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
+	os.Exit(int(run()))
+}
 
-		supervised   = flag.Bool("supervise", false, "supervise the run: auto-resume crashes and watchdog-diagnosed stalls in-process (requires -checkpoint)")
-		stallTimeout = flag.Duration("stall-timeout", supDef.Watchdog.StallAfter, "supervised watchdog: declare a stall after this long without frontier or task progress")
-		maxRestarts  = flag.Int("max-restarts", supDef.MaxRestarts, "supervised retry budget across the whole run")
-		elasticAfter = flag.Int("elastic", 0, "supervised elastic recovery: halve the pipeline depth after N consecutive incidents on one stage (0 = off)")
-	)
+func run() naspipe.ExitCode {
+	f := clicfg.Register(flag.CommandLine, clicfg.Defaults{Space: "NLP.c1", GPUs: 8, Subnets: 240, Window: 48})
+	saveTr := flag.String("save-trace", "", "write the parameter-access trace record to this file for naspipe-replay")
 	flag.Parse()
 
-	sp, err := naspipe.SpaceByName(*space)
+	if f.ConcurrentRequested() {
+		return concurrentFaultRun(f)
+	}
+	spec := f.Spec(naspipe.ExecutorSimulated.String())
+	if *saveTr != "" {
+		t := true
+		spec.Trace = &t
+	}
+	cfg, err := spec.Config()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return naspipe.ExitUsage
 	}
-	if *faultSpec != "" || *ckptPath != "" || *resume || *supervised {
-		os.Exit(concurrentFaultRun(faultRunOpts{
-			space: sp, policy: *policy, gpus: *gpus, subnets: *subnets, seed: *seed,
-			faultSpec: *faultSpec, ckptPath: *ckptPath, resume: *resume,
-			supervised: *supervised, stallTimeout: *stallTimeout,
-			maxRestarts: *maxRestarts, elasticAfter: *elasticAfter,
-			eventsOut: *eventsOut,
-		}))
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return naspipe.ExitUsage
 	}
 	var bus *naspipe.TelemetryBus
-	if *traceOut != "" || *eventsOut != "" || *debugAddr != "" || *progress > 0 {
+	if f.TraceOut != "" || f.EventsOut != "" || f.DebugAddr != "" || f.Progress > 0 {
 		bus = naspipe.NewTelemetryBus(0)
+		cfg.Telemetry = bus
 	}
-	if *debugAddr != "" {
-		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, bus)
+	if f.DebugAddr != "" {
+		addr, shutdown, err := telemetry.ServeDebug(f.DebugAddr, bus)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return naspipe.ExitUsage
 		}
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, telemetry)\n", addr)
 	}
-	stopProgress := telemetry.StartProgress(os.Stderr, bus, *progress)
-	res, err := naspipe.RunPolicy(naspipe.Config{
-		Space: sp, Spec: naspipe.DefaultCluster(*gpus),
-		Seed: *seed, NumSubnets: *subnets, InflightLimit: *window,
-		RecordTrace: *saveTr != "",
-		Telemetry:   bus,
-	}, *policy)
+	stopProgress := telemetry.StartProgress(os.Stderr, bus, f.Progress)
+	res, err := naspipe.RunPolicy(cfg, spec.Policy)
 	stopProgress()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return naspipe.ExitUsage
 	}
 	if res.Failed {
-		fmt.Printf("%s cannot run %s on %d GPUs: %s\n", res.Policy, sp.Name, *gpus, res.FailReason)
-		os.Exit(1)
+		fmt.Printf("%s cannot run %s on %d GPUs: %s\n", res.Policy, cfg.Space.Name, spec.GPUs, res.FailReason)
+		return naspipe.ExitFailure
 	}
 
 	fmt.Printf("system:            %s (%s on %d GPUs, reproducible=%v)\n",
-		res.Policy, sp.Name, *gpus, mustPolicyReproducible(*policy))
+		res.Policy, cfg.Space.Name, spec.GPUs, mustPolicyReproducible(spec.Policy))
 	fmt.Printf("subnets trained:   %d in %.1f simulated seconds\n", res.Completed, res.TotalMs/1000)
 	fmt.Printf("pipeline batch:    %d samples\n", res.Batch)
 	fmt.Printf("throughput:        %.0f samples/s (%.0f subnets/hour)\n", res.SamplesPerSec, res.SubnetsPerHour)
@@ -136,122 +122,82 @@ func main() {
 		fmt.Printf("mirror pushes:     %.1f GB of parameter updates\n", float64(res.MirrorBytes)/(1<<30))
 	}
 	if *saveTr != "" {
-		rec := naspipe.NewTraceRecord(sp, *policy, *gpus, *seed, res.Completed, res.Trace)
-		f, err := os.Create(*saveTr)
+		rec := naspipe.NewTraceRecord(cfg.Space, spec.Policy, spec.GPUs, spec.Seed, res.Completed, res.Trace)
+		out, err := os.Create(*saveTr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return naspipe.ExitUsage
 		}
-		defer f.Close()
-		if err := rec.Save(f); err != nil {
+		defer out.Close()
+		if err := rec.Save(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return naspipe.ExitUsage
 		}
 		fmt.Printf("trace record:      %s (%d access events; replay with naspipe-replay -trace %s)\n",
 			*saveTr, res.Trace.Len(), *saveTr)
 	}
 	if bus != nil {
 		fmt.Printf("telemetry:         %s\n", bus.Snapshot().String())
-		lines, err := telemetry.ExportFiles(bus, *traceOut, *eventsOut)
+		lines, err := telemetry.ExportFiles(bus, f.TraceOut, f.EventsOut)
 		for _, l := range lines {
 			fmt.Println(l)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return naspipe.ExitFailure
 		}
 	}
-}
-
-// faultRunOpts collects the concurrent-plane run options (fault
-// injection, checkpointing, supervision).
-type faultRunOpts struct {
-	space         naspipe.Space
-	policy        string
-	gpus, subnets int
-	seed          uint64
-	faultSpec     string
-	ckptPath      string
-	resume        bool
-
-	supervised   bool
-	stallTimeout time.Duration
-	maxRestarts  int
-	elasticAfter int
-
-	eventsOut string
+	return naspipe.ExitOK
 }
 
 // concurrentFaultRun routes a fault-injected, checkpointed, or
 // supervised run to the concurrent (goroutine-per-stage) plane — the
 // simulated clock has no goroutines to crash. Returns the process exit
 // code per the contract in the package comment.
-func concurrentFaultRun(o faultRunOpts) int {
-	if o.policy != "naspipe" {
-		fmt.Fprintf(os.Stderr, "naspipe-train: fault injection runs on the concurrent CSP plane; policy %q is simulated-only\n", o.policy)
-		return 2
-	}
-	if o.resume && o.ckptPath == "" {
+func concurrentFaultRun(f *clicfg.Flags) naspipe.ExitCode {
+	if f.Resume && f.Checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "naspipe-train: -resume requires -checkpoint")
-		return 2
+		return naspipe.ExitUsage
 	}
-	if o.supervised && o.ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "naspipe-train: -supervise requires -checkpoint (recovery resumes from it)")
-		return 2
-	}
-	opts := []naspipe.RunnerOption{
-		naspipe.WithExecutor(naspipe.ExecutorConcurrent),
-		naspipe.WithTrace(true),
-	}
-	if o.faultSpec != "" {
-		plan, err := naspipe.ParseFaultPlan(o.faultSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-		opts = append(opts, naspipe.WithFaults(plan))
-	}
-	if o.ckptPath != "" {
-		opts = append(opts, naspipe.WithCheckpoint(o.ckptPath))
-	}
-	if o.elasticAfter > 0 {
-		opts = append(opts, naspipe.WithElasticResume())
+	spec := f.Spec(naspipe.ExecutorConcurrent.String())
+	t := true
+	spec.Trace = &t
+	opts, cfg, err := naspipe.FromSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return naspipe.ExitUsage
 	}
 	var bus *naspipe.TelemetryBus
-	if o.eventsOut != "" {
+	if f.EventsOut != "" {
 		bus = naspipe.NewTelemetryBus(0)
 		opts = append(opts, naspipe.WithTelemetry(bus))
 	}
 	r, err := naspipe.NewRunner(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return naspipe.ExitUsage
 	}
 	// SIGINT/SIGTERM cancel the run between tasks; the committed frontier
 	// is already checkpointed (and the incarnation bumped), so the
 	// process exits resumable (3) instead of dying mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := naspipe.Config{
-		Space: o.space, Spec: naspipe.DefaultCluster(o.gpus),
-		Seed: o.seed, NumSubnets: o.subnets,
-	}
 
-	code := 0
-	if o.supervised {
-		code = supervisedRun(ctx, r, cfg, o, bus)
+	code := naspipe.ExitOK
+	if spec.Supervise != nil {
+		code = supervisedRun(ctx, r, cfg, spec, f, bus)
 	} else {
-		code = plainRun(ctx, r, cfg, o)
+		code = plainRun(ctx, r, cfg, spec, f)
 	}
 	if bus != nil {
-		lines, eerr := telemetry.ExportFiles(bus, "", o.eventsOut)
+		lines, eerr := telemetry.ExportFiles(bus, "", f.EventsOut)
 		for _, l := range lines {
 			fmt.Println(l)
 		}
 		if eerr != nil {
 			fmt.Fprintln(os.Stderr, eerr)
-			if code == 0 {
-				code = 1
+			if code == naspipe.ExitOK {
+				code = naspipe.ExitFailure
 			}
 		}
 	}
@@ -259,9 +205,9 @@ func concurrentFaultRun(o faultRunOpts) int {
 }
 
 // plainRun is the unsupervised path: one incarnation, operator resumes.
-func plainRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o faultRunOpts) int {
+func plainRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, spec naspipe.JobSpec, f *clicfg.Flags) naspipe.ExitCode {
 	run := r.Run
-	if o.resume {
+	if f.Resume {
 		run = r.Resume
 	}
 	res, err := run(ctx, cfg)
@@ -270,36 +216,33 @@ func plainRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o faul
 		switch {
 		case errors.As(err, &crash):
 			fmt.Fprintf(os.Stderr, "injected crash: %v\n", err)
-			printCheckpoint(os.Stderr, o.ckptPath, "rerun with -resume")
-			return 3
+			printCheckpoint(os.Stderr, spec.Checkpoint, "rerun with -resume")
+			return naspipe.ExitResumable
 		case ctx.Err() != nil:
 			fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
-			if o.ckptPath != "" {
-				printCheckpoint(os.Stderr, o.ckptPath, "rerun with -resume")
-				return 3
+			if spec.Checkpoint != "" {
+				printCheckpoint(os.Stderr, spec.Checkpoint, "rerun with -resume")
+				return naspipe.ExitResumable
 			}
-			return 1
+			return naspipe.ExitFailure
 		default:
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return naspipe.ExitFailure
 		}
 	}
-	printRunResult(o, res)
-	return 0
+	printRunResult(spec, cfg, res)
+	return naspipe.ExitOK
 }
 
 // supervisedRun wraps the incarnations in the supervision plane:
 // crashes and watchdog stalls auto-resume in-process.
-func supervisedRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o faultRunOpts, bus *naspipe.TelemetryBus) int {
-	sc := naspipe.DefaultSuperviseConfig()
-	sc.MaxRestarts = o.maxRestarts
-	sc.Watchdog.StallAfter = o.stallTimeout
-	sc.ElasticAfter = o.elasticAfter
+func supervisedRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, spec naspipe.JobSpec, f *clicfg.Flags, bus *naspipe.TelemetryBus) naspipe.ExitCode {
+	sc, _ := spec.SuperviseConfig()
 	sc.Telemetry = bus
 	sc.Log = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 
 	run := r.RunSupervised
-	if o.resume {
+	if f.Resume {
 		run = r.ResumeSupervised
 	}
 	res, rep, err := run(ctx, cfg, sc)
@@ -308,14 +251,14 @@ func supervisedRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o
 		switch {
 		case ctx.Err() != nil && !errors.As(err, &giveUp):
 			fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
-			printCheckpoint(os.Stderr, o.ckptPath, "rerun with -resume (or -supervise -resume)")
-			return 3
+			printCheckpoint(os.Stderr, spec.Checkpoint, "rerun with -resume (or -supervise -resume)")
+			return naspipe.ExitResumable
 		case errors.As(err, &giveUp):
 			fmt.Fprintln(os.Stderr, giveUp)
-			return 1
+			return naspipe.ExitFailure
 		default:
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return naspipe.ExitFailure
 		}
 	}
 	fmt.Printf("supervised run:    %s, %d restarts, %d watchdog fires, final D=%d\n",
@@ -323,12 +266,12 @@ func supervisedRun(ctx context.Context, r *naspipe.Runner, cfg naspipe.Config, o
 	if len(rep.ElasticSteps) > 0 {
 		fmt.Printf("elastic steps:     depth %v after repeated same-stage incidents\n", rep.ElasticSteps)
 	}
-	printRunResult(o, res)
-	return 0
+	printRunResult(spec, cfg, res)
+	return naspipe.ExitOK
 }
 
-func printRunResult(o faultRunOpts, res naspipe.Result) {
-	fmt.Printf("concurrent CSP plane: %s on %d GPUs, %d subnets completed", o.space.Name, o.gpus, res.Completed)
+func printRunResult(spec naspipe.JobSpec, cfg naspipe.Config, res naspipe.Result) {
+	fmt.Printf("concurrent CSP plane: %s on %d GPUs, %d subnets completed", cfg.Space.Name, spec.GPUs, res.Completed)
 	if res.BaseSeq > 0 {
 		fmt.Printf(" (resumed at cursor %d)", res.BaseSeq)
 	}
@@ -337,8 +280,8 @@ func printRunResult(o faultRunOpts, res naspipe.Result) {
 		fmt.Printf("per-layer access order verified against the sequential reference (%d observed events)\n",
 			len(res.ObservedTrace.Events))
 	}
-	if o.ckptPath != "" {
-		printCheckpoint(os.Stdout, o.ckptPath, "")
+	if spec.Checkpoint != "" {
+		printCheckpoint(os.Stdout, spec.Checkpoint, "")
 	}
 }
 

@@ -1,0 +1,101 @@
+// Command naspiped is the naspipe service daemon: a long-running,
+// multi-tenant scheduler that multiplexes concurrent supernet-search
+// jobs over a bounded executor pool, behind the versioned HTTP/JSON API
+// in internal/service.
+//
+// Usage:
+//
+//	naspiped -addr :7419 -state-dir /var/lib/naspipe
+//	naspiped -workers 4 -quota 8 -queue 32
+//
+// Submit and drive jobs with naspipe-client (or plain curl):
+//
+//	naspipe-client -addr http://localhost:7419 submit -space NLP.c3 ...
+//
+// Every concurrent-plane job is normalized to checkpoint into its own
+// state directory and run under the supervision plane, so an injected
+// or real crash auto-resumes from the job's committed frontier with no
+// operator involvement, and the health state machine is visible over
+// GET /v1/jobs/{id}. The daemon itself is crash-consistent: kill -9 it
+// mid-job, restart it on the same -state-dir, and unfinished jobs
+// re-queue from their checkpoints. CSP makes all of this safe to trust:
+// however the daemon interleaves, crashes, or resumes a job, its
+// weights land bitwise equal to the sequential reference.
+//
+// Exit codes follow the naspipe contract: 0 clean shutdown, 1 runtime
+// failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"naspipe"
+	"naspipe/internal/service"
+	"naspipe/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7419", "HTTP listen address for the /v1 API")
+		stateDir  = flag.String("state-dir", "naspiped-state", "root directory for per-job specs, statuses, event logs, and checkpoints")
+		workers   = flag.Int("workers", 2, "executor pool size: jobs running at once")
+		quota     = flag.Int("quota", 8, "per-tenant quota on active (queued+running) jobs; submits beyond it get 429")
+		queue     = flag.Int("queue", 16, "global admission-queue bound; submits beyond it get 429 (backpressure)")
+		eventBuf  = flag.Int("event-buf", 1<<16, "per-job telemetry ring capacity (events kept for /events streaming)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this extra address")
+		quiet     = flag.Bool("quiet", false, "suppress per-decision scheduler logging")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "naspiped: unexpected arguments %v\n", flag.Args())
+		os.Exit(int(naspipe.ExitUsage))
+	}
+
+	logger := log.New(os.Stderr, "naspiped ", log.LstdFlags|log.Lmsgprefix)
+	cfg := service.SchedulerConfig{
+		StateDir: *stateDir, Workers: *workers,
+		QueueLimit: *queue, TenantQuota: *quota,
+		EventBufSize: *eventBuf,
+	}
+	if !*quiet {
+		cfg.Log = logger.Printf
+	}
+	sched, err := service.NewScheduler(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(int(naspipe.ExitUsage))
+	}
+	bound, shutdown, err := service.Serve(*addr, sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(int(naspipe.ExitUsage))
+	}
+	logger.Printf("serving /%s API on http://%s (state in %s, %d workers, quota %d, queue %d)",
+		service.APIVersion, bound, *stateDir, *workers, *quota, *queue)
+	if *debugAddr != "" {
+		dbg, stopDbg, derr := telemetry.ServeDebug(*debugAddr, nil)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(int(naspipe.ExitUsage))
+		}
+		defer stopDbg()
+		logger.Printf("debug server on http://%s/debug/", dbg)
+	}
+
+	// SIGINT/SIGTERM drain gracefully: stop admitting, cancel running
+	// jobs (their committed frontiers are already checkpointed), persist
+	// every status, then exit 0. A kill -9 skips all of that and relies
+	// on recovery instead — both paths resume the same way.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	logger.Printf("caught %v: draining (running jobs checkpoint and will recover on restart)", got)
+	shutdown()
+	sched.Close()
+	logger.Printf("drained; state persisted under %s", *stateDir)
+}

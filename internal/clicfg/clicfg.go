@@ -1,0 +1,159 @@
+// Package clicfg is the one place the naspipe CLIs define their shared
+// run flags. Every flag parses straight into the canonical
+// naspipe.JobSpec, so cmd/naspipe-train, cmd/naspipe-bench, and
+// cmd/naspipe-client expose the same knobs with the same names and the
+// same semantics — adding the next knob means adding one flag here and
+// one field to JobSpec, everywhere at once.
+package clicfg
+
+import (
+	"flag"
+	"time"
+
+	"naspipe"
+)
+
+// Defaults seeds the per-command flag defaults that legitimately differ
+// between CLIs (the train command defaults to a full paper run, the
+// bench smoke to a scaled workload).
+type Defaults struct {
+	Space   string
+	GPUs    int
+	Subnets int
+	Window  int
+}
+
+// Flags binds the shared run flags to a FlagSet. Read the fields after
+// Parse; call Spec to assemble the JobSpec they describe.
+type Flags struct {
+	fs *flag.FlagSet
+
+	// Run identity and shape.
+	Space        string
+	ScaleBlocks  int
+	ScaleChoices int
+	Policy       string
+	GPUs         int
+	Subnets      int
+	Seed         uint64
+	Window       int
+	Jitter       float64
+
+	// Concurrent memory plane.
+	CacheFactor float64
+	Predictor   bool
+
+	// Fault / checkpoint / supervision planes.
+	Faults          string
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          bool
+	Supervise       bool
+	StallTimeout    time.Duration
+	MaxRestarts     int
+	ElasticAfter    int
+
+	// Local observability outputs (not part of the JobSpec — they are
+	// this process's I/O, not the run's identity).
+	TraceOut  string
+	EventsOut string
+	DebugAddr string
+	Progress  time.Duration
+}
+
+// Register defines the shared flag set on fs and returns the bound
+// Flags. Call before fs.Parse.
+func Register(fs *flag.FlagSet, d Defaults) *Flags {
+	if d.Space == "" {
+		d.Space = "NLP.c1"
+	}
+	if d.GPUs == 0 {
+		d.GPUs = 8
+	}
+	supDef := naspipe.DefaultSuperviseConfig()
+	f := &Flags{fs: fs}
+	fs.StringVar(&f.Space, "space", d.Space, "search space (Table 1 name)")
+	fs.IntVar(&f.ScaleBlocks, "scale-blocks", 0, "re-geometry the space to this many blocks (with -scale-choices; 0 = the space's own)")
+	fs.IntVar(&f.ScaleChoices, "scale-choices", 0, "re-geometry the space to this many choices per block (with -scale-blocks)")
+	fs.StringVar(&f.Policy, "policy", "naspipe", "scheduling policy (see naspipe.PolicyNames; the concurrent plane is CSP-only)")
+	fs.IntVar(&f.GPUs, "gpus", d.GPUs, "GPU count (pipeline depth)")
+	fs.IntVar(&f.Subnets, "subnets", d.Subnets, "subnets to train (0 = command default)")
+	fs.Uint64Var(&f.Seed, "seed", 42, "exploration seed")
+	fs.IntVar(&f.Window, "window", d.Window, "pipeline admission window (0 = engine default)")
+	fs.Float64Var(&f.Jitter, "jitter", 0, "deterministic compute-timing jitter magnitude in [0,1) (concurrent tasks really sleep)")
+	fs.Float64Var(&f.CacheFactor, "cachefactor", 3, "concurrent plane: per-stage cache budget as a multiple of the average subnet footprint (0 disables the cache)")
+	fs.BoolVar(&f.Predictor, "predictor", false, "concurrent plane: enable the Algorithm 3 context predictor")
+	fs.StringVar(&f.Faults, "faults", "", "deterministic fault plan, e.g. \"seed=7,drop=0.1,crashat=2:9:F\" (keys: seed, crash, crashat, wedgeat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "persist crash-consistent checkpoints to this file (concurrent plane)")
+	fs.IntVar(&f.CheckpointEvery, "checkpoint-every", 0, "throttle checkpoint saves to one per N cursor advances (0 = every advance)")
+	fs.BoolVar(&f.Resume, "resume", false, "resume from -checkpoint instead of starting fresh")
+	fs.BoolVar(&f.Supervise, "supervise", false, "auto-resume crashes and watchdog-diagnosed stalls in-process (requires -checkpoint)")
+	fs.DurationVar(&f.StallTimeout, "stall-timeout", supDef.Watchdog.StallAfter, "with -supervise: declare a stall after this long without frontier or task progress")
+	fs.IntVar(&f.MaxRestarts, "max-restarts", supDef.MaxRestarts, "with -supervise: retry budget across the whole run")
+	fs.IntVar(&f.ElasticAfter, "elastic", 0, "with -supervise: halve the pipeline depth after N consecutive incidents on one stage (0 = off)")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing)")
+	fs.StringVar(&f.EventsOut, "events-out", "", "write the raw telemetry stream as JSONL (inspect with naspipe-replay -events)")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/telemetry on this address for the process lifetime")
+	fs.DurationVar(&f.Progress, "progress", 0, "print a live counter line at this interval (e.g. 200ms)")
+	return f
+}
+
+// set reports whether the user passed the named flag explicitly.
+func (f *Flags) set(name string) bool {
+	seen := false
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			seen = true
+		}
+	})
+	return seen
+}
+
+// ConcurrentRequested reports whether any flag that only works on the
+// concurrent plane was given — the CLIs use it to auto-select the
+// executor the way -faults/-checkpoint/-supervise always have.
+func (f *Flags) ConcurrentRequested() bool {
+	return f.Faults != "" || f.Checkpoint != "" || f.Resume || f.Supervise
+}
+
+// Spec assembles the JobSpec the parsed flags describe for the given
+// executor ("simulated" or "concurrent"). Validation is left to
+// naspipe.FromSpec so every surface reports identical errors.
+func (f *Flags) Spec(executor string) naspipe.JobSpec {
+	s := naspipe.JobSpec{
+		Space:        f.Space,
+		ScaleBlocks:  f.ScaleBlocks,
+		ScaleChoices: f.ScaleChoices,
+		Policy:       f.Policy,
+		Executor:     executor,
+		GPUs:         f.GPUs,
+		Subnets:      f.Subnets,
+		Seed:         f.Seed,
+		Window:       f.Window,
+		Jitter:       f.Jitter,
+		Faults:       f.Faults,
+		Checkpoint:   f.Checkpoint,
+	}
+	if f.Jitter > 0 {
+		s.JitterSeed = f.Seed
+	}
+	if f.CheckpointEvery > 0 {
+		s.CheckpointEvery = f.CheckpointEvery
+	}
+	concurrent := executor == "concurrent"
+	if concurrent || f.set("cachefactor") || f.set("predictor") {
+		cf := f.CacheFactor
+		s.CacheFactor = &cf
+		s.Predictor = f.Predictor
+	}
+	if f.Supervise {
+		s.Supervise = &naspipe.SuperviseSpec{
+			StallTimeout: naspipe.Duration(f.StallTimeout),
+			MaxRestarts:  f.MaxRestarts,
+			ElasticAfter: f.ElasticAfter,
+		}
+	} else if f.ElasticAfter > 0 {
+		s.Elastic = true
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"naspipe"
+)
+
+// Client talks to a naspiped server. The zero HTTP client is replaced
+// with http.DefaultClient; Base is "http://host:port" with no trailing
+// slash or version — the client speaks APIVersion and surfaces the
+// server's structured errors as *APIError values.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimSuffix(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes either the expected body or the
+// structured error envelope.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+"/"+APIVersion+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
+			eb.Error.Status = resp.StatusCode
+			return eb.Error
+		}
+		return &APIError{Code: CodeInternal, Status: resp.StatusCode,
+			Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(buf)))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		return fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Version probes the server's API version set.
+func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
+	var v VersionInfo
+	err := c.do(ctx, http.MethodGet, "/version", nil, &v)
+	return v, err
+}
+
+// Submit sends a JobSpec and returns the admitted job's status.
+// Over-quota and backpressure refusals come back as *APIError with
+// CodeQuotaExceeded / CodeBackpressure (HTTP 429).
+func (c *Client) Submit(ctx context.Context, spec naspipe.JobSpec) (JobStatus, error) {
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/jobs", bytes.NewReader(buf), &st)
+	return st, err
+}
+
+// Get fetches one job's status (including its effective spec).
+func (c *Client) Get(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// List fetches all jobs, optionally filtered to one tenant.
+func (c *Client) List(ctx context.Context, tenant string) ([]JobStatus, error) {
+	path := "/jobs"
+	if tenant != "" {
+		path += "?tenant=" + url.QueryEscape(tenant)
+	}
+	var jl JobList
+	err := c.do(ctx, http.MethodGet, path, nil, &jl)
+	return jl.Jobs, err
+}
+
+// Cancel stops a job; canceling an already-finished job is idempotent
+// and returns its unchanged status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs/"+url.PathEscape(id)+"/cancel", nil, &st)
+	return st, err
+}
+
+// Resume re-queues a canceled or interrupted job from its checkpoint;
+// a job with no checkpoint is a *APIError CodeConflict (HTTP 409).
+func (c *Client) Resume(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs/"+url.PathEscape(id)+"/resume", nil, &st)
+	return st, err
+}
+
+// Events opens the job's telemetry JSONL stream. With follow, the body
+// stays open until the job reaches a terminal state. The caller owns
+// closing the reader.
+func (c *Client) Events(ctx context.Context, id string, follow bool) (io.ReadCloser, error) {
+	path := c.Base + "/" + APIVersion + "/jobs/" + url.PathEscape(id) + "/events"
+	if follow {
+		path += "?follow=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		buf, _ := io.ReadAll(resp.Body)
+		var eb errorBody
+		if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
+			eb.Error.Status = resp.StatusCode
+			return nil, eb.Error
+		}
+		return nil, &APIError{Code: CodeInternal, Status: resp.StatusCode, Message: strings.TrimSpace(string(buf))}
+	}
+	return resp.Body, nil
+}
+
+// Checkpoint fetches the job's checkpoint file bytes (decode with
+// naspipe.LoadCheckpoint semantics / fault.Decode).
+func (c *Client) Checkpoint(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/"+APIVersion+"/jobs/"+url.PathEscape(id)+"/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
+			eb.Error.Status = resp.StatusCode
+			return nil, eb.Error
+		}
+		return nil, &APIError{Code: CodeInternal, Status: resp.StatusCode, Message: strings.TrimSpace(string(buf))}
+	}
+	return buf, nil
+}
+
+// Wait polls until the job reaches a terminal state (or ctx ends),
+// returning the final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

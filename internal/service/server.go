@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"naspipe"
+	"naspipe/internal/telemetry"
+)
+
+// Server exposes a Scheduler over the versioned HTTP/JSON API. It is a
+// plain http.Handler; mount it on any mux or serve it with Serve.
+type Server struct {
+	sched *Scheduler
+	// followPoll is how often the events endpoint re-checks a live bus
+	// in follow mode (test hook; 0 = 100ms).
+	followPoll time.Duration
+}
+
+// NewServer wraps a scheduler in the API surface.
+func NewServer(s *Scheduler) *Server { return &Server{sched: s} }
+
+// Serve binds addr (host:port; :0 picks a free port), serves the API on
+// it, and returns the bound address and a shutdown func. The pattern
+// matches telemetry.ServeDebug so CLIs treat both the same way.
+func Serve(addr string, s *Scheduler) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewServer(s)}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), shutdown, nil
+}
+
+// writeJSON emits a JSON response body with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr maps an error to its wire form. *APIError passes through
+// with its canonical HTTP status; anything else is a 500 internal.
+func writeErr(w http.ResponseWriter, err error) {
+	ae, ok := err.(*APIError)
+	if !ok {
+		ae = &APIError{Code: CodeInternal, Message: err.Error()}
+	}
+	status := http.StatusInternalServerError
+	switch ae.Code {
+	case CodeInvalidSpec:
+		status = http.StatusBadRequest
+	case CodeQuotaExceeded, CodeBackpressure:
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case CodeNotFound, CodeUnsupportedVersion:
+		status = http.StatusNotFound
+	case CodeConflict:
+		status = http.StatusConflict
+	case CodeShuttingDown:
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorBody{Error: ae})
+}
+
+// ServeHTTP routes the versioned API. Version negotiation is explicit:
+// a path outside /v1/ gets a structured 404 naming the supported
+// versions, never a silent fallback to a different behavior.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	if path == "" {
+		writeJSON(w, http.StatusOK, VersionInfo{Version: APIVersion, Supported: []string{APIVersion}})
+		return
+	}
+	rest, ok := strings.CutPrefix(path, "/"+APIVersion)
+	if !ok || (rest != "" && rest[0] != '/') {
+		writeErr(w, &APIError{Code: CodeUnsupportedVersion,
+			Message: fmt.Sprintf("path %q is outside the supported API versions [%s]", r.URL.Path, APIVersion)})
+		return
+	}
+	rest = strings.TrimPrefix(rest, "/")
+	switch {
+	case rest == "version" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, VersionInfo{Version: APIVersion, Supported: []string{APIVersion}})
+	case rest == "jobs":
+		s.jobs(w, r)
+	case strings.HasPrefix(rest, "jobs/"):
+		s.job(w, r, strings.TrimPrefix(rest, "jobs/"))
+	default:
+		writeErr(w, &APIError{Code: CodeNotFound, Message: fmt.Sprintf("no route %q under /%s", rest, APIVersion)})
+	}
+}
+
+// jobs handles the collection: POST submit, GET list.
+func (s *Server) jobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeErr(w, &APIError{Code: CodeInvalidSpec, Message: err.Error()})
+			return
+		}
+		var spec naspipe.JobSpec
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, &APIError{Code: CodeInvalidSpec, Message: fmt.Sprintf("malformed JobSpec: %v", err)})
+			return
+		}
+		st, err := s.sched.Submit(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, JobList{Jobs: s.sched.List(r.URL.Query().Get("tenant"))})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeErr(w, &APIError{Code: CodeNotFound, Message: fmt.Sprintf("method %s not supported on /%s/jobs", r.Method, APIVersion)})
+	}
+}
+
+// job handles one job's subtree: status, cancel, resume, events,
+// checkpoint.
+func (s *Server) job(w http.ResponseWriter, r *http.Request, rest string) {
+	id, verb, _ := strings.Cut(rest, "/")
+	switch {
+	case verb == "" && r.Method == http.MethodGet:
+		st, err := s.sched.Get(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case verb == "cancel" && r.Method == http.MethodPost:
+		st, err := s.sched.Cancel(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case verb == "resume" && r.Method == http.MethodPost:
+		st, err := s.sched.Resume(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	case verb == "events" && r.Method == http.MethodGet:
+		s.events(w, r, id)
+	case verb == "checkpoint" && r.Method == http.MethodGet:
+		path, err := s.sched.CheckpointFile(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			writeErr(w, &APIError{Code: CodeInternal, Message: rerr.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
+	default:
+		writeErr(w, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("no route %q for job %q (verbs: cancel, resume, events, checkpoint)", verb, id)})
+	}
+}
+
+// events streams the job's telemetry as JSONL. Plain GET returns the
+// events so far; ?follow=1 keeps the connection open, appending new
+// events until the job reaches a terminal state. Ring-buffer overflow
+// truncates the oldest events — consumers needing a complete stream
+// should size the bus (SchedulerConfig.EventBufSize) for the job.
+func (s *Server) events(w http.ResponseWriter, r *http.Request, id string) {
+	follow := r.URL.Query().Get("follow") != ""
+	evs, done, err := s.sched.Events(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if err := telemetry.WriteJSONL(w, evs); err != nil {
+		return
+	}
+	if !follow || done == nil {
+		return
+	}
+	flush(w)
+	poll := s.followPoll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	written := len(evs)
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		var final bool
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			final = true
+		case <-tick.C:
+		}
+		evs, _, err := s.sched.Events(id)
+		if err != nil {
+			return
+		}
+		if len(evs) > written {
+			if err := telemetry.WriteJSONL(w, evs[written:]); err != nil {
+				return
+			}
+			written = len(evs)
+			flush(w)
+		}
+		if final {
+			return
+		}
+	}
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

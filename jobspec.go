@@ -1,0 +1,551 @@
+package naspipe
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"naspipe/internal/data"
+	"naspipe/internal/fault"
+	"naspipe/internal/sched"
+	"naspipe/internal/train"
+)
+
+// JobSpecVersion is the current JobSpec wire version. A spec with an
+// empty APIVersion is taken to mean the current version; anything else
+// must match exactly — version negotiation is explicit, never silent.
+const JobSpecVersion = "v1"
+
+// ExitCode is the process exit-code contract shared by every naspipe
+// CLI and, through the service plane, by daemon job states (see
+// JobSpec and internal/service). CI scripts, operators, and the
+// supervision plane all key off these four values — never invent a
+// fifth without updating the package-level contract docs.
+type ExitCode int
+
+const (
+	// ExitOK: the run completed, and where a verification applies
+	// (resume composition, predictor hit rate, telemetry overhead gate)
+	// it passed.
+	ExitOK ExitCode = 0
+	// ExitFailure: the run or its verification failed, including a
+	// supervisor give-up (*GiveUpError) — not resumable as-is.
+	ExitFailure ExitCode = 1
+	// ExitUsage: the invocation was malformed (bad flag, unknown space
+	// or policy, invalid JobSpec) and nothing ran.
+	ExitUsage ExitCode = 2
+	// ExitResumable: the run was interrupted with a valid checkpoint on
+	// disk — an injected crash without supervision, or SIGINT/SIGTERM
+	// mid-run. Rerunning with -resume (or POST /v1/jobs/{id}/resume)
+	// continues from the committed frontier.
+	ExitResumable ExitCode = 3
+)
+
+// String names the exit code for reports and API payloads.
+func (c ExitCode) String() string {
+	switch c {
+	case ExitOK:
+		return "ok"
+	case ExitFailure:
+		return "failure"
+	case ExitUsage:
+		return "usage"
+	case ExitResumable:
+		return "resumable"
+	}
+	return fmt.Sprintf("ExitCode(%d)", int(c))
+}
+
+// Duration is a time.Duration that round-trips through JSON as a
+// human-readable string ("500ms", "2s") instead of nanosecond integers.
+type Duration time.Duration
+
+// MarshalJSON encodes the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or a bare integer
+// nanosecond count (the encoding time.Duration would have used).
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		dd, perr := time.ParseDuration(s)
+		if perr != nil {
+			return perr
+		}
+		*d = Duration(dd)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("duration must be a string like \"500ms\" or an integer nanosecond count")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// TrainSpec attaches the numeric (real-weights) training plane to a
+// job: checkpoint prefix checksums when a checkpoint path is set, and
+// the bitwise verification target when Verify is on.
+type TrainSpec struct {
+	// Dim is the model dimension of the numeric layers (0 = 12).
+	Dim int `json:"dim,omitempty"`
+	// BatchSize is items per subnet step (0 = 4).
+	BatchSize int `json:"batch_size,omitempty"`
+	// LR is the SGD learning rate (0 = 0.05).
+	LR float64 `json:"lr,omitempty"`
+	// Dataset names the synthetic workload: "WNMT" or "ImageNet"
+	// ("" = WNMT).
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// SuperviseSpec opts a job into the supervision plane and overrides its
+// defaults (see DefaultSuperviseConfig). Requires a checkpoint path and
+// the concurrent executor.
+type SuperviseSpec struct {
+	// StallTimeout is the watchdog threshold: both progress signals flat
+	// for this long declares a stall (0 = default 2s).
+	StallTimeout Duration `json:"stall_timeout,omitempty"`
+	// MaxRestarts bounds resume attempts across the whole run (0 = 16).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// ElasticAfter halves the pipeline depth after this many consecutive
+	// incidents attributed to one stage (0 = off). Implies elastic
+	// resume.
+	ElasticAfter int `json:"elastic_after,omitempty"`
+}
+
+// JobSpec is the canonical, JSON-round-trippable description of one
+// search job: the single configuration surface shared by the Go API
+// (FromSpec → NewRunner), the CLI flag sets (internal/clicfg), and the
+// naspiped service wire format (POST /v1/jobs). Adding a knob here adds
+// it everywhere at once; the three surfaces cannot drift.
+//
+// The zero value is not valid — at minimum Space, GPUs, and Subnets
+// must be set. Validate reports the first violated invariant with the
+// offending field name (the service maps it to a structured 400).
+type JobSpec struct {
+	// APIVersion pins the spec format; "" means JobSpecVersion.
+	APIVersion string `json:"api_version,omitempty"`
+	// Tenant scopes the job for the service plane's quotas and listing;
+	// ignored by the CLIs ("" = the default tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// Name is a free-form operator label.
+	Name string `json:"name,omitempty"`
+
+	// Space is a Table 1 search-space name ("NLP.c1", "CV.c3", ...).
+	Space string `json:"space"`
+	// ScaleBlocks/ScaleChoices optionally re-geometry the space for the
+	// numeric plane (Space.Scaled); both or neither.
+	ScaleBlocks  int `json:"scale_blocks,omitempty"`
+	ScaleChoices int `json:"scale_choices,omitempty"`
+	// Policy is the scheduling policy ("" = "naspipe"; see PolicyNames).
+	Policy string `json:"policy,omitempty"`
+	// Executor selects the execution plane: "simulated" or "concurrent"
+	// ("" = "simulated").
+	Executor string `json:"executor,omitempty"`
+	// GPUs is the pipeline depth.
+	GPUs int `json:"gpus"`
+	// Subnets is the exploration-stream length.
+	Subnets int `json:"subnets"`
+	// Seed drives SPOS subnet sampling.
+	Seed uint64 `json:"seed"`
+	// Window bounds in-flight subnets (0 = engine default).
+	Window int `json:"window,omitempty"`
+	// Jitter perturbs per-task compute timing by a deterministic factor
+	// in [1-j, 1+j] keyed by JitterSeed; concurrent tasks really sleep.
+	Jitter     float64 `json:"jitter,omitempty"`
+	JitterSeed uint64  `json:"jitter_seed,omitempty"`
+
+	// Trace forces parameter-access trace recording on or off; nil
+	// leaves it to the engine config (and Verify forces it on).
+	Trace *bool `json:"trace,omitempty"`
+	// CacheFactor sizes the concurrent plane's per-stage layer cache as
+	// a multiple of the stage's average subnet footprint; nil leaves the
+	// cache unconfigured, 0 disables it. Concurrent executor only.
+	CacheFactor *float64 `json:"cache_factor,omitempty"`
+	// Predictor enables the Algorithm 3 context predictor (requires a
+	// non-zero cache; defaults the factor to 3 when unset).
+	Predictor bool `json:"predictor,omitempty"`
+
+	// Faults is a deterministic fault-plan spec, e.g.
+	// "seed=7,drop=0.1,crashat=2:9:F" (see ParseFaultPlan). Concurrent
+	// executor only.
+	Faults string `json:"faults,omitempty"`
+	// Checkpoint persists crash-consistent checkpoints to this path; the
+	// service plane overrides it with the job's own state file.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// CheckpointEvery throttles saves to one per n cursor advances.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Elastic permits resuming across a different GPU count
+	// (WithElasticResume); implied by Supervise.ElasticAfter.
+	Elastic bool `json:"elastic,omitempty"`
+
+	// Train attaches the numeric training plane (prefix checksums in
+	// checkpoints; the reference for Verify).
+	Train *TrainSpec `json:"train,omitempty"`
+	// Supervise opts into in-process auto-resume of crashes and
+	// watchdog-diagnosed stalls. Requires Checkpoint + concurrent.
+	Supervise *SuperviseSpec `json:"supervise,omitempty"`
+	// Verify re-derives the completed run's weights from its observed
+	// trace and fails unless they are bitwise equal to the sequential
+	// reference. Requires Train and the concurrent executor.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// specErr is a JobSpec validation failure pinned to one field, so API
+// consumers get a structured "which field" answer instead of prose
+// archaeology.
+type specErr struct {
+	Field string
+	Msg   string
+}
+
+func (e *specErr) Error() string { return fmt.Sprintf("jobspec: field %q: %s", e.Field, e.Msg) }
+
+// SpecField extracts the offending field name from a JobSpec validation
+// error, unwrapping as needed ("" if err is not one).
+func SpecField(err error) string {
+	var e *specErr
+	if errors.As(err, &e) {
+		return e.Field
+	}
+	return ""
+}
+
+// optionFacts is the single option-validation kernel shared by
+// JobSpec.Validate and NewRunner: both surfaces reduce to these facts
+// and run the same invariant checks, so the flag set, the service API,
+// and the functional options cannot drift apart.
+type optionFacts struct {
+	policy      string
+	executor    ExecutorKind
+	parallelism int
+	cacheSet    bool
+	cacheFactor float64
+	predictor   bool
+	faults      *fault.Plan
+	ckptPath    string
+	ckptEvery   int
+	haveTrain   bool // checkpoint-training attached
+	elastic     bool
+}
+
+// validate checks every cross-option invariant. Errors are *specErr so
+// both NewRunner and JobSpec.Validate surface the offending field.
+func (f optionFacts) validate() error {
+	if _, err := sched.New(f.policy); err != nil {
+		return &specErr{Field: "policy", Msg: err.Error()}
+	}
+	if f.executor != ExecutorSimulated && f.executor != ExecutorConcurrent {
+		return &specErr{Field: "executor", Msg: fmt.Sprintf("unknown executor %v", f.executor)}
+	}
+	if f.executor == ExecutorConcurrent && f.policy != "naspipe" {
+		return &specErr{Field: "policy", Msg: fmt.Sprintf("the concurrent executor implements CSP only; policy %q requires the simulated executor", f.policy)}
+	}
+	if f.parallelism < 0 {
+		return &specErr{Field: "parallelism", Msg: fmt.Sprintf("negative parallelism %d", f.parallelism)}
+	}
+	if f.cacheSet && f.cacheFactor < 0 {
+		return &specErr{Field: "cache_factor", Msg: fmt.Sprintf("negative cache factor %v", f.cacheFactor)}
+	}
+	if (f.cacheSet || f.predictor) && f.executor != ExecutorConcurrent {
+		return &specErr{Field: "cache_factor", Msg: fmt.Sprintf("the cache and predictor configure the concurrent memory plane; the %v executor has its own memory model", f.executor)}
+	}
+	if f.predictor && f.cacheSet && f.cacheFactor == 0 {
+		return &specErr{Field: "predictor", Msg: "the predictor requires a cache; cache factor 0 disables it"}
+	}
+	if (f.faults != nil || f.ckptPath != "" || f.ckptEvery != 0 || f.haveTrain) && f.executor != ExecutorConcurrent {
+		return &specErr{Field: "faults", Msg: fmt.Sprintf("faults/checkpoint/training configure the concurrent execution plane; the %v executor has no goroutines to crash or resume", f.executor)}
+	}
+	if f.faults != nil {
+		if err := f.faults.Validate(); err != nil {
+			return &specErr{Field: "faults", Msg: err.Error()}
+		}
+	}
+	if f.ckptEvery < 0 {
+		return &specErr{Field: "checkpoint_every", Msg: fmt.Sprintf("negative checkpoint interval %d", f.ckptEvery)}
+	}
+	if (f.ckptEvery != 0 || f.elastic) && f.ckptPath == "" {
+		return &specErr{Field: "checkpoint", Msg: "checkpoint_every/elastic refine a checkpoint path, which is not set"}
+	}
+	return nil
+}
+
+// executorKind resolves the spec's executor name.
+func (s JobSpec) executorKind() (ExecutorKind, error) {
+	switch s.Executor {
+	case "", ExecutorSimulated.String():
+		return ExecutorSimulated, nil
+	case ExecutorConcurrent.String():
+		return ExecutorConcurrent, nil
+	}
+	return 0, &specErr{Field: "executor", Msg: fmt.Sprintf("unknown executor %q (want %q or %q)", s.Executor, ExecutorSimulated, ExecutorConcurrent)}
+}
+
+// policyName resolves the spec's policy with its default.
+func (s JobSpec) policyName() string {
+	if s.Policy == "" {
+		return "naspipe"
+	}
+	return s.Policy
+}
+
+// Validate checks the spec against every invariant the system holds:
+// resolvable space and policy, executor/plane compatibility, cache and
+// predictor constraints, fault-plan syntax, checkpoint refinements, and
+// supervision/verification requirements. The first violation is
+// returned as an error naming the offending JSON field (see SpecField).
+func (s JobSpec) Validate() error {
+	if s.APIVersion != "" && s.APIVersion != JobSpecVersion {
+		return &specErr{Field: "api_version", Msg: fmt.Sprintf("unsupported version %q (this build speaks %q)", s.APIVersion, JobSpecVersion)}
+	}
+	if s.Space == "" {
+		return &specErr{Field: "space", Msg: "required (a Table 1 name like \"NLP.c1\")"}
+	}
+	if _, err := SpaceByName(s.Space); err != nil {
+		return &specErr{Field: "space", Msg: err.Error()}
+	}
+	if (s.ScaleBlocks > 0) != (s.ScaleChoices > 0) {
+		return &specErr{Field: "scale_blocks", Msg: "scale_blocks and scale_choices come together (both or neither)"}
+	}
+	if s.ScaleBlocks < 0 || s.ScaleChoices < 0 {
+		return &specErr{Field: "scale_blocks", Msg: "negative scale geometry"}
+	}
+	if s.GPUs <= 0 {
+		return &specErr{Field: "gpus", Msg: fmt.Sprintf("pipeline depth must be positive, got %d", s.GPUs)}
+	}
+	if s.Subnets <= 0 {
+		return &specErr{Field: "subnets", Msg: fmt.Sprintf("stream length must be positive, got %d", s.Subnets)}
+	}
+	if s.Window < 0 {
+		return &specErr{Field: "window", Msg: fmt.Sprintf("negative admission window %d", s.Window)}
+	}
+	if s.Jitter < 0 || s.Jitter >= 1 {
+		return &specErr{Field: "jitter", Msg: fmt.Sprintf("jitter must be in [0, 1), got %v", s.Jitter)}
+	}
+	kind, err := s.executorKind()
+	if err != nil {
+		return err
+	}
+	var plan *fault.Plan
+	if s.Faults != "" {
+		plan, err = fault.ParsePlan(s.Faults)
+		if err != nil {
+			return &specErr{Field: "faults", Msg: err.Error()}
+		}
+	}
+	if s.Train != nil {
+		if s.Train.Dim < 0 || s.Train.BatchSize < 0 {
+			return &specErr{Field: "train", Msg: "negative dim or batch_size"}
+		}
+		if s.Train.Dataset != "" {
+			if _, err := data.KindByName(s.Train.Dataset); err != nil {
+				return &specErr{Field: "train.dataset", Msg: err.Error()}
+			}
+		}
+	}
+	if s.Supervise != nil {
+		if s.Checkpoint == "" {
+			return &specErr{Field: "supervise", Msg: "supervision requires a checkpoint path — recovery resumes from it"}
+		}
+		if kind != ExecutorConcurrent {
+			return &specErr{Field: "supervise", Msg: "supervision wraps the concurrent executor"}
+		}
+		if s.Supervise.MaxRestarts < 0 || s.Supervise.ElasticAfter < 0 || s.Supervise.StallTimeout < 0 {
+			return &specErr{Field: "supervise", Msg: "negative supervision parameter"}
+		}
+	}
+	if s.Verify {
+		if s.Train == nil {
+			return &specErr{Field: "verify", Msg: "verification trains the sequential reference; attach a train spec"}
+		}
+		if kind != ExecutorConcurrent {
+			return &specErr{Field: "verify", Msg: "verification replays the observed trace of a concurrent run"}
+		}
+		if s.Trace != nil && !*s.Trace {
+			return &specErr{Field: "trace", Msg: "verify needs the observed trace; trace=false contradicts it"}
+		}
+	}
+	return s.facts(kind, plan).validate()
+}
+
+// facts reduces the spec to the shared option-validation kernel.
+func (s JobSpec) facts(kind ExecutorKind, plan *fault.Plan) optionFacts {
+	f := optionFacts{
+		policy:    s.policyName(),
+		executor:  kind,
+		predictor: s.Predictor,
+		faults:    plan,
+		ckptPath:  s.Checkpoint,
+		ckptEvery: s.CheckpointEvery,
+		haveTrain: s.Train != nil && s.Checkpoint != "",
+		elastic:   s.Elastic || (s.Supervise != nil && s.Supervise.ElasticAfter > 0),
+	}
+	if s.CacheFactor != nil {
+		f.cacheSet = true
+		f.cacheFactor = *s.CacheFactor
+	}
+	return f
+}
+
+// TrainConfig materializes the spec's training plane against its
+// (scaled) space; ok is false when no train spec is attached.
+func (s JobSpec) TrainConfig() (TrainConfig, bool) {
+	if s.Train == nil {
+		return TrainConfig{}, false
+	}
+	sp, err := s.space()
+	if err != nil {
+		return TrainConfig{}, false
+	}
+	kind := data.WNMT
+	if s.Train.Dataset != "" {
+		if k, kerr := data.KindByName(s.Train.Dataset); kerr == nil {
+			kind = k
+		}
+	}
+	return train.Config{
+		Space: sp, Dim: s.Train.Dim, Seed: s.Seed,
+		BatchSize: s.Train.BatchSize, LR: float32(s.Train.LR),
+		Dataset: kind,
+	}, true
+}
+
+// SuperviseConfig materializes the spec's supervision plane over the
+// package defaults; ok is false when the spec does not opt in.
+func (s JobSpec) SuperviseConfig() (SuperviseConfig, bool) {
+	if s.Supervise == nil {
+		return SuperviseConfig{}, false
+	}
+	sc := DefaultSuperviseConfig()
+	if s.Supervise.StallTimeout > 0 {
+		sc.Watchdog.StallAfter = time.Duration(s.Supervise.StallTimeout)
+	}
+	if s.Supervise.MaxRestarts > 0 {
+		sc.MaxRestarts = s.Supervise.MaxRestarts
+	}
+	sc.ElasticAfter = s.Supervise.ElasticAfter
+	return sc, true
+}
+
+// space resolves and scales the spec's search space.
+func (s JobSpec) space() (Space, error) {
+	sp, err := SpaceByName(s.Space)
+	if err != nil {
+		return Space{}, &specErr{Field: "space", Msg: err.Error()}
+	}
+	if s.ScaleBlocks > 0 {
+		sp = sp.Scaled(s.ScaleBlocks, s.ScaleChoices)
+	}
+	return sp, nil
+}
+
+// Config materializes the engine configuration the spec describes.
+// Most callers want FromSpec, which also derives the Runner options.
+func (s JobSpec) Config() (Config, error) {
+	sp, err := s.space()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Space: sp, Spec: DefaultCluster(s.GPUs),
+		Seed: s.Seed, NumSubnets: s.Subnets,
+		InflightLimit: s.Window,
+		TimingJitter:  s.Jitter,
+		JitterSeed:    s.JitterSeed,
+	}
+	if s.Trace != nil {
+		cfg.RecordTrace = *s.Trace
+	}
+	if s.Verify {
+		cfg.RecordTrace = true
+	}
+	return cfg, nil
+}
+
+// FromSpec validates the spec and derives both halves of a run from it:
+// the Runner options (executor, policy, cache, faults, checkpointing,
+// elasticity) and the engine Config (space, cluster, stream, jitter,
+// tracing). It is the bridge that makes JobSpec the single source of
+// truth — the CLIs, the Go API, and the naspiped service all build
+// their runners through it.
+func FromSpec(s JobSpec) ([]RunnerOption, Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, Config{}, err
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, Config{}, err
+	}
+	kind, err := s.executorKind()
+	if err != nil {
+		return nil, Config{}, err
+	}
+	opts := []RunnerOption{
+		WithPolicy(s.policyName()),
+		WithExecutor(kind),
+	}
+	if s.Trace != nil {
+		opts = append(opts, WithTrace(*s.Trace))
+	} else if s.Verify {
+		opts = append(opts, WithTrace(true))
+	}
+	if s.CacheFactor != nil {
+		opts = append(opts, WithCache(*s.CacheFactor))
+	}
+	if s.Predictor {
+		opts = append(opts, WithPredictor(true))
+	}
+	if s.Faults != "" {
+		plan, perr := fault.ParsePlan(s.Faults)
+		if perr != nil {
+			return nil, Config{}, &specErr{Field: "faults", Msg: perr.Error()}
+		}
+		opts = append(opts, WithFaults(plan))
+	}
+	if s.Checkpoint != "" {
+		opts = append(opts, WithCheckpoint(s.Checkpoint))
+		if s.CheckpointEvery > 0 {
+			opts = append(opts, WithCheckpointEvery(s.CheckpointEvery))
+		}
+		if tc, ok := s.TrainConfig(); ok {
+			opts = append(opts, WithCheckpointTraining(tc))
+		}
+	}
+	if s.Elastic || (s.Supervise != nil && s.Supervise.ElasticAfter > 0) {
+		opts = append(opts, WithElasticResume())
+	}
+	return opts, cfg, nil
+}
+
+// VerifyAgainstSequential checks the reproducibility contract on real
+// weights: training the committed prefix [0, res.BaseSeq) sequentially
+// and replaying the run's observed suffix trace on the same net must
+// land bitwise on the uninterrupted sequential run's checksum. It
+// returns that checksum on success. This is the check behind the CLIs'
+// "resume verified" line and the service plane's verified flag.
+func VerifyAgainstSequential(tc TrainConfig, cfg Config, res Result) (uint64, error) {
+	full := cfg.ResolveSubnets()
+	if res.BaseSeq < 0 || res.BaseSeq > len(full) {
+		return 0, fmt.Errorf("naspipe: verify: resume base %d out of range [0, %d]", res.BaseSeq, len(full))
+	}
+	want := train.Sequential(tc, full).Checksum
+	prefix := train.Sequential(tc, full[:res.BaseSeq])
+	got := prefix.Checksum
+	if res.BaseSeq < len(full) {
+		if res.ObservedTrace == nil {
+			return 0, fmt.Errorf("naspipe: verify: the run recorded no observed trace (enable tracing)")
+		}
+		rep, err := train.ReplayOn(tc, prefix.Net, full[res.BaseSeq:], res.ObservedTrace)
+		if err != nil {
+			return 0, err
+		}
+		got = rep.Checksum
+	}
+	if got != want {
+		return 0, fmt.Errorf("naspipe: verify: weights %016x diverge from sequential reference %016x", got, want)
+	}
+	return got, nil
+}

@@ -1,0 +1,238 @@
+package naspipe
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fullSpec returns a JobSpec with every field populated, for round-trip
+// coverage.
+func fullSpec(ckpt string) JobSpec {
+	cf := 2.5
+	tr := true
+	return JobSpec{
+		APIVersion: JobSpecVersion,
+		Tenant:     "team-a", Name: "nightly",
+		Space: "NLP.c3", ScaleBlocks: 8, ScaleChoices: 3,
+		Policy: "naspipe", Executor: "concurrent",
+		GPUs: 4, Subnets: 12, Seed: 7, Window: 6,
+		Jitter: 0.25, JitterSeed: 7,
+		Trace: &tr, CacheFactor: &cf, Predictor: true,
+		Faults:     "seed=7,drop=0.1",
+		Checkpoint: ckpt, CheckpointEvery: 2,
+		Train:     &TrainSpec{Dim: 8, BatchSize: 2, LR: 0.05, Dataset: "WNMT"},
+		Supervise: &SuperviseSpec{StallTimeout: Duration(2 * time.Second), MaxRestarts: 4, ElasticAfter: 3},
+		Verify:    true,
+	}
+}
+
+func TestJobSpecJSONRoundTrip(t *testing.T) {
+	want := fullSpec(filepath.Join(t.TempDir(), "run.ckpt"))
+	buf, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got JobSpec
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip changed the spec:\n want %+v\n got  %+v", want, got)
+	}
+	// The wire form must use the human-readable duration encoding.
+	if !strings.Contains(string(buf), `"stall_timeout":"2s"`) {
+		t.Fatalf("stall_timeout not encoded as a duration string: %s", buf)
+	}
+}
+
+func TestDurationJSONForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"500ms"`), &d); err != nil || time.Duration(d) != 500*time.Millisecond {
+		t.Fatalf("string form: got %v, err %v", time.Duration(d), err)
+	}
+	if err := json.Unmarshal([]byte(`1500000000`), &d); err != nil || time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("integer nanosecond form: got %v, err %v", time.Duration(d), err)
+	}
+	if err := json.Unmarshal([]byte(`"not a duration"`), &d); err == nil {
+		t.Fatal("garbage duration accepted")
+	}
+}
+
+// validBase is a minimal valid concurrent spec for the validation table.
+func validBase() JobSpec {
+	return JobSpec{Space: "NLP.c1", Executor: "concurrent", GPUs: 4, Subnets: 8, Seed: 1}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*JobSpec)
+		field  string // "" = spec stays valid
+	}{
+		{"valid", func(s *JobSpec) {}, ""},
+		{"bad version", func(s *JobSpec) { s.APIVersion = "v2" }, "api_version"},
+		{"missing space", func(s *JobSpec) { s.Space = "" }, "space"},
+		{"unknown space", func(s *JobSpec) { s.Space = "NLP.c9" }, "space"},
+		{"half scale", func(s *JobSpec) { s.ScaleBlocks = 8 }, "scale_blocks"},
+		{"zero gpus", func(s *JobSpec) { s.GPUs = 0 }, "gpus"},
+		{"negative subnets", func(s *JobSpec) { s.Subnets = -1 }, "subnets"},
+		{"jitter out of range", func(s *JobSpec) { s.Jitter = 1.0 }, "jitter"},
+		{"unknown executor", func(s *JobSpec) { s.Executor = "quantum" }, "executor"},
+		{"unknown policy", func(s *JobSpec) { s.Policy = "fifo" }, "policy"},
+		{"concurrent is CSP-only", func(s *JobSpec) { s.Policy = "gpipe" }, "policy"},
+		{"bad fault plan", func(s *JobSpec) { s.Faults = "crashat=bogus" }, "faults"},
+		{"faults need concurrent", func(s *JobSpec) { s.Executor = "simulated"; s.Faults = "seed=7,drop=0.1" }, "faults"},
+		{"cache needs concurrent", func(s *JobSpec) { s.Executor = "simulated"; cf := 3.0; s.CacheFactor = &cf }, "cache_factor"},
+		{"negative cache", func(s *JobSpec) { cf := -1.0; s.CacheFactor = &cf }, "cache_factor"},
+		{"predictor needs cache", func(s *JobSpec) { cf := 0.0; s.CacheFactor = &cf; s.Predictor = true }, "predictor"},
+		{"supervise needs checkpoint", func(s *JobSpec) { s.Supervise = &SuperviseSpec{} }, "supervise"},
+		{"elastic needs checkpoint", func(s *JobSpec) { s.Elastic = true }, "checkpoint"},
+		{"verify needs train", func(s *JobSpec) { s.Verify = true }, "verify"},
+		{"verify contradicts trace off", func(s *JobSpec) {
+			off := false
+			s.Verify = true
+			s.Train = &TrainSpec{}
+			s.Trace = &off
+		}, "trace"},
+		{"bad dataset", func(s *JobSpec) { s.Train = &TrainSpec{Dataset: "MNIST"} }, "train.dataset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validBase()
+			tc.mutate(&s)
+			err := s.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("unexpectedly invalid: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected a violation of field %q, spec passed", tc.field)
+			}
+			if got := SpecField(err); got != tc.field {
+				t.Fatalf("violated field = %q, want %q (err: %v)", got, tc.field, err)
+			}
+		})
+	}
+}
+
+// TestNewRunnerDelegatesToSpecValidation pins the shared-kernel design:
+// the functional options and the JobSpec surface report the same
+// violations with the same field attribution.
+func TestNewRunnerDelegatesToSpecValidation(t *testing.T) {
+	_, err := NewRunner(WithExecutor(ExecutorSimulated), WithCache(3))
+	if err == nil {
+		t.Fatal("cache on the simulated executor accepted")
+	}
+	if got := SpecField(err); got != "cache_factor" {
+		t.Fatalf("option-path violation field = %q, want cache_factor (err: %v)", got, err)
+	}
+	s := validBase()
+	s.Executor = "simulated"
+	cf := 3.0
+	s.CacheFactor = &cf
+	if got := SpecField(s.Validate()); got != "cache_factor" {
+		t.Fatalf("spec-path violation field = %q, want cache_factor", got)
+	}
+}
+
+// TestFromSpecRuns drives a complete concurrent run purely from a
+// JobSpec and checks the result against the spec's own verification
+// path — the same composition the service plane uses.
+func TestFromSpecRuns(t *testing.T) {
+	s := fullSpec(filepath.Join(t.TempDir(), "run.ckpt"))
+	s.Faults = "" // keep this one clean; fault paths are covered elsewhere
+	s.Jitter = 0
+	s.JitterSeed = 0
+	opts, cfg, err := FromSpec(s)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	r, err := NewRunner(opts...)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	res, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed != s.Subnets {
+		t.Fatalf("completed %d of %d subnets", res.Completed, s.Subnets)
+	}
+	tc, ok := s.TrainConfig()
+	if !ok {
+		t.Fatal("TrainConfig not derived despite Train being set")
+	}
+	sum, err := VerifyAgainstSequential(tc, cfg, res)
+	if err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	if sum == 0 {
+		t.Fatal("verification returned a zero checksum")
+	}
+}
+
+func TestFromSpecRejectsInvalid(t *testing.T) {
+	s := validBase()
+	s.GPUs = -3
+	if _, _, err := FromSpec(s); err == nil || SpecField(err) != "gpus" {
+		t.Fatalf("FromSpec accepted an invalid spec (err: %v)", err)
+	}
+}
+
+func TestExitCodeNames(t *testing.T) {
+	want := map[ExitCode]string{
+		ExitOK: "ok", ExitFailure: "failure", ExitUsage: "usage", ExitResumable: "resumable",
+	}
+	for code, name := range want {
+		if code.String() != name {
+			t.Fatalf("ExitCode(%d).String() = %q, want %q", int(code), code.String(), name)
+		}
+	}
+	if ExitCode(7).String() != "ExitCode(7)" {
+		t.Fatalf("unknown code rendered as %q", ExitCode(7).String())
+	}
+}
+
+// FuzzJobSpecJSON checks that any JobSpec that decodes and validates
+// also round-trips canonically: re-encoding and re-decoding preserves
+// both the bytes and the validation verdict.
+func FuzzJobSpecJSON(f *testing.F) {
+	seed1, _ := json.Marshal(validBase())
+	seed2, _ := json.Marshal(fullSpec("run.ckpt"))
+	f.Add(string(seed1))
+	f.Add(string(seed2))
+	f.Add(`{"space":"CV.c1","gpus":2,"subnets":4,"seed":9}`)
+	f.Add(`{"space":"NLP.c1","gpus":1,"subnets":1,"supervise":{"stall_timeout":"50ms"}}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var s JobSpec
+		if err := json.Unmarshal([]byte(raw), &s); err != nil {
+			return // malformed JSON is the decoder's problem, not ours
+		}
+		valid := s.Validate() == nil
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("decoded spec failed to re-encode: %v\nspec: %+v", err, s)
+		}
+		var again JobSpec
+		if err := json.Unmarshal(enc, &again); err != nil {
+			t.Fatalf("re-encoded spec failed to decode: %v\nbytes: %s", err, enc)
+		}
+		enc2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("encoding is not a fixed point:\n first  %s\n second %s", enc, enc2)
+		}
+		if again.Validate() == nil != valid {
+			t.Fatalf("validation verdict changed across round trip (was valid=%v)\nspec: %s", valid, enc)
+		}
+	})
+}

@@ -175,49 +175,38 @@ func WithElasticResume() RunnerOption {
 }
 
 // NewRunner validates the option set and returns an immutable Runner.
+// Validation delegates to the JobSpec invariant kernel (optionFacts),
+// so the functional options, the CLI flag sets, and the service API all
+// enforce exactly the same rules.
 func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	r := &Runner{policy: "naspipe"}
 	for _, opt := range opts {
 		opt(r)
 	}
-	if _, err := sched.New(r.policy); err != nil {
-		return nil, err
+	facts := optionFacts{
+		policy:      r.policy,
+		executor:    r.executor,
+		parallelism: r.parallelism,
+		cacheSet:    r.cacheSet,
+		cacheFactor: r.cacheFactor,
+		predictor:   r.predictor,
+		faults:      r.faults,
+		ckptPath:    r.ckptPath,
+		ckptEvery:   r.ckptEvery,
+		haveTrain:   r.trainCfg != nil,
+		elastic:     r.elastic,
 	}
-	if r.executor == ExecutorConcurrent && r.policy != "naspipe" {
-		return nil, fmt.Errorf("naspipe: the concurrent executor implements CSP only; policy %q requires the simulated executor", r.policy)
+	if err := facts.validate(); err != nil {
+		return nil, fmt.Errorf("naspipe: %w", err)
 	}
-	if r.executor != ExecutorSimulated && r.executor != ExecutorConcurrent {
-		return nil, fmt.Errorf("naspipe: unknown executor %v", r.executor)
-	}
-	if r.parallelism < 0 {
-		return nil, fmt.Errorf("naspipe: negative parallelism %d", r.parallelism)
-	}
-	if r.cacheSet && r.cacheFactor < 0 {
-		return nil, fmt.Errorf("naspipe: negative cache factor %v", r.cacheFactor)
-	}
-	if (r.cacheSet || r.predictor) && r.executor != ExecutorConcurrent {
-		return nil, fmt.Errorf("naspipe: WithCache/WithPredictor configure the concurrent memory plane; the %v executor has its own memory model", r.executor)
-	}
-	if r.predictor && r.cacheSet && r.cacheFactor == 0 {
-		return nil, fmt.Errorf("naspipe: the predictor requires a cache; WithCache(0) disables it")
+	// trainCfg without a checkpoint path has nothing to checksum; the
+	// kernel folds it into the checkpoint-refinement rule.
+	if r.trainCfg != nil && r.ckptPath == "" {
+		return nil, fmt.Errorf("naspipe: %w", &specErr{Field: "checkpoint", Msg: "WithCheckpointTraining refines WithCheckpoint, which is not set"})
 	}
 	if r.predictor && !r.cacheSet {
 		r.cacheFactor = 3 // the paper's default footprint
 		r.cacheSet = true
-	}
-	if (r.faults != nil || r.ckptPath != "" || r.ckptEvery != 0 || r.trainCfg != nil) && r.executor != ExecutorConcurrent {
-		return nil, fmt.Errorf("naspipe: WithFaults/WithCheckpoint configure the concurrent execution plane; the %v executor has no goroutines to crash or resume", r.executor)
-	}
-	if r.faults != nil {
-		if err := r.faults.Validate(); err != nil {
-			return nil, fmt.Errorf("naspipe: %w", err)
-		}
-	}
-	if r.ckptEvery < 0 {
-		return nil, fmt.Errorf("naspipe: negative checkpoint interval %d", r.ckptEvery)
-	}
-	if (r.ckptEvery != 0 || r.trainCfg != nil || r.elastic) && r.ckptPath == "" {
-		return nil, fmt.Errorf("naspipe: WithCheckpointEvery/WithCheckpointTraining/WithElasticResume refine WithCheckpoint, which is not set")
 	}
 	return r, nil
 }
