@@ -1,0 +1,258 @@
+// naspipe-benchguard compares `go test -bench` output against a
+// checked-in baseline and fails on performance regressions, so CI
+// catches a hot path growing allocations or losing its speedup without
+// anyone staring at benchmark logs.
+//
+// Raw ns/op is meaningless across machines, so the guard compares two
+// machine-portable signals instead:
+//
+//   - allocs/op, which is deterministic for a given code path: any
+//     growth beyond the tolerance is a regression.
+//   - new/ref time ratios: for every BenchmarkFoo measured alongside a
+//     BenchmarkFooRef in the SAME run (the Ref benchmarks pin the
+//     pre-optimization implementations in the tree), the guard checks
+//     the optimized-over-reference ratio. Both sides run on the same
+//     host in the same process, so the ratio survives machine changes.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/... | tee bench.out
+//	naspipe-benchguard -baseline BENCH_baseline.json bench.out
+//	naspipe-benchguard -baseline BENCH_baseline.json -update bench.out
+//
+// Exit codes follow the repo taxonomy: 0 ok, 1 regression or bad input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name    string  // full name minus the -N GOMAXPROCS suffix
+	NsPerOp float64 // ns/op
+	Allocs  float64 // allocs/op; -1 when the run lacked -benchmem
+}
+
+// baseline is the checked-in expectation file.
+type baseline struct {
+	// Allocs pins allocs/op per benchmark.
+	Allocs map[string]float64 `json:"allocs_per_op"`
+	// Ratios pins new/ref ns-per-op ratios, keyed by the optimized
+	// benchmark's name (its Ref twin is derived: Foo/... → FooRef/...).
+	Ratios map[string]float64 `json:"time_ratio_vs_ref"`
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against (or write with -update)")
+		update    = flag.Bool("update", false, "regenerate the baseline from this run instead of comparing")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	)
+	flag.Parse()
+
+	results, err := readResults(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	if *update {
+		b := buildBaseline(results)
+		buf, _ := json.MarshalIndent(b, "", "  ")
+		if err := os.WriteFile(*basePath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: writing %s: %v\n", *basePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchguard: wrote %s (%d alloc pins, %d ratio pins)\n", *basePath, len(b.Allocs), len(b.Ratios))
+		return
+	}
+
+	buf, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run with -update to create it)\n", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *basePath, err)
+		os.Exit(1)
+	}
+
+	regressions := compare(base, results, *tolerance)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "REGRESSION: "+r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) beyond %.0f%% tolerance\n",
+			len(regressions), *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: ok (%d benchmarks, %d alloc pins, %d ratio pins)\n",
+		len(results), len(base.Allocs), len(base.Ratios))
+}
+
+// readResults parses benchmark lines from the named files, or stdin
+// when none are given.
+func readResults(paths []string) (map[string]benchResult, error) {
+	out := make(map[string]benchResult)
+	read := func(r io.Reader) error {
+		buf, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		for _, res := range parseBench(string(buf)) {
+			out[res.Name] = res
+		}
+		return nil
+	}
+	if len(paths) == 0 {
+		return out, read(os.Stdin)
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		err = read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	return out, nil
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkFoo/case-8   66007   43721 ns/op   704 B/op   14 allocs/op
+func parseBench(out string) []benchResult {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := benchResult{Name: trimProcs(fields[0]), Allocs: -1}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			case "allocs/op":
+				res.Allocs = v
+			}
+		}
+		if ok {
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// trimProcs drops the trailing -N GOMAXPROCS suffix from a benchmark
+// name so baselines survive runs at different parallelism.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// refTwin returns the name of a benchmark's pre-optimization reference
+// twin: the Ref suffix attaches to the top-level function name, before
+// any sub-benchmark path ("BenchmarkFoo/n=4" → "BenchmarkFooRef/n=4").
+func refTwin(name string) string {
+	fn, rest, cut := strings.Cut(name, "/")
+	if strings.HasSuffix(fn, "Ref") {
+		return ""
+	}
+	fn += "Ref"
+	if cut {
+		return fn + "/" + rest
+	}
+	return fn
+}
+
+// buildBaseline derives the pins from one run: every benchmark that
+// reported allocs, and every new/ref pair present together.
+func buildBaseline(results map[string]benchResult) baseline {
+	b := baseline{Allocs: map[string]float64{}, Ratios: map[string]float64{}}
+	for name, res := range results {
+		if res.Allocs >= 0 {
+			b.Allocs[name] = res.Allocs
+		}
+		if twin := refTwin(name); twin != "" {
+			if ref, ok := results[twin]; ok && ref.NsPerOp > 0 {
+				b.Ratios[name] = res.NsPerOp / ref.NsPerOp
+			}
+		}
+	}
+	return b
+}
+
+// compare returns one message per pin the run regressed beyond tol. A
+// pinned benchmark missing from the run is also a failure — silently
+// dropping a guarded benchmark is how regressions sneak in. Alloc
+// comparisons get one alloc of absolute slack on top of the fractional
+// tolerance so zero-pinned paths stay strict while map-heavy paths
+// tolerate growth-boundary noise.
+func compare(base baseline, results map[string]benchResult, tol float64) []string {
+	var msgs []string
+	names := make([]string, 0, len(base.Allocs))
+	for name := range base.Allocs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Allocs[name]
+		res, ok := results[name]
+		if !ok || res.Allocs < 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: pinned at %.0f allocs/op but missing from this run", name, want))
+			continue
+		}
+		if res.Allocs > want*(1+tol) && res.Allocs > want+1 {
+			msgs = append(msgs, fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f", name, res.Allocs, want))
+		}
+	}
+	names = names[:0]
+	for name := range base.Ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Ratios[name]
+		res, ok := results[name]
+		ref, rok := results[refTwin(name)]
+		if !ok || !rok || ref.NsPerOp <= 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: pinned ratio %.3f but the pair is missing from this run", name, want))
+			continue
+		}
+		got := res.NsPerOp / ref.NsPerOp
+		if got > want*(1+tol) {
+			msgs = append(msgs, fmt.Sprintf("%s: %.3fx of its Ref twin, baseline %.3fx", name, got, want))
+		}
+	}
+	return msgs
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRun = `
+goos: linux
+goarch: amd64
+pkg: naspipe/internal/tensor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMatVec/n=128-4         	   86640	     13841 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVectorChecksum/len=4096-4 	   51261	     23491 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVectorChecksumRef/len=4096-4 	   46628	     25841 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTrainSubnetStep      	   66007	     43721 ns/op	     704 B/op	      14 allocs/op
+PASS
+ok  	naspipe/internal/tensor	8.822s
+`
+
+func sampleResults(t *testing.T) map[string]benchResult {
+	t.Helper()
+	out := make(map[string]benchResult)
+	for _, r := range parseBench(sampleRun) {
+		out[r.Name] = r
+	}
+	return out
+}
+
+func TestParseBench(t *testing.T) {
+	res := sampleResults(t)
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4: %v", len(res), res)
+	}
+	mv, ok := res["BenchmarkMatVec/n=128"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not trimmed from sub-benchmark name")
+	}
+	if mv.NsPerOp != 13841 || mv.Allocs != 0 {
+		t.Fatalf("MatVec = %+v, want 13841 ns/op 0 allocs", mv)
+	}
+	if st := res["BenchmarkTrainSubnetStep"]; st.Allocs != 14 {
+		t.Fatalf("TrainSubnetStep allocs = %v, want 14", st.Allocs)
+	}
+}
+
+func TestBaselineRoundTripPasses(t *testing.T) {
+	res := sampleResults(t)
+	base := buildBaseline(res)
+	if got := base.Allocs["BenchmarkTrainSubnetStep"]; got != 14 {
+		t.Fatalf("baseline allocs pin = %v, want 14", got)
+	}
+	ratio, ok := base.Ratios["BenchmarkVectorChecksum/len=4096"]
+	if !ok || ratio >= 1 {
+		t.Fatalf("baseline ratio pin = %v (ok=%v), want <1 (optimized beats ref)", ratio, ok)
+	}
+	if _, ok := base.Ratios["BenchmarkVectorChecksumRef/len=4096"]; ok {
+		t.Fatal("a Ref benchmark must not get its own ratio pin")
+	}
+	if msgs := compare(base, res, 0.15); len(msgs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", msgs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	res := sampleResults(t)
+	base := buildBaseline(res)
+
+	// Allocation growth beyond tolerance fails; within-slack growth on a
+	// zero pin does not exist (0 → 2 exceeds both bounds).
+	worse := sampleResults(t)
+	st := worse["BenchmarkTrainSubnetStep"]
+	st.Allocs = 40
+	worse["BenchmarkTrainSubnetStep"] = st
+	msgs := compare(base, worse, 0.15)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "BenchmarkTrainSubnetStep") {
+		t.Fatalf("alloc regression not flagged: %v", msgs)
+	}
+
+	// The optimized kernel slowing to 2x of its Ref twin fails the ratio
+	// pin even though absolute ns/op is never compared across runs.
+	slow := sampleResults(t)
+	cs := slow["BenchmarkVectorChecksum/len=4096"]
+	cs.NsPerOp = 2 * slow["BenchmarkVectorChecksumRef/len=4096"].NsPerOp
+	slow["BenchmarkVectorChecksum/len=4096"] = cs
+	msgs = compare(base, slow, 0.15)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "Ref twin") {
+		t.Fatalf("ratio regression not flagged: %v", msgs)
+	}
+
+	// A pinned benchmark silently vanishing from the run is a failure,
+	// not a pass.
+	gone := sampleResults(t)
+	delete(gone, "BenchmarkTrainSubnetStep")
+	msgs = compare(base, gone, 0.15)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "missing") {
+		t.Fatalf("missing pinned benchmark not flagged: %v", msgs)
+	}
+
+	// One alloc of absolute slack covers map growth-boundary noise on
+	// small nonzero pins.
+	noisy := sampleResults(t)
+	st = noisy["BenchmarkTrainSubnetStep"]
+	st.Allocs = 15
+	noisy["BenchmarkTrainSubnetStep"] = st
+	if msgs := compare(base, noisy, 0.15); len(msgs) != 0 {
+		t.Fatalf("within-slack alloc growth flagged: %v", msgs)
+	}
+}

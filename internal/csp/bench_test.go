@@ -1,0 +1,65 @@
+package csp
+
+import (
+	"fmt"
+	"testing"
+
+	"naspipe/internal/partition"
+	"naspipe/internal/supernet"
+)
+
+// Admission-path benchmarks: Schedule is called on every stage-loop
+// iteration of the concurrent executor, and ScheduleAssuming on every
+// predictor lookahead — both sit on the per-task hot path, so their cost
+// at large in-flight windows bounds pipeline throughput.
+
+// benchScheduler builds a stage-0 scheduler with n registered subnets
+// from the headline NLP space.
+func benchScheduler(b testing.TB, n int) (*Scheduler, []int) {
+	b.Helper()
+	sn := supernet.Build(supernet.NLPc1)
+	subs := supernet.Sample(supernet.NLPc1, 3, n)
+	s := New(0)
+	for _, sub := range subs {
+		p := partition.BalancedForSubnet(sn, sub, 8)
+		lo, hi := p.Blocks(0)
+		var stageIDs []supernet.LayerID
+		for blk := lo; blk < hi; blk++ {
+			stageIDs = append(stageIDs, sn.Space.ID(blk, sub.Choices[blk]))
+		}
+		if err := s.AddSubnet(SubnetInfo{Seq: sub.Seq, AllLayers: sub.LayerIDs(sn.Space), StageLayers: stageIDs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queue := make([]int, n)
+	for i := range queue {
+		queue[i] = i
+	}
+	return s, queue
+}
+
+func BenchmarkScheduleWindow(b *testing.B) {
+	for _, n := range []int{16, 96} {
+		b.Run(fmt.Sprintf("window=%d", n), func(b *testing.B) {
+			s, queue := benchScheduler(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(queue)
+			}
+		})
+	}
+}
+
+func BenchmarkScheduleAssuming(b *testing.B) {
+	for _, n := range []int{16, 96} {
+		b.Run(fmt.Sprintf("window=%d", n), func(b *testing.B) {
+			s, queue := benchScheduler(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ScheduleAssuming(queue, queue[0])
+			}
+		})
+	}
+}

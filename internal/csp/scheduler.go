@@ -227,30 +227,45 @@ func (s *Scheduler) Stats() (scheduleCalls, emptyScans int) {
 	return s.scheduleCalls, s.emptyScans
 }
 
+// ResetStats zeroes the scheduling-pressure counters and returns the
+// values they held. Callers that reuse a scheduler across run incarnations
+// must call this (or snapshot-delta around Stats) at each incarnation
+// boundary, so contention tables report per-incarnation pressure rather
+// than a total inflated by earlier lives.
+func (s *Scheduler) ResetStats() (scheduleCalls, emptyScans int) {
+	scheduleCalls, emptyScans = s.scheduleCalls, s.emptyScans
+	s.scheduleCalls, s.emptyScans = 0, 0
+	return scheduleCalls, emptyScans
+}
+
 // ScheduleAssuming runs Schedule as if the given extra subnets were
 // already finished. The predictor uses it to look one backward completion
-// ahead (Algorithm 3 lines 4–9).
+// ahead (Algorithm 3 lines 4–9). It sits on the predictor's per-task
+// admission path, so the assumption set is scanned as a slice — the
+// lookahead is one or two entries — and the call performs no allocation.
 func (s *Scheduler) ScheduleAssuming(queue []int, finished ...int) (qidx, qval int) {
-	assume := make(map[int]bool, len(finished))
-	for _, f := range finished {
-		assume[f] = true
-	}
 	for i, seq := range queue {
-		if !s.blockedAssuming(seq, assume) {
+		if !s.blockedAssuming(seq, finished) {
 			return i, seq
 		}
 	}
 	return -1, -1
 }
 
-func (s *Scheduler) blockedAssuming(seq int, assume map[int]bool) bool {
+func (s *Scheduler) blockedAssuming(seq int, assume []int) bool {
 	info := s.subnets[seq]
 	if info == nil {
 		return true
 	}
 	for _, l := range info.StageLayers {
+	users:
 		for w := range s.users[l] {
-			if w < seq && !s.Finished(w) && !assume[w] {
+			if w < seq && !s.Finished(w) {
+				for _, f := range assume {
+					if f == w {
+						continue users
+					}
+				}
 				return true
 			}
 		}

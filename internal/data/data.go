@@ -12,6 +12,7 @@ package data
 
 import (
 	"fmt"
+	"sync"
 
 	"naspipe/internal/rng"
 	"naspipe/internal/tensor"
@@ -73,6 +74,39 @@ const vocabSize = 512
 // numClasses mirrors ImageNet's 1000 classes.
 const numClasses = 1000
 
+// vocabKey identifies a WNMT embedding table. The table is a pure
+// function of (dim, seed), so it is built once and shared; regenerating
+// it costs thousands of Gaussian draws and used to dominate short-lived
+// sources (e.g. one per training step on the explorer path).
+type vocabKey struct {
+	dim  int
+	seed uint64
+}
+
+// vocabCache memoizes immutable WNMT vocabulary tables. Entries are never
+// mutated after insertion: wnmtItem clones embeddings before writing.
+var vocabCache sync.Map // vocabKey -> []tensor.Vector
+
+func wnmtVocab(dim int, seed uint64) []tensor.Vector {
+	key := vocabKey{dim: dim, seed: seed}
+	if v, ok := vocabCache.Load(key); ok {
+		return v.([]tensor.Vector)
+	}
+	r := rng.Labeled(seed, "wnmt/vocab")
+	vocab := make([]tensor.Vector, vocabSize)
+	for i := range vocab {
+		v := make(tensor.Vector, dim)
+		for j := range v {
+			v[j] = r.NormFloat32() * 0.5
+		}
+		vocab[i] = v
+	}
+	// Concurrent builders produce identical tables; keep whichever landed
+	// first so every source shares one backing array.
+	actual, _ := vocabCache.LoadOrStore(key, vocab)
+	return actual.([]tensor.Vector)
+}
+
 // NewSource builds a source. dim is the model dimension of the numeric
 // plane; batchSize the items per step.
 func NewSource(kind Kind, dim, batchSize int, seed uint64) *Source {
@@ -81,15 +115,7 @@ func NewSource(kind Kind, dim, batchSize int, seed uint64) *Source {
 	}
 	s := &Source{kind: kind, dim: dim, batchSize: batchSize, seed: seed}
 	if kind == WNMT {
-		r := rng.Labeled(seed, "wnmt/vocab")
-		s.vocab = make([]tensor.Vector, vocabSize)
-		for i := range s.vocab {
-			v := make(tensor.Vector, dim)
-			for j := range v {
-				v[j] = r.NormFloat32() * 0.5
-			}
-			s.vocab[i] = v
-		}
+		s.vocab = wnmtVocab(dim, seed)
 	}
 	return s
 }

@@ -115,11 +115,25 @@ type ccStage struct {
 	cont metrics.StageContention
 
 	tel *telemetry.Bus // nil = telemetry disabled
+	// telb batches this stage goroutine's own events (task lifecycle,
+	// scheduler decisions, transfer endpoints), amortizing the bus lock to
+	// one acquisition per flush. Single-producer by construction: only the
+	// stage goroutine emits through it. Events that other goroutines may
+	// emit on this stage's behalf (fault-plane prefetch failures, cache
+	// traffic) go straight to tel. Flushed at parks, at wedge/crash/
+	// cancel boundaries, and on loop exit — before anyone reads the bus.
+	telb *telemetry.Batcher
 	// lastDelaySeq/Writer dedup OpSchedDelay: a stage rescans its blocked
 	// queue every loop iteration, but only a *change* of blocked head or
 	// blocking writer is a new fact worth an event.
 	lastDelaySeq    int
 	lastDelayWriter int
+
+	// statsBase snapshots the scheduler's cumulative pressure counters at
+	// run start, so contention tables report this incarnation's pressure
+	// even if a future caller hands in a reused scheduler.
+	statsBaseCalls int
+	statsBaseEmpty int
 }
 
 // telTask emits one task-scoped event at wall-clock now. seq is the
@@ -128,7 +142,7 @@ func (s *ccStage) telTask(op telemetry.Op, ph telemetry.Phase, seq int, kind int
 	if s.tel == nil {
 		return
 	}
-	s.tel.Emit(telemetry.Event{
+	s.telb.Emit(telemetry.Event{
 		Op: op, Phase: ph,
 		Stage: int32(s.k), Worker: telemetry.WorkerStage,
 		Subnet: int32(s.base + seq), Kind: kind,
@@ -141,7 +155,7 @@ func (s *ccStage) telFlow(op telemetry.Op, ph telemetry.Phase, seq int, kind int
 	if s.tel == nil {
 		return
 	}
-	s.tel.Emit(telemetry.Event{
+	s.telb.Emit(telemetry.Event{
 		Op: op, Phase: ph,
 		Stage: int32(s.k), Worker: telemetry.WorkerStage,
 		Subnet: int32(s.base + seq), Kind: kind,
@@ -273,7 +287,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 			notes: make(chan ccNote, (w.D+1)*n),
 			cont:  metrics.StageContention{Stage: k},
 			tel:   tel,
+			telb:  telemetry.NewBatcher(tel),
 		}
+		s.statsBaseCalls, s.statsBaseEmpty = s.sched.Stats()
 		if c.inj != nil {
 			s.seenFwd = make(map[int]bool, n)
 			s.seenBwd = make(map[int]bool, n)
@@ -356,8 +372,11 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	res.Deadlock = res.Completed < n
 	res.Contention = make([]metrics.StageContention, w.D)
 	for k, s := range c.stages {
+		// Snapshot-delta against the run-start baseline: a reused scheduler
+		// must not leak a previous incarnation's pressure into this run's
+		// contention table.
 		_, empty := s.sched.Stats()
-		s.cont.BlockedScans = int64(empty)
+		s.cont.BlockedScans = int64(empty - s.statsBaseEmpty)
 		res.Contention[k] = s.cont
 	}
 	c.collectCacheStats(&res)
@@ -511,6 +530,9 @@ func (c *ccRun) stealFetches(s *ccStage) {
 // stageLoop is the body of one stage goroutine: drain inputs, run the
 // highest-priority admissible task, park when nothing is runnable.
 func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
+	// The flush pairs with RunConcurrent's wg.Wait before it reads the
+	// bus: no batched event may outlive its producer goroutine.
+	defer s.telb.Flush()
 	n := len(c.w.Subnets)
 	for s.fwdDone < n || s.bwdDone < n {
 		if ctx.Err() != nil || c.crashed.Load() {
@@ -531,7 +553,10 @@ func (c *ccRun) stageLoop(ctx context.Context, s *ccStage) {
 		}
 		// Nothing admissible: park until an input or notification arrives.
 		// The health publish keeps the probe's view of queue/block state
-		// fresh while idle without counting as progress.
+		// fresh while idle without counting as progress. Parking is the
+		// natural batch boundary: flush so observers (debug snapshots, an
+		// overlapping reader) see a quiet stage's events promptly.
+		s.telb.Flush()
 		c.publishHealth(s, false, false)
 		s.cont.Parks++
 		timer := time.NewTimer(ccParkPoll)
@@ -839,7 +864,7 @@ func (c *ccRun) runBackward(ctx context.Context, s *ccStage) bool {
 	s.bwdReady = append(s.bwdReady[:best], s.bwdReady[best+1:]...)
 	ids := c.w.stageIDs[seq][s.k]
 	if s.tel != nil {
-		s.tel.Emit(telemetry.Event{
+		s.telb.Emit(telemetry.Event{
 			Op: telemetry.OpSchedAdmit, Phase: telemetry.PhaseInstant,
 			Stage: int32(s.k), Worker: telemetry.WorkerStage,
 			Subnet: int32(s.base + seq), Kind: telemetry.KindBackward, Arg: int64(best),
@@ -950,7 +975,7 @@ func (c *ccRun) runForward(ctx context.Context, s *ccStage) bool {
 				if writer >= 0 {
 					gwriter = int64(s.base + writer)
 				}
-				s.tel.Emit(telemetry.Event{
+				s.telb.Emit(telemetry.Event{
 					Op: telemetry.OpSchedDelay, Phase: telemetry.PhaseInstant,
 					Stage: int32(s.k), Worker: telemetry.WorkerStage,
 					Subnet: int32(s.base + head), Kind: telemetry.KindForward,

@@ -10,6 +10,7 @@ import (
 	"naspipe/internal/data"
 	"naspipe/internal/engine"
 	"naspipe/internal/supernet"
+	"naspipe/internal/telemetry"
 	"naspipe/internal/train"
 )
 
@@ -197,6 +198,21 @@ func BenchmarkConcurrentExecutor(b *testing.B) {
 	cfg := ccCfg(4, false)
 	cfg.RecordTrace = false
 	for i := 0; i < b.N; i++ {
+		if _, err := engine.RunConcurrent(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentTelemetry is the same pipeline with the telemetry
+// plane live: the per-stage batched publish path, which is where
+// high-rate task/flow events would otherwise serialize every stage on
+// the bus mutex.
+func BenchmarkConcurrentTelemetry(b *testing.B) {
+	cfg := ccCfg(4, false)
+	cfg.RecordTrace = false
+	for i := 0; i < b.N; i++ {
+		cfg.Telemetry = telemetry.NewBus(1 << 16)
 		if _, err := engine.RunConcurrent(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}

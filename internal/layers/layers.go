@@ -184,10 +184,17 @@ func isqrt(n int) float32 {
 // Forward computes y = tanh(W·x + b) and returns y. x is not modified.
 func (l *Layer) Forward(x tensor.Vector) tensor.Vector {
 	y := make(tensor.Vector, l.Dim)
-	tensor.MatVec(y, l.W, x)
-	tensor.AXPY(y, 1, l.B)
-	tensor.Tanh(y, y)
+	l.ForwardInto(y, x)
 	return y
+}
+
+// ForwardInto computes dst = tanh(W·x + b) using a caller-provided output
+// buffer — the allocation-free variant the training arena uses. dst must
+// not alias x.
+func (l *Layer) ForwardInto(dst, x tensor.Vector) {
+	tensor.MatVec(dst, l.W, x)
+	tensor.AXPY(dst, 1, l.B)
+	tensor.Tanh(dst, dst)
 }
 
 // Grads holds the parameter gradients of one layer for one batch item.
@@ -201,19 +208,34 @@ func (l *Layer) NewGrads() *Grads {
 	return &Grads{W: tensor.NewMatrix(l.Dim, l.Dim), B: make(tensor.Vector, l.Dim)}
 }
 
+// Reset zeroes the gradients in place so a pooled Grads can be reused.
+func (g *Grads) Reset() {
+	g.W.Zero()
+	for i := range g.B {
+		g.B[i] = 0
+	}
+}
+
 // Backward computes the input gradient dx and accumulates parameter
 // gradients into g, given the forward input x, the saved activation y
 // (the forward output), and the output gradient dy.
 func (l *Layer) Backward(x, y, dy tensor.Vector, g *Grads) tensor.Vector {
-	// Pre-activation gradient: dz = dy ⊙ (1 - y²).
 	dz := make(tensor.Vector, l.Dim)
+	dx := make(tensor.Vector, l.Dim)
+	l.BackwardInto(dx, dz, x, y, dy, g)
+	return dx
+}
+
+// BackwardInto is Backward with caller-provided buffers: dx receives the
+// input gradient and dz is pre-activation scratch. dx may alias dy (dy is
+// fully consumed before dx is written), but dx and dz must be distinct.
+func (l *Layer) BackwardInto(dx, dz, x, y, dy tensor.Vector, g *Grads) {
+	// Pre-activation gradient: dz = dy ⊙ (1 - y²).
 	tensor.TanhGrad(dz, dy, y)
 	// dW += dz ⊗ x; db += dz; dx = Wᵀ dz.
 	tensor.OuterAccum(g.W, dz, x, 1)
 	tensor.AXPY(g.B, 1, dz)
-	dx := make(tensor.Vector, l.Dim)
 	tensor.MatTVec(dx, l.W, dz)
-	return dx
 }
 
 // ApplySGD performs the optimizer step W -= lr·gW, b -= lr·gB. This is the

@@ -74,6 +74,12 @@ type APIError struct {
 	Message string    `json:"message"`
 	// Field names the invalid JobSpec field for CodeInvalidSpec.
 	Field string `json:"field,omitempty"`
+	// RetryAfterSec, on the 429 codes, is the server's estimate (whole
+	// seconds) of when a retry might succeed: for CodeBackpressure it is
+	// derived from queue depth over executor throughput, for
+	// CodeQuotaExceeded from when the tenant's longest-running job is
+	// expected to free a slot. Mirrored in the Retry-After header.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 	// Status is the HTTP status the error traveled with (client side
 	// only; not serialized).
 	Status int `json:"-"`

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +36,26 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// apiError decodes a non-2xx response into *APIError, preferring the
+// structured envelope; when the body carries no retry hint it falls
+// back to the Retry-After header, so callers always see the server's
+// backoff estimate on 429s.
+func apiError(resp *http.Response, buf []byte) *APIError {
+	ae := &APIError{Code: CodeInternal, Status: resp.StatusCode,
+		Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(buf)))}
+	var eb errorBody
+	if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
+		ae = eb.Error
+		ae.Status = resp.StatusCode
+	}
+	if ae.RetryAfterSec == 0 {
+		if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && n > 0 {
+			ae.RetryAfterSec = n
+		}
+	}
+	return ae
+}
+
 // do issues one request and decodes either the expected body or the
 // structured error envelope.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
@@ -55,13 +76,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		return err
 	}
 	if resp.StatusCode >= 300 {
-		var eb errorBody
-		if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
-			eb.Error.Status = resp.StatusCode
-			return eb.Error
-		}
-		return &APIError{Code: CodeInternal, Status: resp.StatusCode,
-			Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(buf)))}
+		return apiError(resp, buf)
 	}
 	if out == nil {
 		return nil
@@ -145,12 +160,7 @@ func (c *Client) Events(ctx context.Context, id string, follow bool) (io.ReadClo
 	if resp.StatusCode >= 300 {
 		defer resp.Body.Close()
 		buf, _ := io.ReadAll(resp.Body)
-		var eb errorBody
-		if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
-			eb.Error.Status = resp.StatusCode
-			return nil, eb.Error
-		}
-		return nil, &APIError{Code: CodeInternal, Status: resp.StatusCode, Message: strings.TrimSpace(string(buf))}
+		return nil, apiError(resp, buf)
 	}
 	return resp.Body, nil
 }
@@ -173,12 +183,7 @@ func (c *Client) Checkpoint(ctx context.Context, id string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode >= 300 {
-		var eb errorBody
-		if jerr := json.Unmarshal(buf, &eb); jerr == nil && eb.Error != nil {
-			eb.Error.Status = resp.StatusCode
-			return nil, eb.Error
-		}
-		return nil, &APIError{Code: CodeInternal, Status: resp.StatusCode, Message: strings.TrimSpace(string(buf))}
+		return nil, apiError(resp, buf)
 	}
 	return buf, nil
 }

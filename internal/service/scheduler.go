@@ -76,10 +76,10 @@ type job struct {
 
 	submitted, started, finished time.Time
 
-	bus    *telemetry.Bus     // live telemetry while running
-	cancel context.CancelFunc // cancels the running incarnation set
-	wantCancel bool           // operator cancel requested (vs daemon shutdown)
-	done   chan struct{}      // closed at every terminal transition
+	bus        *telemetry.Bus     // live telemetry while running
+	cancel     context.CancelFunc // cancels the running incarnation set
+	wantCancel bool               // operator cancel requested (vs daemon shutdown)
+	done       chan struct{}      // closed at every terminal transition
 }
 
 // persistedJob is the on-disk form of a job (status.json) — enough to
@@ -113,6 +113,7 @@ type Scheduler struct {
 	active  map[string]int // tenant → queued+running
 	nextID  int
 	queue   chan *job
+	runEWMA time.Duration // smoothed wall time of completed runs
 	closed  bool
 	rootCtx context.Context
 	stop    context.CancelFunc
@@ -279,8 +280,9 @@ func (s *Scheduler) Submit(spec naspipe.JobSpec) (JobStatus, error) {
 		return JobStatus{}, &APIError{Code: CodeInvalidSpec, Message: err.Error(), Field: naspipe.SpecField(err)}
 	}
 	if s.active[spec.Tenant] >= s.cfg.TenantQuota {
-		return JobStatus{}, &APIError{Code: CodeQuotaExceeded,
-			Message: fmt.Sprintf("tenant %q already has %d active jobs (quota %d)", tenantName(spec.Tenant), s.active[spec.Tenant], s.cfg.TenantQuota)}
+		ra := s.retryAfterLocked(CodeQuotaExceeded, spec.Tenant)
+		return JobStatus{}, &APIError{Code: CodeQuotaExceeded, RetryAfterSec: ra,
+			Message: fmt.Sprintf("tenant %q already has %d active jobs (quota %d); retry in ~%ds", tenantName(spec.Tenant), s.active[spec.Tenant], s.cfg.TenantQuota, ra)}
 	}
 	j := &job{
 		id: id, spec: spec, dir: dir,
@@ -291,8 +293,9 @@ func (s *Scheduler) Submit(spec naspipe.JobSpec) (JobStatus, error) {
 	select {
 	case s.queue <- j:
 	default:
-		return JobStatus{}, &APIError{Code: CodeBackpressure,
-			Message: fmt.Sprintf("admission queue full (%d queued); retry later", s.cfg.QueueLimit)}
+		ra := s.retryAfterLocked(CodeBackpressure, spec.Tenant)
+		return JobStatus{}, &APIError{Code: CodeBackpressure, RetryAfterSec: ra,
+			Message: fmt.Sprintf("admission queue full (%d queued); retry in ~%ds", s.cfg.QueueLimit, ra)}
 	}
 	s.nextID++
 	s.jobs[id] = j
@@ -412,8 +415,9 @@ func (s *Scheduler) Resume(id string) (JobStatus, error) {
 			Message: fmt.Sprintf("job %s has no loadable checkpoint to resume from", id)}
 	}
 	if s.active[j.spec.Tenant] >= s.cfg.TenantQuota {
-		return JobStatus{}, &APIError{Code: CodeQuotaExceeded,
-			Message: fmt.Sprintf("tenant %q already has %d active jobs (quota %d)", tenantName(j.spec.Tenant), s.active[j.spec.Tenant], s.cfg.TenantQuota)}
+		ra := s.retryAfterLocked(CodeQuotaExceeded, j.spec.Tenant)
+		return JobStatus{}, &APIError{Code: CodeQuotaExceeded, RetryAfterSec: ra,
+			Message: fmt.Sprintf("tenant %q already has %d active jobs (quota %d); retry in ~%ds", tenantName(j.spec.Tenant), s.active[j.spec.Tenant], s.cfg.TenantQuota, ra)}
 	}
 	j.resume = true
 	j.wantCancel = false
@@ -425,8 +429,9 @@ func (s *Scheduler) Resume(id string) (JobStatus, error) {
 	default:
 		j.state = StateCanceled
 		close(j.done)
-		return JobStatus{}, &APIError{Code: CodeBackpressure,
-			Message: fmt.Sprintf("admission queue full (%d queued); retry later", s.cfg.QueueLimit)}
+		ra := s.retryAfterLocked(CodeBackpressure, j.spec.Tenant)
+		return JobStatus{}, &APIError{Code: CodeBackpressure, RetryAfterSec: ra,
+			Message: fmt.Sprintf("admission queue full (%d queued); retry in ~%ds", s.cfg.QueueLimit, ra)}
 	}
 	s.active[j.spec.Tenant]++
 	s.persistLocked(j)
@@ -565,9 +570,63 @@ func (j *job) liveCursor() int {
 	return j.cursor
 }
 
+// retryAfterLocked estimates, in whole seconds, when a refused submit
+// or resume is worth retrying, from the smoothed wall time of completed
+// runs. Backpressure clears as the pool drains the queue (queue depth /
+// worker throughput); a quota slot frees when the tenant's
+// longest-running job finishes. With no completed run on record yet the
+// estimate is the 1-second floor. Clamped to [1, 300]. Caller holds
+// s.mu.
+func (s *Scheduler) retryAfterLocked(code ErrorCode, tenant string) int {
+	avg := s.runEWMA
+	if avg <= 0 {
+		return 1
+	}
+	var wait time.Duration
+	switch code {
+	case CodeBackpressure:
+		queued := len(s.queue)
+		if queued < 1 {
+			queued = 1
+		}
+		wait = avg * time.Duration(queued) / time.Duration(s.cfg.Workers)
+	case CodeQuotaExceeded:
+		// Default: everything is still queued, so a full run must
+		// complete before a slot frees.
+		wait = avg
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j.spec.Tenant != tenant || j.state != StateRunning {
+				continue
+			}
+			if left := avg - time.Since(j.started); left < wait {
+				wait = left
+			}
+		}
+	}
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
 // finishLocked moves a job to a terminal state, releases its quota
-// slot, persists, and wakes waiters. Caller holds s.mu.
+// slot, persists, and wakes waiters. Completed runs feed the wall-time
+// EWMA that retryAfterLocked derives retry hints from. Caller holds
+// s.mu.
 func (s *Scheduler) finishLocked(j *job, state JobState, detail string) {
+	if j.state == StateRunning && !j.started.IsZero() {
+		run := time.Since(j.started)
+		if s.runEWMA <= 0 {
+			s.runEWMA = run
+		} else {
+			s.runEWMA = (7*s.runEWMA + 3*run) / 10
+		}
+	}
 	j.state = state
 	j.detail = detail
 	j.finished = time.Now()

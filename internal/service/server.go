@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,7 +68,11 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case CodeQuotaExceeded, CodeBackpressure:
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		ra := ae.RetryAfterSec
+		if ra < 1 {
+			ra = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
 	case CodeNotFound, CodeUnsupportedVersion:
 		status = http.StatusNotFound
 	case CodeConflict:

@@ -268,7 +268,8 @@ func (b *Bus) EmitAt(tsNs int64, ev Event) {
 	b.record(ev)
 }
 
-func (b *Bus) record(ev Event) {
+// count advances the live counters for one event.
+func (b *Bus) count(ev Event) {
 	switch {
 	case ev.Op == OpCacheHit || ev.Op == OpCacheMiss:
 		// Emitters aggregate per acquire; Arg carries the layer count so
@@ -282,6 +283,10 @@ func (b *Bus) record(ev Event) {
 		b.stallNs.Add(ev.Arg)
 	}
 	b.emitted.Add(1)
+}
+
+func (b *Bus) record(ev Event) {
+	b.count(ev)
 	b.mu.Lock()
 	if len(b.buf) < cap(b.buf) {
 		b.buf = append(b.buf, ev)
@@ -290,6 +295,31 @@ func (b *Bus) record(ev Event) {
 	}
 	b.mu.Unlock()
 	b.dropped.Add(1)
+}
+
+// EmitBatch records a slice of already-stamped events under a single ring
+// lock — the bulk path Batcher flushes through. Events must carry their
+// TsNs (stamp with Now at collection time); they are not re-stamped.
+// Nil-safe and non-blocking: if the ring cannot hold the whole batch, the
+// prefix that fits is kept and the rest is counted as dropped, exactly as
+// per-event emission would have done.
+func (b *Bus) EmitBatch(evs []Event) {
+	if b == nil || len(evs) == 0 {
+		return
+	}
+	for i := range evs {
+		b.count(evs[i])
+	}
+	b.mu.Lock()
+	take := cap(b.buf) - len(b.buf)
+	if take > len(evs) {
+		take = len(evs)
+	}
+	b.buf = append(b.buf, evs[:take]...)
+	b.mu.Unlock()
+	if take < len(evs) {
+		b.dropped.Add(uint64(len(evs) - take))
+	}
 }
 
 // Events returns a copy of the captured stream in emission order.

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic parallelism for the dense kernels.
+//
+// The reproducibility contract (Definition 1) forbids reassociating any
+// floating-point reduction, so the kernels never split a single output
+// element's accumulation across goroutines. Instead they split the
+// *output index space* into fixed-size tiles: each tile is computed by the
+// exact sequential loop, and tiles write disjoint regions of dst, so there
+// is no combine step at all. The split points depend only on the problem
+// shape (tileSpan is a compile-time constant), never on the worker count,
+// so the result is bitwise identical at any parallelism level — including
+// the sequential fallback.
+
+const (
+	// tileSpan is the number of output rows (MatVec, OuterAccum) or
+	// output columns (MatTVec) per tile. Fixed so split points are a
+	// function of shape alone.
+	tileSpan = 64
+
+	// parallelMinWork is the minimum element count (rows*cols) before
+	// the fan-out machinery is worth its scheduling cost. Below it the
+	// kernels run the plain sequential loop. The default Dim=12 plane
+	// (144-element matrices) always stays sequential.
+	parallelMinWork = 1 << 15
+)
+
+// workerLimit caps the number of goroutines a single kernel call fans out
+// to. It defaults to GOMAXPROCS and exists so tests can force both the
+// sequential fallback and oversubscribed fan-out on any host.
+var workerLimit atomic.Int64
+
+func init() {
+	workerLimit.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetParallelism sets the kernel worker cap and returns the previous
+// value. n <= 1 forces the sequential path. The setting changes wall-clock
+// behaviour only; results are bitwise identical at every value.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workerLimit.Swap(int64(n)))
+}
+
+// Parallelism returns the current kernel worker cap.
+func Parallelism() int { return int(workerLimit.Load()) }
+
+// useParallel reports whether a kernel over n output indices and `work`
+// total elements should fan out. Checked by the kernels BEFORE building
+// the tile closure: on the sequential path (small shapes — including the
+// default Dim=12 plane — or a single-worker cap) no closure is
+// constructed, so the hot path stays allocation-free.
+func useParallel(n, work int) bool {
+	return work >= parallelMinWork && n > tileSpan && workerLimit.Load() > 1
+}
+
+// parallelSpans runs fn over [0, n) split into tileSpan-sized half-open
+// ranges. fn must write only outputs indexed inside its range. Callers
+// gate with useParallel first.
+func parallelSpans(n int, fn func(lo, hi int)) {
+	tiles := (n + tileSpan - 1) / tileSpan
+	workers := int(workerLimit.Load())
+	if workers > tiles {
+		workers = tiles
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tiles {
+					return
+				}
+				lo := t * tileSpan
+				hi := lo + tileSpan
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"naspipe/internal/rng"
+)
+
+// Reference implementations: the pre-optimization sequential kernels and
+// hash/fnv-based checksums, kept verbatim so the fast paths can be
+// differentially tested against them (and benchmarked against them — the
+// *Ref benchmarks are the "before" side of BENCH_speed.json, reproducible
+// from the final tree).
+
+func matVecRef(dst Vector, m *Matrix, x Vector) {
+	for r := 0; r < m.Rows; r++ {
+		var sum float32
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		dst[r] = sum
+	}
+}
+
+func matTVecRef(dst Vector, m *Matrix, x Vector) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			dst[c] += v * xr
+		}
+	}
+}
+
+func outerAccumRef(dst *Matrix, a, b Vector, scale float32) {
+	for r := 0; r < dst.Rows; r++ {
+		ar := a[r] * scale
+		row := dst.Data[r*dst.Cols : (r+1)*dst.Cols]
+		for c := range row {
+			row[c] += ar * b[c]
+		}
+	}
+}
+
+func vectorChecksumRef(v Vector) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, f := range v {
+		bits := math.Float32bits(f)
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		buf[2] = byte(bits >> 16)
+		buf[3] = byte(bits >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func matrixChecksumRef(m *Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(m.Rows)
+	buf[1] = byte(m.Rows >> 8)
+	buf[2] = byte(m.Rows >> 16)
+	buf[3] = byte(m.Rows >> 24)
+	buf[4] = byte(m.Cols)
+	buf[5] = byte(m.Cols >> 8)
+	buf[6] = byte(m.Cols >> 16)
+	buf[7] = byte(m.Cols >> 24)
+	h.Write(buf[:])
+	var b4 [4]byte
+	for _, f := range m.Data {
+		bits := math.Float32bits(f)
+		b4[0] = byte(bits)
+		b4[1] = byte(bits >> 8)
+		b4[2] = byte(bits >> 16)
+		b4[3] = byte(bits >> 24)
+		h.Write(b4[:])
+	}
+	return h.Sum64()
+}
+
+func combineChecksumsRef(sums []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range sums {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(s >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// kernelShapes covers below-threshold, at-tile-boundary, off-boundary,
+// and rectangular shapes so both the sequential fallback and the tiled
+// fan-out paths are exercised.
+func kernelShapes() [][2]int {
+	return [][2]int{
+		{1, 1}, {3, 5}, {12, 12}, {63, 65}, {64, 64},
+		{128, 512}, {512, 128}, {200, 200}, {257, 191},
+	}
+}
+
+// TestKernelsBitwiseEqualAcrossParallelism proves the tiled kernels
+// produce bitwise-identical output to the sequential reference at every
+// worker count — the Definition 1 obligation that lets the rest of the
+// system treat kernel parallelism as invisible.
+func TestKernelsBitwiseEqualAcrossParallelism(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			prev := SetParallelism(workers)
+			defer SetParallelism(prev)
+			r := rng.New(99).Split("kernels")
+			for _, shape := range kernelShapes() {
+				rows, cols := shape[0], shape[1]
+				m := randMat(r, rows, cols)
+				x := randVec(r, cols)
+				xt := randVec(r, rows)
+				a := randVec(r, rows)
+
+				got := make(Vector, rows)
+				want := make(Vector, rows)
+				MatVec(got, m, x)
+				matVecRef(want, m, x)
+				if !got.EqualBits(want) {
+					t.Fatalf("MatVec %dx%d diverged from sequential reference", rows, cols)
+				}
+
+				gotT := make(Vector, cols)
+				wantT := make(Vector, cols)
+				MatTVec(gotT, m, xt)
+				matTVecRef(wantT, m, xt)
+				if !gotT.EqualBits(wantT) {
+					t.Fatalf("MatTVec %dx%d diverged from sequential reference", rows, cols)
+				}
+
+				accGot := randMat(r, rows, cols)
+				accWant := accGot.Clone()
+				OuterAccum(accGot, a, x, 0.25)
+				outerAccumRef(accWant, a, x, 0.25)
+				if !accGot.Equal(accWant) {
+					t.Fatalf("OuterAccum %dx%d diverged from sequential reference", rows, cols)
+				}
+			}
+		})
+	}
+}
+
+// TestChecksumMatchesFNVReference pins the inlined FNV-64a loops to the
+// hash/fnv implementation they replaced: same byte stream, same digest.
+func TestChecksumMatchesFNVReference(t *testing.T) {
+	r := rng.New(7).Split("checksum")
+	for _, n := range []int{0, 1, 3, 64, 1000} {
+		v := randVec(r, n)
+		if got, want := v.Checksum(), vectorChecksumRef(v); got != want {
+			t.Fatalf("Vector(len=%d).Checksum = %#x, reference %#x", n, got, want)
+		}
+	}
+	for _, shape := range [][2]int{{1, 1}, {12, 12}, {37, 53}, {256, 256}} {
+		m := randMat(r, shape[0], shape[1])
+		if got, want := m.Checksum(), matrixChecksumRef(m); got != want {
+			t.Fatalf("Matrix(%dx%d).Checksum = %#x, reference %#x", shape[0], shape[1], got, want)
+		}
+	}
+	sums := make([]uint64, 33)
+	for i := range sums {
+		sums[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	for n := 0; n <= len(sums); n++ {
+		if got, want := CombineChecksums(sums[:n]), combineChecksumsRef(sums[:n]); got != want {
+			t.Fatalf("CombineChecksums(%d sums) = %#x, reference %#x", n, got, want)
+		}
+	}
+}
+
+func TestMatVecPanicsOnAlias(t *testing.T) {
+	m := NewMatrix(4, 4)
+	buf := make(Vector, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatVec with aliased dst/x did not panic")
+		}
+	}()
+	MatVec(buf[:4], m, buf[2:6])
+}
+
+func TestMatTVecPanicsOnAlias(t *testing.T) {
+	m := NewMatrix(4, 4)
+	buf := make(Vector, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatTVec with aliased dst/x did not panic")
+		}
+	}()
+	MatTVec(buf, m, buf)
+}
+
+// TestDistinctSlicesDoNotTriggerAliasCheck guards against false positives:
+// adjacent but non-overlapping views of one backing array are legal.
+func TestDistinctSlicesDoNotTriggerAliasCheck(t *testing.T) {
+	m := NewMatrix(4, 4)
+	buf := make(Vector, 8)
+	MatVec(buf[:4], m, buf[4:])
+	MatTVec(buf[4:], m, buf[:4])
+}

@@ -4,11 +4,15 @@
 // The paper's reproducibility definition (Definition 1) demands bitwise
 // equality of all layer parameters across repeated runs. Floating-point
 // addition is not associative, so bitwise reproducibility requires a fixed
-// reduction order. Every reduction in this package is a strict
-// left-to-right sequential loop; no parallelism, no reassociation, no
-// fused-multiply-add intrinsics. This mirrors the role of Nvidia's
-// framework-determinism configuration in the original artifact
-// (CUBLAS_WORKSPACE_CONFIG=:4096:8): it makes the *intra-subnet*
+// reduction order. Every reduction over a single output element is a
+// strict left-to-right sequential loop; no reassociation, no
+// fused-multiply-add intrinsics. The large kernels do fan out across
+// goroutines, but only over disjoint tiles of the *output* index space
+// with shape-determined split points (see parallel.go), so every output
+// element is still produced by the exact sequential accumulation and the
+// result is bitwise identical at any worker count. This mirrors the role
+// of Nvidia's framework-determinism configuration in the original
+// artifact (CUBLAS_WORKSPACE_CONFIG=:4096:8): it makes the *intra-subnet*
 // computation deterministic so that the only remaining source of
 // nondeterminism is the *inter-subnet* read/write interleaving, which the
 // CSP scheduler then controls.
@@ -16,8 +20,8 @@ package tensor
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"unsafe"
 )
 
 // Vector is a dense float32 vector.
@@ -83,14 +87,43 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	return true
 }
 
+// slicesOverlap reports whether a and b share any backing memory. Empty
+// slices never overlap.
+func slicesOverlap(a, b Vector) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	aLo := uintptr(unsafe.Pointer(&a[0]))
+	aHi := aLo + uintptr(len(a))*unsafe.Sizeof(a[0])
+	bLo := uintptr(unsafe.Pointer(&b[0]))
+	bHi := bLo + uintptr(len(b))*unsafe.Sizeof(b[0])
+	return aLo < bHi && bLo < aHi
+}
+
 // MatVec computes dst = m * x. dst must have length m.Rows and x length
-// m.Cols; dst and x must not alias.
+// m.Cols; dst and x must not alias (checked — an aliased call would
+// silently corrupt results, so it panics like every shape mismatch does).
 func MatVec(dst Vector, m *Matrix, x Vector) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch dst=%d m=%dx%d x=%d",
 			len(dst), m.Rows, m.Cols, len(x)))
 	}
-	for r := 0; r < m.Rows; r++ {
+	if slicesOverlap(dst, x) {
+		panic("tensor: MatVec dst aliases x")
+	}
+	if !useParallel(m.Rows, m.Rows*m.Cols) {
+		matVecRange(dst, m, x, 0, m.Rows)
+		return
+	}
+	parallelSpans(m.Rows, func(lo, hi int) {
+		matVecRange(dst, m, x, lo, hi)
+	})
+}
+
+// matVecRange is the sequential MatVec kernel over output rows [lo, hi).
+// Each row's dot product accumulates strictly left to right.
+func matVecRange(dst Vector, m *Matrix, x Vector, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		var sum float32
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		for c, v := range row {
@@ -101,20 +134,38 @@ func MatVec(dst Vector, m *Matrix, x Vector) {
 }
 
 // MatTVec computes dst = mᵀ * x. dst must have length m.Cols and x length
-// m.Rows. The loop order is fixed (row-major accumulation) for determinism.
+// m.Rows; dst and x must not alias (checked). The accumulation order per
+// output column is fixed (ascending row index) for determinism; the tiles
+// split only the column space, so each dst[c] sees the exact sequential
+// order regardless of worker count.
 func MatTVec(dst Vector, m *Matrix, x Vector) {
 	if len(dst) != m.Cols || len(x) != m.Rows {
 		panic(fmt.Sprintf("tensor: MatTVec shape mismatch dst=%d m=%dx%d x=%d",
 			len(dst), m.Rows, m.Cols, len(x)))
 	}
-	for i := range dst {
-		dst[i] = 0
+	if slicesOverlap(dst, x) {
+		panic("tensor: MatTVec dst aliases x")
+	}
+	if !useParallel(m.Cols, m.Rows*m.Cols) {
+		matTVecCols(dst, m, x, 0, m.Cols)
+		return
+	}
+	parallelSpans(m.Cols, func(lo, hi int) {
+		matTVecCols(dst, m, x, lo, hi)
+	})
+}
+
+// matTVecCols is the sequential MatTVec kernel over output columns
+// [lo, hi): zero the span, then accumulate rows in ascending order.
+func matTVecCols(dst Vector, m *Matrix, x Vector, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		dst[c] = 0
 	}
 	for r := 0; r < m.Rows; r++ {
 		xr := x[r]
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		row := m.Data[r*m.Cols+lo : r*m.Cols+hi]
 		for c, v := range row {
-			dst[c] += v * xr
+			dst[lo+c] += v * xr
 		}
 	}
 }
@@ -126,7 +177,18 @@ func OuterAccum(dst *Matrix, a, b Vector, scale float32) {
 		panic(fmt.Sprintf("tensor: OuterAccum shape mismatch a=%d b=%d dst=%dx%d",
 			len(a), len(b), dst.Rows, dst.Cols))
 	}
-	for r := 0; r < dst.Rows; r++ {
+	if !useParallel(dst.Rows, dst.Rows*dst.Cols) {
+		outerAccumRange(dst, a, b, scale, 0, dst.Rows)
+		return
+	}
+	parallelSpans(dst.Rows, func(lo, hi int) {
+		outerAccumRange(dst, a, b, scale, lo, hi)
+	})
+}
+
+// outerAccumRange is the sequential OuterAccum kernel over rows [lo, hi).
+func outerAccumRange(dst *Matrix, a, b Vector, scale float32, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		ar := a[r] * scale
 		row := dst.Data[r*dst.Cols : (r+1)*dst.Cols]
 		for c := range row {
@@ -218,60 +280,62 @@ func (v Vector) EqualBits(o Vector) bool {
 	return true
 }
 
+// FNV-64a constants, inlined so the checksum loops need no hash.Hash64
+// interface calls or staging buffers. The byte stream hashed here is
+// identical to the hash/fnv-based implementation these replaced
+// (little-endian element bits, 4 bytes each), which the differential
+// tests in ref_test.go pin — the golden whole-supernet digests must not
+// move by a bit.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvU32 folds 4 little-endian bytes of bits into h.
+func fnvU32(h uint64, bits uint32) uint64 {
+	h = (h ^ uint64(bits&0xff)) * fnvPrime64
+	h = (h ^ uint64((bits>>8)&0xff)) * fnvPrime64
+	h = (h ^ uint64((bits>>16)&0xff)) * fnvPrime64
+	h = (h ^ uint64((bits>>24)&0xff)) * fnvPrime64
+	return h
+}
+
+// fnvU64 folds 8 little-endian bytes of bits into h.
+func fnvU64(h uint64, bits uint64) uint64 {
+	h = fnvU32(h, uint32(bits))
+	return fnvU32(h, uint32(bits>>32))
+}
+
+// fnvFloats folds the bit patterns of a float32 slice into h.
+func fnvFloats(h uint64, data []float32) uint64 {
+	for _, f := range data {
+		h = fnvU32(h, math.Float32bits(f))
+	}
+	return h
+}
+
 // Checksum returns an FNV-64a hash over the exact bit patterns of the
 // elements. Two vectors have equal checksums iff (with overwhelming
 // probability) they are bitwise identical; this is the primitive used to
 // compare whole-supernet states across runs (Table 3).
 func (v Vector) Checksum() uint64 {
-	h := fnv.New64a()
-	var buf [4]byte
-	for _, f := range v {
-		bits := math.Float32bits(f)
-		buf[0] = byte(bits)
-		buf[1] = byte(bits >> 8)
-		buf[2] = byte(bits >> 16)
-		buf[3] = byte(bits >> 24)
-		h.Write(buf[:])
-	}
-	return h.Sum64()
+	return fnvFloats(fnvOffset64, v)
 }
 
 // Checksum returns an FNV-64a hash over the matrix's shape and bit
 // patterns.
 func (m *Matrix) Checksum() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	buf[0] = byte(m.Rows)
-	buf[1] = byte(m.Rows >> 8)
-	buf[2] = byte(m.Rows >> 16)
-	buf[3] = byte(m.Rows >> 24)
-	buf[4] = byte(m.Cols)
-	buf[5] = byte(m.Cols >> 8)
-	buf[6] = byte(m.Cols >> 16)
-	buf[7] = byte(m.Cols >> 24)
-	h.Write(buf[:])
-	var b4 [4]byte
-	for _, f := range m.Data {
-		bits := math.Float32bits(f)
-		b4[0] = byte(bits)
-		b4[1] = byte(bits >> 8)
-		b4[2] = byte(bits >> 16)
-		b4[3] = byte(bits >> 24)
-		h.Write(b4[:])
-	}
-	return h.Sum64()
+	h := fnvU32(fnvOffset64, uint32(m.Rows))
+	h = fnvU32(h, uint32(m.Cols))
+	return fnvFloats(h, m.Data)
 }
 
 // CombineChecksums folds a sequence of checksums into one, order
 // sensitively. Used to derive a single digest for a whole supernet.
 func CombineChecksums(sums []uint64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	h := uint64(fnvOffset64)
 	for _, s := range sums {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(s >> (8 * i))
-		}
-		h.Write(buf[:])
+		h = fnvU64(h, s)
 	}
-	return h.Sum64()
+	return h
 }

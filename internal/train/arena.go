@@ -1,0 +1,104 @@
+package train
+
+import (
+	"sync"
+
+	"naspipe/internal/layers"
+	"naspipe/internal/tensor"
+)
+
+// arena holds the scratch buffers one training run reuses across subnet
+// steps: the saved-activation chain, the gradient ping buffer, the
+// pre-activation scratch, the parameter-view slice, and a free list of
+// gradient sets. With an arena the steady-state compute path of step —
+// forward, loss, backward, gradient accumulation — performs no heap
+// allocation at all (pinned by TestStepComputePathIsAllocationFree).
+//
+// An arena is single-threaded state: each run (or pooled caller) owns its
+// own. All buffers are sized for one model dimension; gradient sets are
+// zeroed on checkout, so reuse is value-identical to fresh allocation.
+type arena struct {
+	dim   int
+	xs    []tensor.Vector   // m+1 entries; xs[0] borrows the batch input
+	cur   tensor.Vector     // output-gradient buffer, reused down the chain
+	tmp   tensor.Vector     // pre-activation scratch for BackwardInto
+	views []*layers.Layer   // per-step parameter-view slice
+	sets  [][]*layers.Grads // free gradient sets
+}
+
+func newArena(dim int) *arena { return &arena{dim: dim} }
+
+// ensure sizes the activation chain and gradient buffers for m blocks.
+func (a *arena) ensure(m int) {
+	for cap(a.xs) < m+1 {
+		a.xs = append(a.xs[:cap(a.xs)], nil)
+	}
+	a.xs = a.xs[:m+1]
+	for i := 1; i <= m; i++ {
+		if a.xs[i] == nil {
+			a.xs[i] = make(tensor.Vector, a.dim)
+		}
+	}
+	if a.cur == nil {
+		a.cur = make(tensor.Vector, a.dim)
+		a.tmp = make(tensor.Vector, a.dim)
+	}
+}
+
+// viewsBuf returns the reusable parameter-view slice resized to m.
+func (a *arena) viewsBuf(m int) []*layers.Layer {
+	if cap(a.views) < m {
+		a.views = make([]*layers.Layer, m)
+	}
+	return a.views[:m]
+}
+
+// grads checks out a zeroed gradient set matching views, reusing a pooled
+// set when one is free. The caller must hand the set back via release
+// once the gradients have been applied.
+func (a *arena) grads(views []*layers.Layer) []*layers.Grads {
+	m := len(views)
+	var gs []*layers.Grads
+	if n := len(a.sets); n > 0 {
+		gs, a.sets = a.sets[n-1], a.sets[:n-1]
+	}
+	if cap(gs) < m {
+		grown := make([]*layers.Grads, m)
+		copy(grown, gs)
+		gs = grown
+	}
+	gs = gs[:m]
+	for b, v := range views {
+		if gs[b] == nil {
+			gs[b] = v.NewGrads()
+		} else {
+			gs[b].Reset()
+		}
+	}
+	return gs
+}
+
+// release returns a gradient set to the free list. nil is a no-op, so
+// callers can release unconditionally.
+func (a *arena) release(gs []*layers.Grads) {
+	if gs == nil {
+		return
+	}
+	a.sets = append(a.sets, gs[:cap(gs)])
+}
+
+// arenaPool recycles arenas across the stateless entry points (StepOn),
+// where there is no run object to own one. Dimension is checked on the
+// way out; a mismatched arena is simply dropped.
+var arenaPool sync.Pool
+
+func getArena(dim int) *arena {
+	if v := arenaPool.Get(); v != nil {
+		if a := v.(*arena); a.dim == dim {
+			return a
+		}
+	}
+	return newArena(dim)
+}
+
+func putArena(a *arena) { arenaPool.Put(a) }

@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"naspipe/internal/data"
-	"naspipe/internal/layers"
 	"naspipe/internal/supernet"
 )
 
@@ -21,6 +20,7 @@ type Checkpointer struct {
 	subs []supernet.Subnet
 	net  *supernet.Numeric
 	src  *data.Source
+	ar   *arena
 	done int // subnets [0, done) are applied to net
 }
 
@@ -32,6 +32,7 @@ func NewCheckpointer(cfg Config, subs []supernet.Subnet) *Checkpointer {
 		subs: subs,
 		net:  supernet.BuildNumeric(cfg.Space, cfg.Dim, cfg.Seed),
 		src:  data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed),
+		ar:   newArena(cfg.Dim),
 	}
 }
 
@@ -49,14 +50,15 @@ func (c *Checkpointer) ChecksumAt(cursor int) uint64 {
 	}
 	for ; c.done < cursor; c.done++ {
 		sub := c.subs[c.done]
-		views := make([]*layers.Layer, len(sub.Choices))
+		views := c.ar.viewsBuf(len(sub.Choices))
 		for b, ch := range sub.Choices {
 			views[b] = c.net.At(b, ch)
 		}
-		_, grads := step(c.cfg, c.src, sub, views)
+		_, grads := step(c.cfg, c.src.Batch(sub.Seq), sub, views, c.ar)
 		for b, ch := range sub.Choices {
 			c.net.At(b, ch).ApplySGD(grads[b], c.cfg.LR)
 		}
+		c.ar.release(grads)
 	}
 	return c.net.Checksum()
 }

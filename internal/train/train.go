@@ -19,7 +19,6 @@ import (
 	"naspipe/internal/data"
 	"naspipe/internal/layers"
 	"naspipe/internal/supernet"
-	"naspipe/internal/tensor"
 	"naspipe/internal/trace"
 )
 
@@ -73,33 +72,36 @@ func (r Result) FinalLoss() float64 {
 
 // step runs one subnet's forward/backward on the given parameter views
 // and returns the average loss plus per-block gradients. views[b] is the
-// parameter state the forward READ of block b observed.
-func step(cfg Config, src *data.Source, sub supernet.Subnet, views []*layers.Layer) (float32, []*layers.Grads) {
+// parameter state the forward READ of block b observed. All scratch
+// (activation chain, gradient buffers, gradient sets) comes from a; the
+// returned grads belong to a and must go back via a.release once applied.
+// Beyond the batch itself (owned by the caller) this path is
+// allocation-free in steady state.
+func step(cfg Config, batch data.Batch, sub supernet.Subnet, views []*layers.Layer, a *arena) (float32, []*layers.Grads) {
 	m := len(sub.Choices)
-	grads := make([]*layers.Grads, m)
-	for b := 0; b < m; b++ {
-		grads[b] = views[b].NewGrads()
-	}
-	batch := src.Batch(sub.Seq)
+	a.ensure(m)
+	grads := a.grads(views)
 	var lossSum float32
 	for i := range batch.Inputs {
 		// Forward, saving inputs and activations per block.
-		xs := make([]tensor.Vector, m+1)
+		xs := a.xs
 		xs[0] = batch.Inputs[i]
 		for b := 0; b < m; b++ {
-			xs[b+1] = views[b].Forward(xs[b])
+			views[b].ForwardInto(xs[b+1], xs[b])
 		}
 		// Loss: 0.5·‖y − target‖².
 		out := xs[m]
-		dy := make(tensor.Vector, len(out))
+		dy := a.cur
+		tgt := batch.Targets[i]
 		for j := range out {
-			d := out[j] - batch.Targets[i][j]
+			d := out[j] - tgt[j]
 			dy[j] = d
 			lossSum += 0.5 * d * d
 		}
-		// Backward.
+		// Backward. dy is consumed before dx is written, so one buffer
+		// carries the output gradient down the whole chain.
 		for b := m - 1; b >= 0; b-- {
-			dy = views[b].Backward(xs[b], xs[b+1], dy, grads[b])
+			views[b].BackwardInto(dy, a.tmp, xs[b], xs[b+1], dy, grads[b])
 		}
 	}
 	return lossSum / float32(len(batch.Inputs)), grads
@@ -122,17 +124,19 @@ func Sequential(cfg Config, subnets []supernet.Subnet) Result {
 func SequentialOn(cfg Config, net *supernet.Numeric, subnets []supernet.Subnet) Result {
 	cfg = cfg.withDefaults()
 	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
+	ar := newArena(cfg.Dim)
 	losses := make([]float32, len(subnets))
 	for i, sub := range subnets {
-		views := make([]*layers.Layer, len(sub.Choices))
+		views := ar.viewsBuf(len(sub.Choices))
 		for b, c := range sub.Choices {
 			views[b] = net.At(b, c)
 		}
-		loss, grads := step(cfg, src, sub, views)
+		loss, grads := step(cfg, src.Batch(sub.Seq), sub, views, ar)
 		losses[i] = loss
 		for b, c := range sub.Choices {
 			net.At(b, c).ApplySGD(grads[b], cfg.LR)
 		}
+		ar.release(grads)
 	}
 	return Result{Net: net, Losses: losses, Checksum: net.Checksum()}
 }
@@ -165,6 +169,7 @@ func Replay(cfg Config, subnets []supernet.Subnet, tr *trace.Trace) (Result, err
 func ReplayOn(cfg Config, net *supernet.Numeric, subnets []supernet.Subnet, tr *trace.Trace) (Result, error) {
 	cfg = cfg.withDefaults()
 	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
+	ar := newArena(cfg.Dim)
 
 	pend := make(map[int]*pendingSubnet, len(subnets))
 	posOf := make(map[int]int, len(subnets))
@@ -200,15 +205,17 @@ func ReplayOn(cfg Config, net *supernet.Numeric, subnets []supernet.Subnet, tr *
 					return Result{}, fmt.Errorf("train: subnet %d writes before completing reads (%d/%d)",
 						ev.Subnet, p.seen, len(p.sub.Choices))
 				}
-				p.loss, p.grads = step(cfg, src, p.sub, p.views)
+				p.loss, p.grads = step(cfg, src.Batch(p.sub.Seq), p.sub, p.views, ar)
 				p.computed = true
 				losses[posOf[ev.Subnet]] = p.loss
 			}
 			net.At(block, choice).ApplySGD(p.grads[block], cfg.LR)
 			p.writesLeft--
 			if p.writesLeft == 0 {
-				// Free the snapshots; the subnet is done.
+				// Free the snapshots and recycle the gradient set; the
+				// subnet is done.
 				p.views = nil
+				ar.release(p.grads)
 				p.grads = nil
 			}
 		}
@@ -228,13 +235,16 @@ func ReplayOn(cfg Config, net *supernet.Numeric, subnets []supernet.Subnet, tr *
 func StepOn(cfg Config, net *supernet.Numeric, sub supernet.Subnet) float32 {
 	cfg = cfg.withDefaults()
 	src := data.NewSource(cfg.Dataset, cfg.Dim, cfg.BatchSize, cfg.Seed)
-	views := make([]*layers.Layer, len(sub.Choices))
+	ar := getArena(cfg.Dim)
+	defer putArena(ar)
+	views := ar.viewsBuf(len(sub.Choices))
 	for b, c := range sub.Choices {
 		views[b] = net.At(b, c)
 	}
-	loss, grads := step(cfg, src, sub, views)
+	loss, grads := step(cfg, src.Batch(sub.Seq), sub, views, ar)
 	for b, c := range sub.Choices {
 		net.At(b, c).ApplySGD(grads[b], cfg.LR)
 	}
+	ar.release(grads)
 	return loss
 }
