@@ -17,6 +17,8 @@
 //	resume <job-id>                 continue a canceled/interrupted job
 //	checkpoint <job-id> -o f.ckpt   fetch the job's checkpoint file
 //	wait <job-id>                   block until the job finishes
+//	top [-interval 2s] [-n N]       live per-tenant/per-job view from
+//	                                /metrics + the job list
 //
 // The submit run flags are the shared set from internal/clicfg — the
 // exact flags naspipe-train and naspipe-bench take — plus -tenant,
@@ -52,7 +54,7 @@ func run() naspipe.ExitCode {
 		addr = flag.String("addr", "http://localhost:7419", "naspiped base URL")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: naspipe-client [-addr url] <version|submit|list|status|events|cancel|resume|checkpoint|wait> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: naspipe-client [-addr url] <version|submit|list|status|events|cancel|resume|checkpoint|wait|top> [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -88,6 +90,8 @@ func run() naspipe.ExitCode {
 		return checkpoint(ctx, c, args)
 	case "wait":
 		return wait(ctx, c, args)
+	case "top":
+		return top(ctx, c, args)
 	default:
 		fmt.Fprintf(os.Stderr, "naspipe-client: unknown subcommand %q\n", cmd)
 		flag.Usage()

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"naspipe"
+	"naspipe/internal/obs"
+	"naspipe/internal/service"
+)
+
+// top is the live observability view: it polls GET /metrics and the
+// /v1/jobs list together and renders the scheduler's admission state,
+// per-tenant counters, and the active jobs as one refreshing table —
+// the same numbers Prometheus would scrape, without standing up
+// Prometheus.
+func top(ctx context.Context, c *service.Client, args []string) naspipe.ExitCode {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	iters := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	tenant := fs.String("tenant", "", "filter the job table to one tenant")
+	_ = fs.Parse(args)
+
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return naspipe.ExitOK
+			case <-time.After(*interval):
+			}
+		}
+		jl, err := c.ListAll(ctx, *tenant)
+		if err != nil {
+			return fail(err)
+		}
+		samples, err := c.Metrics(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		clearScreen := *iters != 1
+		if clearScreen {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		renderTop(c.Base, jl, samples)
+	}
+	return naspipe.ExitOK
+}
+
+// metricIndex keys samples by name and one distinguishing label value
+// so render lookups stay one-liners.
+type metricIndex map[string]float64
+
+func indexSamples(samples []obs.Sample, byLabel ...string) metricIndex {
+	idx := make(metricIndex, len(samples))
+	for _, s := range samples {
+		key := s.Name
+		for _, l := range byLabel {
+			if v, ok := s.Labels[l]; ok {
+				key += "{" + l + "=" + v + "}"
+			}
+		}
+		// Later samples of the same key accumulate (e.g. summing a vec's
+		// series when the distinguishing label isn't in byLabel).
+		idx[key] += s.Value
+	}
+	return idx
+}
+
+func renderTop(base string, jl service.JobList, samples []obs.Sample) {
+	fmt.Printf("naspiped %s — %s\n", base, time.Now().Format("15:04:05"))
+
+	if st := jl.Stats; st != nil {
+		fmt.Printf("queue %d/%d   workers %d/%d busy   run-ewma %.2fs\n",
+			st.QueueDepth, st.QueueLimit, st.ActiveJobs, st.Workers, st.RunEWMASec)
+	}
+	if len(samples) > 0 {
+		idx := indexSamples(samples)
+		fmt.Printf("http reqs %.0f (inflight %.0f)   429s %.0f   restarts %.0f   watchdog %.0f   events emitted %.0f dropped %.0f\n",
+			idx["naspipe_service_requests_total"], idx["naspipe_service_inflight_requests"],
+			idx["naspipe_sched_rejections_total"],
+			idx["naspipe_supervise_restarts_total"], idx["naspipe_supervise_watchdog_fires_total"],
+			idx["naspipe_telemetry_events_emitted_total"], idx["naspipe_telemetry_events_dropped_total"])
+	}
+
+	// Per-tenant block: live occupancy from stats, lifetime counters from
+	// the metric series.
+	byTenant := indexSamples(samples, "tenant")
+	doneIdx := indexSamples(samples, "tenant", "state")
+	if jl.Stats != nil && len(jl.Stats.Tenants) > 0 {
+		fmt.Printf("\n%-12s %6s %7s %5s %9s %5s %6s %8s\n",
+			"TENANT", "ACTIVE", "RUNNING", "QUOTA", "SUBMITTED", "DONE", "FAILED", "RESUMED")
+		for _, t := range jl.Stats.Tenants {
+			fmt.Printf("%-12s %6d %7d %5d %9.0f %5.0f %6.0f %8.0f\n",
+				t.Tenant, t.Active, t.Running, t.Quota,
+				byTenant["naspipe_sched_submitted_total{tenant="+t.Tenant+"}"],
+				doneIdx["naspipe_sched_jobs_total{tenant="+t.Tenant+"}{state=done}"],
+				doneIdx["naspipe_sched_jobs_total{tenant="+t.Tenant+"}{state=failed}"],
+				byTenant["naspipe_sched_resumed_total{tenant="+t.Tenant+"}"])
+		}
+	}
+
+	// Job table: active first (running before queued), then terminal,
+	// newest first within each band.
+	jobs := append([]service.JobStatus(nil), jl.Jobs...)
+	sort.SliceStable(jobs, func(a, b int) bool {
+		return jobRank(jobs[a].State) < jobRank(jobs[b].State)
+	})
+	fmt.Printf("\n%-8s %-10s %-12s %-11s %9s %8s %s\n",
+		"ID", "TENANT", "STATE", "HEALTH", "CURSOR", "RESTARTS", "DETAIL")
+	for _, j := range jobs {
+		fmt.Printf("%-8s %-10s %-12s %-11s %4d/%-4d %8d %s\n",
+			j.ID, orDefault(j.Tenant), j.State, j.Health, j.Cursor, j.Total, j.Restarts, clip(j.Detail, 48))
+	}
+	if len(jobs) == 0 {
+		fmt.Println(strings.Repeat(" ", 2) + "(no jobs)")
+	}
+}
+
+func jobRank(s service.JobState) int {
+	switch s {
+	case service.StateRunning:
+		return 0
+	case service.StateQueued:
+		return 1
+	}
+	return 2
+}

@@ -22,6 +22,15 @@
 // however the daemon interleaves, crashes, or resumes a job, its
 // weights land bitwise equal to the sequential reference.
 //
+// Observability rides on the same listener: GET /metrics serves the
+// Prometheus text exposition (service, scheduler, supervision, and
+// telemetry planes; per-tenant labels), /debug/ serves pprof, expvar,
+// and the live engine-telemetry snapshot, and every log line is a
+// structured record — JSON by default — carrying the job ID, so one
+// `grep '"job":"j0001"'` follows a job from submit through crash,
+// restart, and verification. -log-format text keeps the legacy
+// human-readable lines.
+//
 // Exit codes follow the naspipe contract: 0 clean shutdown, 1 runtime
 // failure, 2 usage error.
 package main
@@ -29,25 +38,28 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"naspipe"
+	"naspipe/internal/obs"
 	"naspipe/internal/service"
 	"naspipe/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7419", "HTTP listen address for the /v1 API")
+		addr      = flag.String("addr", ":7419", "HTTP listen address for the /v1 API, /metrics, and /debug/")
 		stateDir  = flag.String("state-dir", "naspiped-state", "root directory for per-job specs, statuses, event logs, and checkpoints")
 		workers   = flag.Int("workers", 2, "executor pool size: jobs running at once")
 		quota     = flag.Int("quota", 8, "per-tenant quota on active (queued+running) jobs; submits beyond it get 429")
 		queue     = flag.Int("queue", 16, "global admission-queue bound; submits beyond it get 429 (backpressure)")
 		eventBuf  = flag.Int("event-buf", 1<<16, "per-job telemetry ring capacity (events kept for /events streaming)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this extra address")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this extra address too")
+		logFormat = flag.String("log-format", "json", "log record format: json or text")
+		noMetrics = flag.Bool("no-metrics", false, "disable the metrics registry and /metrics endpoint")
 		quiet     = flag.Bool("quiet", false, "suppress per-decision scheduler logging")
 	)
 	flag.Parse()
@@ -56,35 +68,61 @@ func main() {
 		os.Exit(int(naspipe.ExitUsage))
 	}
 
-	logger := log.New(os.Stderr, "naspiped ", log.LstdFlags|log.Lmsgprefix)
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "naspiped: -log-format must be json or text, got %q\n", *logFormat)
+		os.Exit(int(naspipe.ExitUsage))
+	}
+	logger := slog.New(handler)
+
+	var reg *obs.Registry
+	if !*noMetrics {
+		reg = obs.New()
+	}
 	cfg := service.SchedulerConfig{
 		StateDir: *stateDir, Workers: *workers,
 		QueueLimit: *queue, TenantQuota: *quota,
 		EventBufSize: *eventBuf,
+		Metrics:      reg,
 	}
 	if !*quiet {
-		cfg.Log = logger.Printf
+		cfg.Logger = logger
+		// Legacy printf sink for the scheduler's incidental diagnostics
+		// (persist errors etc.) and the supervision plane's per-decision log.
+		cfg.Log = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
 	}
 	sched, err := service.NewScheduler(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(int(naspipe.ExitUsage))
 	}
-	bound, shutdown, err := service.Serve(*addr, sched)
+	// /debug/ sources its telemetry snapshot from the scheduler's rollup:
+	// finished jobs' totals plus every live bus.
+	debugMux := telemetry.NewDebugMux(sched.TelemetrySnapshot)
+	srv := service.NewServer(sched).WithObs(reg, logger).WithDebug(debugMux)
+	bound, shutdown, err := service.ServeHandler(*addr, srv)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(int(naspipe.ExitUsage))
 	}
-	logger.Printf("serving /%s API on http://%s (state in %s, %d workers, quota %d, queue %d)",
-		service.APIVersion, bound, *stateDir, *workers, *quota, *queue)
+	logger.Info("serving", "api", "/"+service.APIVersion, "addr", bound,
+		"state_dir", *stateDir, "workers", *workers, "quota", *quota, "queue", *queue,
+		"metrics", !*noMetrics)
 	if *debugAddr != "" {
-		dbg, stopDbg, derr := telemetry.ServeDebug(*debugAddr, nil)
+		dbg, stopDbg, derr := telemetry.ServeDebugMux(*debugAddr, debugMux)
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, derr)
 			os.Exit(int(naspipe.ExitUsage))
 		}
 		defer stopDbg()
-		logger.Printf("debug server on http://%s/debug/", dbg)
+		logger.Info("debug server up", "addr", "http://"+dbg+"/debug/")
 	}
 
 	// SIGINT/SIGTERM drain gracefully: stop admitting, cancel running
@@ -94,8 +132,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
-	logger.Printf("caught %v: draining (running jobs checkpoint and will recover on restart)", got)
+	logger.Info("draining", "signal", got.String(),
+		"note", "running jobs checkpoint and will recover on restart")
 	shutdown()
 	sched.Close()
-	logger.Printf("drained; state persisted under %s", *stateDir)
+	logger.Info("drained", "state_dir", *stateDir)
 }

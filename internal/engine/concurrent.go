@@ -742,6 +742,11 @@ func (c *ccRun) maybeWedge(ctx context.Context, s *ccStage, seq int, kind int8) 
 		return false
 	}
 	s.telFault(telemetry.OpFaultWedge, s.base+seq, kind, int64(c.inj.Incarnation()))
+	// The goroutine is about to hang until cancellation: flush the batch
+	// now, or up to batcherCap already-completed span events stay
+	// invisible to mid-run observers (the watchdog's debug snapshot) for
+	// the whole stall — exactly when they matter most.
+	s.telb.Flush()
 	c.publishHealth(s, false, true)
 	for ctx.Err() == nil && !c.crashed.Load() {
 		timer := time.NewTimer(ccParkPoll)

@@ -187,6 +187,11 @@ type JobStatus struct {
 	// ExitName is its symbolic form ("ok", "failure", "resumable").
 	ExitCode int    `json:"exit_code"`
 	ExitName string `json:"exit_name,omitempty"`
+	// TenantActive/TenantQuota are the tenant's slot occupancy at read
+	// time — the CodeQuotaExceeded inputs, surfaced per job so a 429's
+	// arithmetic is checkable from any status response.
+	TenantActive int `json:"tenant_active"`
+	TenantQuota  int `json:"tenant_quota"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -196,9 +201,41 @@ type JobStatus struct {
 	Spec *naspipe.JobSpec `json:"spec,omitempty"`
 }
 
-// JobList is the GET /v1/jobs response, in submission order.
+// TenantStats is one tenant's slot occupancy against its quota — the
+// CodeQuotaExceeded input.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Active is queued+running jobs; Running the subset holding an
+	// executor slot right now.
+	Active  int `json:"active"`
+	Running int `json:"running"`
+	Quota   int `json:"quota"`
+}
+
+// SchedStats exposes the scheduler's live admission state — the same
+// numbers retryAfterLocked feeds the Retry-After estimate from, so
+// naspipe-client top and operators see exactly what the backpressure
+// math sees.
+type SchedStats struct {
+	// QueueDepth over QueueLimit is the CodeBackpressure input.
+	QueueDepth int `json:"queue_depth"`
+	QueueLimit int `json:"queue_limit"`
+	// Workers is the executor-pool size; ActiveJobs how many slots are
+	// occupied right now.
+	Workers    int `json:"workers"`
+	ActiveJobs int `json:"active_jobs"`
+	// RunEWMASec is the smoothed wall time of completed runs — the
+	// per-run cost estimate behind every Retry-After second.
+	RunEWMASec float64 `json:"run_ewma_sec"`
+	// Tenants lists per-tenant slot occupancy, sorted by tenant name.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// JobList is the GET /v1/jobs response, in submission order. Stats
+// carries the scheduler's live admission state alongside the jobs.
 type JobList struct {
-	Jobs []JobStatus `json:"jobs"`
+	Jobs  []JobStatus `json:"jobs"`
+	Stats *SchedStats `json:"stats,omitempty"`
 }
 
 // VersionInfo is the GET /v1/version response.

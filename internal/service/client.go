@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"naspipe"
+	"naspipe/internal/obs"
 )
 
 // Client talks to a naspiped server. The zero HTTP client is replaced
@@ -123,6 +124,46 @@ func (c *Client) List(ctx context.Context, tenant string) ([]JobStatus, error) {
 	var jl JobList
 	err := c.do(ctx, http.MethodGet, path, nil, &jl)
 	return jl.Jobs, err
+}
+
+// ListAll fetches the full JobList — jobs plus the scheduler's live
+// admission stats (queue depth, worker occupancy, run-time EWMA,
+// per-tenant slot usage). The `top` subcommand polls this.
+func (c *Client) ListAll(ctx context.Context, tenant string) (JobList, error) {
+	path := "/jobs"
+	if tenant != "" {
+		path += "?tenant=" + url.QueryEscape(tenant)
+	}
+	var jl JobList
+	err := c.do(ctx, http.MethodGet, path, nil, &jl)
+	return jl, err
+}
+
+// Metrics scrapes the daemon's GET /metrics endpoint and parses the
+// Prometheus text exposition into samples. A daemon running without a
+// metrics registry returns an empty (non-nil) slice.
+func (c *Client) Metrics(ctx context.Context) ([]obs.Sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		buf, _ := io.ReadAll(resp.Body)
+		return nil, apiError(resp, buf)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service: parsing /metrics: %w", err)
+	}
+	if samples == nil {
+		samples = []obs.Sample{}
+	}
+	return samples, nil
 }
 
 // Cancel stops a job; canceling an already-finished job is idempotent

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"naspipe"
+	"naspipe/internal/obs"
 )
 
 // loadReport is the BENCH_service.json schema: the service plane's
@@ -34,6 +35,12 @@ type loadReport struct {
 	StatusP50Ms     float64 `json:"status_p50_ms"`
 	StatusP99Ms     float64 `json:"status_p99_ms"`
 	GoroutinesLeft  int     `json:"goroutines_over_baseline_after_drain"`
+	// Observability overhead gate: the same compact workload with the
+	// metrics registry absent vs present (min of trials each); the
+	// enabled path must stay within 5% of disabled.
+	ObsDisabledWall float64 `json:"obs_disabled_wall_seconds"`
+	ObsEnabledWall  float64 `json:"obs_enabled_wall_seconds"`
+	ObsOverheadPct  float64 `json:"obs_overhead_pct"`
 }
 
 // lat is a concurrency-safe latency recorder.
@@ -76,6 +83,77 @@ func verifyJobSpec(tenant string, seed uint64) naspipe.JobSpec {
 		Train:  &naspipe.TrainSpec{Dim: 8, BatchSize: 2, LR: 0.05},
 		Verify: true,
 	}
+}
+
+// obsLoadTrial runs one compact HTTP workload — 4 clients × 3 verify
+// jobs, each polled to completion — against a fresh daemon, with the
+// observability plane absent or fully enabled (registry + HTTP
+// instruments + a mid-run scrape, the realistic Prometheus shape), and
+// returns the wall time.
+func obsLoadTrial(t *testing.T, enabled bool) time.Duration {
+	t.Helper()
+	var reg *obs.Registry
+	if enabled {
+		reg = obs.New()
+	}
+	sched, err := NewScheduler(SchedulerConfig{
+		StateDir: t.TempDir(), Workers: 4, QueueLimit: 64, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("obs trial scheduler: %v", err)
+	}
+	srv := NewServer(sched)
+	if enabled {
+		srv = srv.WithObs(reg, nil)
+	}
+	addr, shutdown, err := ServeHandler("127.0.0.1:0", srv)
+	if err != nil {
+		sched.Close()
+		t.Fatalf("obs trial serve: %v", err)
+	}
+	defer func() { shutdown(); sched.Close() }()
+	base := "http://" + addr
+	ctx := context.Background()
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < 4; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := NewClient(base)
+			c.HTTP = &http.Client{}
+			defer c.HTTP.CloseIdleConnections()
+			for jn := 0; jn < 3; jn++ {
+				st, err := c.Submit(ctx, verifyJobSpec(fmt.Sprintf("obs-%d", ci), uint64(3000+ci*10+jn)))
+				if err != nil {
+					t.Errorf("obs trial submit: %v", err)
+					return
+				}
+				if enabled && ci == 0 && jn == 1 {
+					if _, err := c.Metrics(ctx); err != nil {
+						t.Errorf("obs trial scrape: %v", err)
+					}
+				}
+				for {
+					got, err := c.Get(ctx, st.ID)
+					if err != nil {
+						t.Errorf("obs trial status: %v", err)
+						return
+					}
+					if got.State.Terminal() {
+						if got.State != StateDone {
+							t.Errorf("obs trial job %s: %s (%s)", st.ID, got.State, got.Detail)
+						}
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	return time.Since(t0)
 }
 
 // TestServiceLoad drives one daemon with 8 concurrent clients and 17
@@ -319,6 +397,28 @@ func TestServiceLoad(t *testing.T) {
 		t.Fatalf("%d goroutines over baseline after drain:\n%s", left, buf[:runtime.Stack(buf, true)])
 	}
 
+	// Phase 4: observability overhead gate. The same compact workload
+	// runs with the metrics registry absent and present (min of trials
+	// each, to shed scheduler noise); instrumenting every admission,
+	// request, and supervision edge must cost at most 5% wall time (plus
+	// a small absolute grace for sub-second runs).
+	obsDisabled, obsEnabled := time.Duration(1<<62), time.Duration(1<<62)
+	const obsTrials = 3
+	for i := 0; i < obsTrials; i++ {
+		if d := obsLoadTrial(t, false); d < obsDisabled {
+			obsDisabled = d
+		}
+		if d := obsLoadTrial(t, true); d < obsEnabled {
+			obsEnabled = d
+		}
+	}
+	obsOverheadPct := (obsEnabled.Seconds() - obsDisabled.Seconds()) / obsDisabled.Seconds() * 100
+	t.Logf("obs overhead: disabled %.3fs, enabled %.3fs (%.2f%%)", obsDisabled.Seconds(), obsEnabled.Seconds(), obsOverheadPct)
+	if grace := 25 * time.Millisecond; obsEnabled > obsDisabled+obsDisabled/20+grace {
+		t.Errorf("metrics-enabled load took %.3fs vs %.3fs disabled (%.2f%% > 5%% overhead budget)",
+			obsEnabled.Seconds(), obsDisabled.Seconds(), obsOverheadPct)
+	}
+
 	mu.Lock()
 	defer mu.Unlock()
 	if completed < clients*jobsPer+1 {
@@ -344,6 +444,9 @@ func TestServiceLoad(t *testing.T) {
 		StatusP50Ms:     statusLat.percentileMs(0.50),
 		StatusP99Ms:     statusLat.percentileMs(0.99),
 		GoroutinesLeft:  left,
+		ObsDisabledWall: obsDisabled.Seconds(),
+		ObsEnabledWall:  obsEnabled.Seconds(),
+		ObsOverheadPct:  obsOverheadPct,
 	}
 	t.Logf("load: %d jobs in %.2fs (%.1f jobs/s), submit p99 %.2fms, status p99 %.2fms",
 		rep.JobsCompleted, rep.WallSeconds, rep.JobsPerSecond, rep.SubmitP99Ms, rep.StatusP99Ms)

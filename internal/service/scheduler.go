@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"naspipe"
 	"naspipe/internal/fault"
+	"naspipe/internal/obs"
 	"naspipe/internal/telemetry"
 )
 
@@ -37,6 +39,15 @@ type SchedulerConfig struct {
 	EventBufSize int
 	// Log, when non-nil, receives one line per scheduler decision.
 	Log func(format string, args ...any)
+	// Logger, when non-nil, receives structured per-job log records
+	// (every record carries the job ID) and takes precedence over Log
+	// for those records. The daemon passes its slog JSON logger.
+	Logger *slog.Logger
+	// Metrics, when non-nil, is the registry the scheduler publishes
+	// into: queue depth, per-tenant job counts, queue-wait and
+	// run-duration histograms, 429 causes, supervision transitions, and
+	// the telemetry-bus rollup. Nil disables metrics at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -75,6 +86,10 @@ type job struct {
 	resume   bool // next incarnation resumes from the checkpoint
 
 	submitted, started, finished time.Time
+	// queuedAt stamps the latest admission (submit, resume, or recovery)
+	// so the queue-wait histogram measures this wait, not the job's
+	// whole prior history.
+	queuedAt time.Time
 
 	bus        *telemetry.Bus     // live telemetry while running
 	cancel     context.CancelFunc // cancels the running incarnation set
@@ -118,6 +133,12 @@ type Scheduler struct {
 	rootCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
+
+	// met holds the scheduler's metric instruments (nil-safe when
+	// cfg.Metrics is nil); telTotals accumulates finished jobs' bus
+	// snapshots for the telemetry rollup (guarded by mu).
+	met       *schedMetrics
+	telTotals telemetry.Snapshot
 }
 
 // NewScheduler builds the scheduler, recovers any persisted jobs from
@@ -140,6 +161,7 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		rootCtx: ctx,
 		stop:    cancel,
 	}
+	s.met = newSchedMetrics(cfg.Metrics, s)
 	if err := s.recover(); err != nil {
 		cancel()
 		return nil, err
@@ -155,6 +177,33 @@ func (s *Scheduler) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
 		s.cfg.Log(format, args...)
 	}
+}
+
+// log emits one structured record (msg plus key/value attrs — per-job
+// records always carry a "job" attr). With a Logger it is a real slog
+// record; with only the legacy printf Log the attrs render as
+// "key=value" suffixes so nothing is lost either way.
+func (s *Scheduler) log(msg string, attrs ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, attrs...)
+		return
+	}
+	if s.cfg.Log == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("service: ")
+	b.WriteString(msg)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	s.cfg.Log("%s", b.String())
+}
+
+// tenantGaugeLocked mirrors one tenant's active count into the gauge.
+// Caller holds s.mu.
+func (s *Scheduler) tenantGaugeLocked(tenant string) {
+	s.met.tenantActive.With(tenantName(tenant)).Set(float64(s.active[tenant]))
 }
 
 // recover scans the state dir for persisted jobs and re-queues the ones
@@ -212,15 +261,19 @@ func (s *Scheduler) recover() error {
 		j.resume = j.hasCheckpoint()
 		j.state = StateQueued
 		j.detail = "recovered after daemon restart"
+		j.queuedAt = time.Now()
 		s.active[j.spec.Tenant]++
+		s.tenantGaugeLocked(j.spec.Tenant)
 		s.persistLocked(j)
 		select {
 		case s.queue <- j:
-			s.logf("service: recovered %s (resume=%v)", j.id, j.resume)
+			s.met.recovered.Inc()
+			s.log("job recovered", "job", j.id, "tenant", tenantName(j.spec.Tenant), "resume", j.resume)
 		default:
 			j.state = StateFailed
 			j.detail = "recovery overflowed the admission queue"
 			s.active[j.spec.Tenant]--
+			s.tenantGaugeLocked(j.spec.Tenant)
 			close(j.done)
 			s.persistLocked(j)
 		}
@@ -281,12 +334,14 @@ func (s *Scheduler) Submit(spec naspipe.JobSpec) (JobStatus, error) {
 	}
 	if s.active[spec.Tenant] >= s.cfg.TenantQuota {
 		ra := s.retryAfterLocked(CodeQuotaExceeded, spec.Tenant)
+		s.met.rejections.With(string(CodeQuotaExceeded)).Inc()
 		return JobStatus{}, &APIError{Code: CodeQuotaExceeded, RetryAfterSec: ra,
 			Message: fmt.Sprintf("tenant %q already has %d active jobs (quota %d); retry in ~%ds", tenantName(spec.Tenant), s.active[spec.Tenant], s.cfg.TenantQuota, ra)}
 	}
+	now := time.Now()
 	j := &job{
 		id: id, spec: spec, dir: dir,
-		state: StateQueued, submitted: time.Now(),
+		state: StateQueued, submitted: now, queuedAt: now,
 		gpus: spec.GPUs,
 		done: make(chan struct{}),
 	}
@@ -294,6 +349,7 @@ func (s *Scheduler) Submit(spec naspipe.JobSpec) (JobStatus, error) {
 	case s.queue <- j:
 	default:
 		ra := s.retryAfterLocked(CodeBackpressure, spec.Tenant)
+		s.met.rejections.With(string(CodeBackpressure)).Inc()
 		return JobStatus{}, &APIError{Code: CodeBackpressure, RetryAfterSec: ra,
 			Message: fmt.Sprintf("admission queue full (%d queued); retry in ~%ds", s.cfg.QueueLimit, ra)}
 	}
@@ -301,12 +357,14 @@ func (s *Scheduler) Submit(spec naspipe.JobSpec) (JobStatus, error) {
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.active[spec.Tenant]++
+	s.met.submitted.With(tenantName(spec.Tenant)).Inc()
+	s.tenantGaugeLocked(spec.Tenant)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		s.logf("service: %s: state dir: %v", id, err)
 	}
 	s.persistLocked(j)
-	s.logf("service: %s submitted by tenant %q (%s, %d GPUs, %d subnets)",
-		id, tenantName(spec.Tenant), spec.Space, spec.GPUs, spec.Subnets)
+	s.log("job submitted", "job", id, "tenant", tenantName(spec.Tenant),
+		"space", spec.Space, "gpus", spec.GPUs, "subnets", spec.Subnets)
 	return s.statusLocked(j, true), nil
 }
 
@@ -364,6 +422,49 @@ func (s *Scheduler) List(tenant string) []JobStatus {
 	return out
 }
 
+// Stats snapshots the scheduler's live admission state — the inputs
+// retryAfterLocked derives every Retry-After estimate from, plus each
+// tenant's slot occupancy. List responses embed it so one poll of /v1
+// shows both the jobs and the admission math.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// statsLocked renders SchedStats. Caller holds s.mu.
+func (s *Scheduler) statsLocked() SchedStats {
+	st := SchedStats{
+		QueueDepth: len(s.queue),
+		QueueLimit: s.cfg.QueueLimit,
+		Workers:    s.cfg.Workers,
+		RunEWMASec: s.runEWMA.Seconds(),
+	}
+	running := make(map[string]int)
+	for _, id := range s.order {
+		if s.jobs[id].state == StateRunning {
+			st.ActiveJobs++
+			running[s.jobs[id].spec.Tenant]++
+		}
+	}
+	tenants := make([]string, 0, len(s.active))
+	for t, n := range s.active {
+		if n > 0 || running[t] > 0 {
+			tenants = append(tenants, t)
+		}
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		st.Tenants = append(st.Tenants, TenantStats{
+			Tenant:  tenantName(t),
+			Active:  s.active[t],
+			Running: running[t],
+			Quota:   s.cfg.TenantQuota,
+		})
+	}
+	return st
+}
+
 // Cancel stops a queued or running job. Canceling a job that already
 // reached a terminal state is idempotent: it returns the current status
 // with no error and no state change.
@@ -383,7 +484,7 @@ func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 		if j.cancel != nil {
 			j.cancel()
 		}
-		s.logf("service: %s cancel requested", id)
+		s.log("cancel requested", "job", id)
 	default:
 		// Terminal already — idempotent success.
 	}
@@ -416,6 +517,7 @@ func (s *Scheduler) Resume(id string) (JobStatus, error) {
 	}
 	if s.active[j.spec.Tenant] >= s.cfg.TenantQuota {
 		ra := s.retryAfterLocked(CodeQuotaExceeded, j.spec.Tenant)
+		s.met.rejections.With(string(CodeQuotaExceeded)).Inc()
 		return JobStatus{}, &APIError{Code: CodeQuotaExceeded, RetryAfterSec: ra,
 			Message: fmt.Sprintf("tenant %q already has %d active jobs (quota %d); retry in ~%ds", tenantName(j.spec.Tenant), s.active[j.spec.Tenant], s.cfg.TenantQuota, ra)}
 	}
@@ -423,6 +525,7 @@ func (s *Scheduler) Resume(id string) (JobStatus, error) {
 	j.wantCancel = false
 	j.state = StateQueued
 	j.detail = "resume requested"
+	j.queuedAt = time.Now()
 	j.done = make(chan struct{})
 	select {
 	case s.queue <- j:
@@ -430,12 +533,15 @@ func (s *Scheduler) Resume(id string) (JobStatus, error) {
 		j.state = StateCanceled
 		close(j.done)
 		ra := s.retryAfterLocked(CodeBackpressure, j.spec.Tenant)
+		s.met.rejections.With(string(CodeBackpressure)).Inc()
 		return JobStatus{}, &APIError{Code: CodeBackpressure, RetryAfterSec: ra,
 			Message: fmt.Sprintf("admission queue full (%d queued); retry in ~%ds", s.cfg.QueueLimit, ra)}
 	}
 	s.active[j.spec.Tenant]++
+	s.met.resumed.With(tenantName(j.spec.Tenant)).Inc()
+	s.tenantGaugeLocked(j.spec.Tenant)
 	s.persistLocked(j)
-	s.logf("service: %s resume queued", id)
+	s.log("resume queued", "job", id, "tenant", tenantName(j.spec.Tenant))
 	return s.statusLocked(j, true), nil
 }
 
@@ -540,8 +646,10 @@ func (s *Scheduler) statusLocked(j *job, withSpec bool) JobStatus {
 		Restarts: j.restarts, WatchdogFires: j.fires,
 		Cursor: j.liveCursor(), Total: j.spec.Subnets, GPUs: j.gpus,
 		Verified: j.verified, Resumable: resumable,
-		ExitCode:    j.state.ExitCode(resumable),
-		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+		ExitCode:     j.state.ExitCode(resumable),
+		TenantActive: s.active[j.spec.Tenant],
+		TenantQuota:  s.cfg.TenantQuota,
+		SubmittedAt:  j.submitted, StartedAt: j.started, FinishedAt: j.finished,
 	}
 	if j.checksum != 0 {
 		st.Checksum = fmt.Sprintf("%016x", j.checksum)
@@ -626,15 +734,19 @@ func (s *Scheduler) finishLocked(j *job, state JobState, detail string) {
 		} else {
 			s.runEWMA = (7*s.runEWMA + 3*run) / 10
 		}
+		s.met.runTime.Observe(run.Seconds())
 	}
 	j.state = state
 	j.detail = detail
 	j.finished = time.Now()
 	j.cancel = nil
 	s.active[j.spec.Tenant]--
+	s.met.finished.With(tenantName(j.spec.Tenant), string(state)).Inc()
+	s.tenantGaugeLocked(j.spec.Tenant)
 	s.persistLocked(j)
 	close(j.done)
-	s.logf("service: %s → %s (%s)", j.id, state, detail)
+	s.log("job finished", "job", j.id, "tenant", tenantName(j.spec.Tenant),
+		"state", string(state), "restarts", j.restarts, "detail", detail)
 }
 
 // persistLocked writes status.json atomically (tmp+rename), mirroring
@@ -684,20 +796,28 @@ func (s *Scheduler) runJob(j *job) {
 	j.bus = bus
 	resume := j.resume
 	spec := j.spec
+	if !j.queuedAt.IsZero() {
+		s.met.queueWait.Observe(time.Since(j.queuedAt).Seconds())
+	}
+	s.met.activeJobs.Inc()
 	s.persistLocked(j)
 	s.mu.Unlock()
-	s.logf("service: %s running (resume=%v)", j.id, resume)
+	s.log("job running", "job", j.id, "tenant", tenantName(spec.Tenant), "resume", resume)
 
-	res, rep, err := s.execute(ctx, spec, bus, resume)
+	res, rep, err := s.execute(ctx, j.id, spec, bus, resume)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.met.activeJobs.Dec()
 	if rep != nil {
 		j.restarts += rep.Restarts
 		j.fires += rep.WatchdogFires
 		j.gpus = rep.FinalGPUs
 		j.health = rep.FinalState.String()
 	}
+	// Fold the finished bus into the rollup before it is dropped, so the
+	// naspipe_telemetry_* series keep counting events from completed jobs.
+	s.telTotals = s.telTotals.Add(bus.Snapshot())
 	j.flushEvents(s, bus)
 	j.bus = nil
 	j.cancel = nil
@@ -742,8 +862,9 @@ func (s *Scheduler) runJob(j *job) {
 }
 
 // execute builds the runner from the spec and drives one supervised (or
-// plain) execution. It owns no scheduler state.
-func (s *Scheduler) execute(ctx context.Context, spec naspipe.JobSpec, bus *telemetry.Bus, resume bool) (naspipe.Result, *naspipe.SuperviseReport, error) {
+// plain) execution under the given job ID (used only for correlation:
+// metrics hooks and structured logs). It owns no scheduler state.
+func (s *Scheduler) execute(ctx context.Context, jobID string, spec naspipe.JobSpec, bus *telemetry.Bus, resume bool) (naspipe.Result, *naspipe.SuperviseReport, error) {
 	opts, cfg, err := naspipe.FromSpec(spec)
 	if err != nil {
 		return naspipe.Result{}, nil, err
@@ -758,6 +879,7 @@ func (s *Scheduler) execute(ctx context.Context, spec naspipe.JobSpec, bus *tele
 		if s.cfg.Log != nil {
 			sc.Log = s.cfg.Log
 		}
+		sc.Observer, sc.OnIncident = s.superviseHooks(jobID)
 		if resume {
 			return r.ResumeSupervised(ctx, cfg, sc)
 		}

@@ -5,38 +5,85 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"naspipe"
+	"naspipe/internal/obs"
 	"naspipe/internal/telemetry"
 )
 
 // Server exposes a Scheduler over the versioned HTTP/JSON API. It is a
 // plain http.Handler; mount it on any mux or serve it with Serve.
+// WithObs adds the observability plane (GET /metrics, HTTP-layer
+// metrics, structured request logs); WithDebug mounts a debug handler
+// under /debug/.
 type Server struct {
 	sched *Scheduler
 	// followPoll is how often the events endpoint re-checks a live bus
 	// in follow mode (test hook; 0 = 100ms).
 	followPoll time.Duration
+
+	logger  *slog.Logger
+	metrics http.Handler // GET /metrics exposition (nil = route absent)
+	debug   http.Handler // /debug/ mount (nil = route absent)
+	reqSeq  atomic.Uint64
+
+	httpReqs *obs.CounterVec // naspipe_service_requests_total{route,method,code}
+	httpDur  *obs.Histogram  // naspipe_service_request_seconds
+	inflight *obs.Gauge      // naspipe_service_inflight_requests
 }
 
 // NewServer wraps a scheduler in the API surface.
 func NewServer(s *Scheduler) *Server { return &Server{sched: s} }
 
+// WithObs attaches the observability plane: reg backs GET /metrics and
+// hosts the HTTP-layer instruments; logger, when non-nil, receives one
+// structured record per request, each carrying a per-request ID and —
+// on job routes — the job ID, completing the correlation chain from an
+// API call to the daemon's scheduler and supervision logs. Call before
+// serving; returns s for chaining.
+func (s *Server) WithObs(reg *obs.Registry, logger *slog.Logger) *Server {
+	s.logger = logger
+	s.metrics = reg.Handler()
+	s.httpReqs = reg.CounterVec("naspipe_service_requests_total",
+		"HTTP requests served, by route template, method, and status code.", "route", "method", "code")
+	s.httpDur = reg.Histogram("naspipe_service_request_seconds",
+		"HTTP request service time (streaming routes excluded).", nil)
+	s.inflight = reg.Gauge("naspipe_service_inflight_requests",
+		"HTTP requests currently in flight.")
+	return s
+}
+
+// WithDebug mounts h under /debug/ (typically
+// telemetry.NewDebugMux(sched.TelemetrySnapshot): pprof, expvar, and
+// the live telemetry snapshot). Returns s for chaining.
+func (s *Server) WithDebug(h http.Handler) *Server {
+	s.debug = h
+	return s
+}
+
 // Serve binds addr (host:port; :0 picks a free port), serves the API on
 // it, and returns the bound address and a shutdown func. The pattern
 // matches telemetry.ServeDebug so CLIs treat both the same way.
 func Serve(addr string, s *Scheduler) (string, func(), error) {
+	return ServeHandler(addr, NewServer(s))
+}
+
+// ServeHandler is Serve for a pre-built handler — the daemon uses it to
+// serve a Server configured with WithObs/WithDebug.
+func ServeHandler(addr string, h http.Handler) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("service: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewServer(s)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -83,10 +130,100 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorBody{Error: ae})
 }
 
-// ServeHTTP routes the versioned API. Version negotiation is explicit:
+// statusWriter records the response status for metrics and request
+// logs while passing Flush through (the events follow stream needs it).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() { flush(w.ResponseWriter) }
+
+// routeLabel collapses a request path to its route template so the
+// requests_total label set stays bounded no matter how many jobs exist.
+func routeLabel(path string) (route, jobID string) {
+	path = strings.TrimSuffix(path, "/")
+	switch {
+	case path == "" || path == "/":
+		return "/", ""
+	case path == "/metrics":
+		return "/metrics", ""
+	case strings.HasPrefix(path, "/debug"):
+		return "/debug", ""
+	}
+	rest, ok := strings.CutPrefix(path, "/"+APIVersion)
+	if !ok || (rest != "" && rest[0] != '/') {
+		return "unversioned", ""
+	}
+	rest = strings.TrimPrefix(rest, "/")
+	switch {
+	case rest == "version", rest == "jobs":
+		return "/" + APIVersion + "/" + rest, ""
+	case strings.HasPrefix(rest, "jobs/"):
+		id, verb, _ := strings.Cut(strings.TrimPrefix(rest, "jobs/"), "/")
+		tmpl := "/" + APIVersion + "/jobs/{id}"
+		if verb != "" {
+			tmpl += "/" + verb
+		}
+		return tmpl, id
+	}
+	return "other", ""
+}
+
+// ServeHTTP is the observability middleware around the router: it
+// stamps a request ID, serves /metrics and /debug/ when mounted,
+// records the HTTP-layer metrics, and emits one structured log record
+// per request (with the job ID on job routes).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route, jobID := routeLabel(r.URL.Path)
+	switch {
+	case route == "/metrics" && s.metrics != nil:
+		s.metrics.ServeHTTP(w, r)
+		return
+	case route == "/debug" && s.debug != nil:
+		s.debug.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	reqID := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+	sw := &statusWriter{ResponseWriter: w}
+	s.inflight.Inc()
+	s.route(sw, r)
+	s.inflight.Dec()
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	dur := time.Since(start)
+	s.httpReqs.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+	s.httpDur.Observe(dur.Seconds())
+	if s.logger != nil {
+		attrs := []any{"req", reqID, "method", r.Method, "path", r.URL.Path,
+			"route", route, "status", sw.status, "dur_ms", dur.Milliseconds()}
+		if jobID != "" {
+			attrs = append(attrs, "job", jobID)
+		}
+		s.logger.Info("http request", attrs...)
+	}
+}
+
+// route dispatches the versioned API. Version negotiation is explicit:
 // a path outside /v1/ gets a structured 404 naming the supported
 // versions, never a silent fallback to a different behavior.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimSuffix(r.URL.Path, "/")
 	if path == "" {
 		writeJSON(w, http.StatusOK, VersionInfo{Version: APIVersion, Supported: []string{APIVersion}})
@@ -134,7 +271,11 @@ func (s *Server) jobs(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, st)
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, JobList{Jobs: s.sched.List(r.URL.Query().Get("tenant"))})
+		stats := s.sched.Stats()
+		writeJSON(w, http.StatusOK, JobList{
+			Jobs:  s.sched.List(r.URL.Query().Get("tenant")),
+			Stats: &stats,
+		})
 	default:
 		w.Header().Set("Allow", "GET, POST")
 		writeErr(w, &APIError{Code: CodeNotFound, Message: fmt.Sprintf("method %s not supported on /%s/jobs", r.Method, APIVersion)})

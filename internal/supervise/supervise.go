@@ -181,6 +181,17 @@ type Config struct {
 	// Log, when non-nil, receives one line per supervisor decision
 	// (transition, backoff, elastic step) — the CLIs pass log.Printf.
 	Log func(format string, args ...any)
+
+	// Observer, when non-nil, receives every state-machine edge as it is
+	// recorded — the service plane's hook for turning transitions into
+	// metrics (restart counters, health-edge counters) without polling
+	// the Report. Called synchronously from the supervisor goroutine;
+	// keep it cheap and never block.
+	Observer func(Transition)
+	// OnIncident, when non-nil, receives every recoverable incident
+	// (crash or diagnosed stall) as it is appended to the Report. Same
+	// calling discipline as Observer.
+	OnIncident func(Incident)
 }
 
 func (c Config) withDefaults() Config {
@@ -279,6 +290,9 @@ func (sv *supervisor) transition(to State, inc int, reason string) {
 		})
 	}
 	sv.logf("supervise: %s → %s (incarnation %d): %s", from, to, inc, reason)
+	if sv.cfg.Observer != nil {
+		sv.cfg.Observer(Transition{From: from, To: to, Incarnation: inc, Reason: reason})
+	}
 }
 
 func (sv *supervisor) loop(ctx context.Context) (engine.Result, error) {
@@ -339,11 +353,15 @@ func (sv *supervisor) loop(ctx context.Context) (engine.Result, error) {
 			sv.transition(Failed, inc, fmt.Sprintf("checkpoint unreadable after incident: %v", cerr))
 			return res, fmt.Errorf("supervise: checkpoint unreadable after incident: %w", cerr)
 		}
-		sv.rep.Incidents = append(sv.rep.Incidents, Incident{
+		incident := Incident{
 			Incarnation: inc, Stage: stage, Err: err, Stall: stall,
 			CursorBefore: lastCursor, CursorAfter: cursor, GPUs: gpus,
-		})
-		sv.transition(Degraded, inc, sv.rep.Incidents[len(sv.rep.Incidents)-1].String())
+		}
+		sv.rep.Incidents = append(sv.rep.Incidents, incident)
+		if sv.cfg.OnIncident != nil {
+			sv.cfg.OnIncident(incident)
+		}
+		sv.transition(Degraded, inc, incident.String())
 
 		if sv.rep.Restarts++; sv.rep.Restarts > sv.cfg.MaxRestarts {
 			gerr := &GiveUpError{Reason: fmt.Sprintf("restart budget %d exhausted", sv.cfg.MaxRestarts), Report: sv.rep}

@@ -372,3 +372,39 @@ func TestWatchdogFiresOnFlatProbe(t *testing.T) {
 		t.Fatalf("incident not attributed to a stall: %+v", rep.Incidents)
 	}
 }
+
+// TestSupervisorHooks: Observer sees every recorded edge (in order) and
+// OnIncident every incident, as the service metrics plane relies on.
+func TestSupervisorHooks(t *testing.T) {
+	var edges []supervise.Transition
+	var incidents []supervise.Incident
+	cfg := quietCfg()
+	cfg.Observer = func(tr supervise.Transition) { edges = append(edges, tr) }
+	cfg.OnIncident = func(in supervise.Incident) { incidents = append(incidents, in) }
+
+	attempts := 0
+	run := func(ctx context.Context, gpus int, probe *engine.RunProbe) (engine.Result, error) {
+		attempts++
+		if attempts == 1 {
+			return engine.Result{}, &fault.CrashError{Stage: 1, Seq: 2, Kind: fault.KindForward}
+		}
+		return engine.Result{Completed: 9}, nil
+	}
+	_, rep, err := supervise.Run(context.Background(), cfg, supervise.Job{
+		Run: run, Resume: run, Cursor: advancingCursor(), GPUs: 4, Total: 9,
+	})
+	if err != nil {
+		t.Fatalf("run errored: %v", err)
+	}
+	if len(edges) != len(rep.Transitions) {
+		t.Fatalf("observer saw %d edges, report has %d", len(edges), len(rep.Transitions))
+	}
+	for i, tr := range rep.Transitions {
+		if edges[i] != tr {
+			t.Fatalf("edge %d: observer %+v, report %+v", i, edges[i], tr)
+		}
+	}
+	if len(incidents) != 1 || incidents[0].Stage != 1 {
+		t.Fatalf("incidents = %+v, want one on stage 1", incidents)
+	}
+}

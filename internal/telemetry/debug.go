@@ -4,6 +4,14 @@
 //	naspipe-bench -concurrent -debug-addr localhost:6060 &
 //	go tool pprof http://localhost:6060/debug/pprof/profile
 //	curl http://localhost:6060/debug/telemetry
+//
+// Snapshot sourcing is per-server: each ServeDebug call (and each
+// NewDebugMux) binds its own snapshot source, so two debug servers in
+// one process report their own buses — a second ServeDebug call no
+// longer repoints the first server's /debug/telemetry. The one
+// process-global piece is expvar's "naspipe.telemetry" var (expvar has
+// a single process-wide namespace): it reports the PublishBus bus,
+// last publish wins.
 package telemetry
 
 import (
@@ -15,40 +23,42 @@ import (
 	"sync"
 )
 
-// debugBus is the bus the expvar callback reads; swapped per ServeDebug
-// call so repeated runs in one process publish the live one.
+// globalBus backs the legacy late-publish path: CLIs that start the
+// debug server before constructing the run's bus call
+// ServeDebug(addr, nil) then PublishBus(bus) once it exists. It is also
+// what the process-wide expvar var reports.
 var (
-	debugMu  sync.Mutex
-	debugBus *Bus
-	pubOnce  sync.Once
+	debugMu   sync.Mutex
+	globalBus *Bus
+	pubOnce   sync.Once
 )
 
-// PublishBus swaps the bus the debug endpoints report on, for callers
-// that start the server (ServeDebug) before constructing the run's bus.
+// PublishBus swaps the process-global bus: the one servers started with
+// a nil bus report, and the one expvar's "naspipe.telemetry" reads.
+// Servers started with a non-nil bus (or a snapshot func) are unaffected.
 func PublishBus(bus *Bus) {
 	debugMu.Lock()
-	debugBus = bus
+	globalBus = bus
 	debugMu.Unlock()
 }
 
-// ServeDebug starts an HTTP server on addr exposing /debug/pprof/*,
-// /debug/vars (expvar, including the "naspipe.telemetry" snapshot), and
-// /debug/telemetry (the snapshot alone, as JSON). It returns the bound
-// listener address (useful with ":0") and a shutdown function. The server
-// runs until shutdown is called; serve errors after shutdown are ignored.
-func ServeDebug(addr string, bus *Bus) (string, func(), error) {
+func globalSnapshot() Snapshot {
 	debugMu.Lock()
-	debugBus = bus
+	b := globalBus
 	debugMu.Unlock()
-	pubOnce.Do(func() {
-		expvar.Publish("naspipe.telemetry", expvar.Func(func() any {
-			debugMu.Lock()
-			b := debugBus
-			debugMu.Unlock()
-			return b.Snapshot()
-		}))
-	})
+	return b.Snapshot()
+}
 
+// NewDebugMux builds the debug mux — /debug/pprof/*, /debug/vars, and
+// /debug/telemetry serving snap() as JSON — without binding a listener,
+// so a daemon can mount it on its own server. snap is this mux's
+// private snapshot source (pass an aggregating closure to report many
+// buses at once); nil selects the process-global PublishBus bus.
+func NewDebugMux(snap func() Snapshot) *http.ServeMux {
+	if snap == nil {
+		snap = globalSnapshot
+	}
+	registerExpvarOnce()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -57,13 +67,38 @@ func ServeDebug(addr string, bus *Bus) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
-		debugMu.Lock()
-		b := debugBus
-		debugMu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(b.Snapshot())
+		_ = json.NewEncoder(w).Encode(snap())
 	})
+	return mux
+}
 
+func registerExpvarOnce() {
+	pubOnce.Do(func() {
+		expvar.Publish("naspipe.telemetry", expvar.Func(func() any {
+			return globalSnapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the debug mux. With
+// a non-nil bus the server's /debug/telemetry is bound to that bus for
+// its lifetime; with a nil bus it follows the process-global PublishBus
+// bus. Returns the bound listener address (useful with ":0") and a
+// shutdown function. The server runs until shutdown is called; serve
+// errors after shutdown are ignored.
+func ServeDebug(addr string, bus *Bus) (string, func(), error) {
+	var snap func() Snapshot
+	if bus != nil {
+		snap = bus.Snapshot
+	}
+	return ServeDebugMux(addr, NewDebugMux(snap))
+}
+
+// ServeDebugMux serves a pre-built debug mux on addr — for daemons that
+// already constructed one with NewDebugMux and want it on an extra
+// listener too. Same return contract as ServeDebug.
+func ServeDebugMux(addr string, mux *http.ServeMux) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err

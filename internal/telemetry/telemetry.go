@@ -214,6 +214,7 @@ type Bus struct {
 	stallNs  atomic.Int64
 	emitted  atomic.Uint64
 	dropped  atomic.Uint64
+	flushes  atomic.Uint64
 
 	mu  sync.Mutex
 	buf []Event // ring slab; len grows to cap, then the stream drops
@@ -307,6 +308,7 @@ func (b *Bus) EmitBatch(evs []Event) {
 	if b == nil || len(evs) == 0 {
 		return
 	}
+	b.flushes.Add(1)
 	for i := range evs {
 		b.count(evs[i])
 	}
@@ -365,9 +367,10 @@ func (b *Bus) Count(op Op) int64 {
 // Snapshot is a point-in-time copy of the live counters — cheap enough
 // for a progress ticker, and the payload ServeDebug publishes via expvar.
 type Snapshot struct {
-	ElapsedNs int64  `json:"elapsed_ns"`
-	Emitted   uint64 `json:"emitted"`
-	Dropped   uint64 `json:"dropped"`
+	ElapsedNs    int64  `json:"elapsed_ns"`
+	Emitted      uint64 `json:"emitted"`
+	Dropped      uint64 `json:"dropped"`
+	BatchFlushes uint64 `json:"batch_flushes"`
 
 	Admitted  int64 `json:"admitted"`
 	Started   int64 `json:"started"`
@@ -404,6 +407,7 @@ func (b *Bus) Snapshot() Snapshot {
 		ElapsedNs:        b.Now(),
 		Emitted:          b.emitted.Load(),
 		Dropped:          b.dropped.Load(),
+		BatchFlushes:     b.flushes.Load(),
 		Admitted:         b.counters[OpTaskAdmit].Load(),
 		Started:          b.counters[OpTaskStart].Load(),
 		Preempted:        b.counters[OpTaskPreempt].Load(),
@@ -426,6 +430,41 @@ func (b *Bus) Snapshot() Snapshot {
 
 		HealthTransitions: b.counters[OpHealth].Load(),
 	}
+}
+
+// Add returns the field-wise sum of two snapshots — how the service
+// scheduler aggregates per-job buses (live and finished) into one
+// system-wide view for /metrics and /debug/telemetry. ElapsedNs takes
+// the max: the summed counters describe overlapping runs, so elapsed
+// time is "longest run observed", not a sum.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	if o.ElapsedNs > s.ElapsedNs {
+		s.ElapsedNs = o.ElapsedNs
+	}
+	s.Emitted += o.Emitted
+	s.Dropped += o.Dropped
+	s.BatchFlushes += o.BatchFlushes
+	s.Admitted += o.Admitted
+	s.Started += o.Started
+	s.Preempted += o.Preempted
+	s.Completed += o.Completed
+	s.SchedAdmits += o.SchedAdmits
+	s.SchedDelays += o.SchedDelays
+	s.PrefetchRequests += o.PrefetchRequests
+	s.PrefetchDrops += o.PrefetchDrops
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvicts += o.CacheEvicts
+	s.StallNs += o.StallNs
+	s.Crashes += o.Crashes
+	s.FaultDrops += o.FaultDrops
+	s.FaultDelays += o.FaultDelays
+	s.FaultDups += o.FaultDups
+	s.FaultFetches += o.FaultFetches
+	s.FaultWedges += o.FaultWedges
+	s.Checkpoints += o.Checkpoints
+	s.HealthTransitions += o.HealthTransitions
+	return s
 }
 
 // HitRate returns cache hits/(hits+misses), or -1 with no accesses — the
