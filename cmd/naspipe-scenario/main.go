@@ -1,0 +1,198 @@
+// naspipe-scenario sweeps the declarative scenario catalog: every
+// scenarios/*.json file describes a world (GPUs, stragglers, jitter),
+// a workload (space, stream, cache, multi-job arrival) and a fault
+// storm, compiled onto the existing JobSpec/engine/fault/supervise
+// types and executed end to end. Each cell re-proves the CSP
+// reproducibility contract — the trained weights are verified bitwise
+// against the sequential reference — and lands one row in a
+// deterministic scorecard.
+//
+// Usage:
+//
+//	naspipe-scenario                          # sweep scenarios/ into BENCH_scenarios.json
+//	naspipe-scenario -dir d -out score.json   # elsewhere
+//	naspipe-scenario -scenario crash-storm    # one cell (comma-separate for more)
+//	naspipe-scenario -check                   # parse+validate the catalog, run nothing
+//	naspipe-scenario -canon                   # rewrite catalog files in canonical form
+//
+// The scorecard contains only deterministic columns (simulated-plane
+// performance, targeted-storm restart counts, verification checksums):
+// two sweeps at the same seeds are byte-identical, and CI diffs them.
+// Wall-clock observations (sweep and recovery times) go to stdout only.
+//
+// Exit codes follow the repo taxonomy: 0 = every cell verified and
+// passed its gates, 1 = a cell failed, 2 = a scenario file or flag is
+// malformed (stderr names the offending field).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"naspipe"
+	"naspipe/internal/scenario"
+)
+
+func main() {
+	os.Exit(int(run(os.Args[1:], os.Stdout, os.Stderr)))
+}
+
+func run(args []string, stdout, stderr io.Writer) naspipe.ExitCode {
+	fs := flag.NewFlagSet("naspipe-scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "scenarios", "scenario catalog directory")
+	only := fs.String("scenario", "", "comma-separated scenario names to run (default: all)")
+	out := fs.String("out", "BENCH_scenarios.json", "scorecard output path (\"-\" = stdout)")
+	stateDir := fs.String("state-dir", "", "checkpoint/state root (default: a temp dir, removed after)")
+	check := fs.Bool("check", false, "parse and validate the catalog, run nothing")
+	canon := fs.Bool("canon", false, "rewrite catalog files in canonical form, run nothing")
+	workers := fs.Int("workers", 2, "service executor pool size for multi-job scenarios")
+	if err := fs.Parse(args); err != nil {
+		return naspipe.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "unexpected argument %q (scenarios are selected with -scenario)\n", fs.Arg(0))
+		return naspipe.ExitUsage
+	}
+
+	paths, err := catalogPaths(*dir, *only)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return naspipe.ExitUsage
+	}
+
+	scens := make([]*scenario.Scenario, 0, len(paths))
+	bad := false
+	for _, p := range paths {
+		s, err := scenario.Load(p)
+		if err != nil {
+			// The load error carries the structured spec error; surface
+			// the offending field exactly as the library reports it.
+			fmt.Fprintln(stderr, err)
+			bad = true
+			continue
+		}
+		scens = append(scens, s)
+		if *canon {
+			data, err := scenario.Encode(s)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return naspipe.ExitFailure
+			}
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				fmt.Fprintln(stderr, err)
+				return naspipe.ExitFailure
+			}
+			fmt.Fprintf(stdout, "canonicalized %s\n", p)
+		}
+	}
+	if bad {
+		return naspipe.ExitUsage
+	}
+	if *check {
+		fmt.Fprintf(stdout, "%d scenarios ok\n", len(scens))
+		return naspipe.ExitOK
+	}
+	if *canon {
+		return naspipe.ExitOK
+	}
+
+	root := *stateDir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "naspipe-scenario-*")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return naspipe.ExitFailure
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	cells := make([]scenario.Cell, 0, len(scens))
+	code := naspipe.ExitOK
+	for _, s := range scens {
+		cell, obs, err := scenario.Run(context.Background(), s, scenario.Options{
+			StateDir: root,
+			Workers:  *workers,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "scenario %s: %v\n", s.Name, err)
+			return naspipe.ExitFailure
+		}
+		line := fmt.Sprintf("scenario %-24s verified=%v restarts=%d watchdog=%d wall=%v",
+			s.Name, cell.Verified, cell.Restarts, cell.WatchdogFires, obs.Wall.Round(obs.Wall/100+1))
+		if obs.Recovery > 0 {
+			line += fmt.Sprintf(" recovery=%v", obs.Recovery.Round(obs.Recovery/100+1))
+		}
+		fmt.Fprintln(stdout, line)
+		for _, f := range cell.Failures {
+			fmt.Fprintf(stdout, "  FAIL %s\n", f)
+			code = naspipe.ExitFailure
+		}
+		cells = append(cells, cell)
+	}
+
+	data, err := scenario.EncodeScorecard(cells)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return naspipe.ExitFailure
+	}
+	if *out == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintln(stderr, err)
+			return naspipe.ExitFailure
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(stderr, err)
+		return naspipe.ExitFailure
+	} else {
+		fmt.Fprintf(stdout, "scorecard: %d scenarios -> %s\n", len(cells), *out)
+	}
+	return code
+}
+
+// catalogPaths lists the catalog files to operate on, sorted, filtered
+// by the -scenario selection (which must match fully).
+func catalogPaths(dir, only string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario catalog: %w", err)
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var paths []string
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		if len(want) > 0 && !want[name] {
+			continue
+		}
+		delete(want, name)
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("scenario catalog: no file for %v in %s", missing, dir)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario catalog: no *.json files in %s", dir)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"naspipe"
+	"naspipe/internal/scenario"
+)
+
+const calmJSON = `{
+  "name": "cli-calm",
+  "world": {"gpus": 2},
+  "workload": {"space": "NLP.c1", "subnets": 6, "seed": 3}
+}
+`
+
+func writeCatalog(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestCheckRealCatalog validates the committed catalog through the CLI
+// surface — the same contract the CI job greps for.
+func TestCheckRealCatalog(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-check", "-dir", "../../scenarios"}, &out, &errb)
+	if code != naspipe.ExitOK {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scenarios ok") {
+		t.Fatalf("stdout: %q", out.String())
+	}
+}
+
+// TestErrorParityWithLibrary is the cross-surface contract: a scenario
+// rejected by the library is rejected by the CLI with the identical
+// structured message, field name included.
+func TestErrorParityWithLibrary(t *testing.T) {
+	bad := `{"name":"bad","world":{"gpus":0},"workload":{"space":"NLP.c1","subnets":4,"seed":1}}`
+	_, libErr := scenario.Parse([]byte(bad))
+	if libErr == nil {
+		t.Fatal("library accepted the bad scenario")
+	}
+	if f := naspipe.SpecField(libErr); f != "world.gpus" {
+		t.Fatalf("library error field %q, want world.gpus", f)
+	}
+
+	dir := writeCatalog(t, map[string]string{"bad.json": bad})
+	var out, errb strings.Builder
+	code := run([]string{"-check", "-dir", dir}, &out, &errb)
+	if code != naspipe.ExitUsage {
+		t.Fatalf("exit %d, want %d (usage)", code, naspipe.ExitUsage)
+	}
+	if !strings.Contains(errb.String(), libErr.Error()) {
+		t.Fatalf("CLI stderr does not carry the library's error verbatim:\nlib: %s\ncli: %s", libErr, errb.String())
+	}
+}
+
+// TestSweepSingleScenario runs one tiny cell end to end through the
+// CLI: stdout reports verified=true, the scorecard lands on disk, and
+// a second sweep reproduces it byte-for-byte.
+func TestSweepSingleScenario(t *testing.T) {
+	dir := writeCatalog(t, map[string]string{"cli-calm.json": calmJSON})
+	outPath := filepath.Join(t.TempDir(), "score.json")
+
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "-out", outPath, "-state-dir", t.TempDir()}, &out, &errb)
+	if code != naspipe.ExitOK {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "verified=true") {
+		t.Fatalf("stdout lacks verified=true:\n%s", out.String())
+	}
+	first, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out2 strings.Builder
+	if code := run([]string{"-dir", dir, "-out", outPath, "-state-dir", t.TempDir()}, &out2, &errb); code != naspipe.ExitOK {
+		t.Fatalf("second sweep exit %d", code)
+	}
+	second, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("scorecard differs across sweeps:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestFailedGateExitsNonzero: a scenario whose Expect block cannot hold
+// flips the exit code to 1 and prints the violated gate.
+func TestFailedGateExitsNonzero(t *testing.T) {
+	impossible := `{
+  "name": "cli-impossible",
+  "world": {"gpus": 2},
+  "workload": {"space": "NLP.c1", "subnets": 6, "seed": 3},
+  "expect": {"restarts": 5}
+}
+`
+	dir := writeCatalog(t, map[string]string{"cli-impossible.json": impossible})
+	var out, errb strings.Builder
+	code := run([]string{"-dir", dir, "-out", "-", "-state-dir", t.TempDir()}, &out, &errb)
+	if code != naspipe.ExitFailure {
+		t.Fatalf("exit %d, want %d (failure)", code, naspipe.ExitFailure)
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "scenario pins 5") {
+		t.Fatalf("stdout does not report the violated gate:\n%s", out.String())
+	}
+}
+
+// TestSelectionErrors: asking for a scenario the catalog lacks is a
+// usage error naming it.
+func TestSelectionErrors(t *testing.T) {
+	dir := writeCatalog(t, map[string]string{"cli-calm.json": calmJSON})
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "-scenario", "no-such"}, &out, &errb); code != naspipe.ExitUsage {
+		t.Fatalf("exit %d, want usage", code)
+	}
+	if !strings.Contains(errb.String(), "no-such") {
+		t.Fatalf("stderr does not name the missing scenario: %s", errb.String())
+	}
+}

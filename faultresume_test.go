@@ -2,7 +2,6 @@ package naspipe_test
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -10,6 +9,7 @@ import (
 
 	"naspipe"
 	"naspipe/internal/data"
+	"naspipe/internal/scenario"
 )
 
 // maxResumes bounds the crash-resume loop for rate-based schedules:
@@ -59,89 +59,39 @@ var seqReference struct {
 // {2,4,8} GPUs crashes, resumes from the persisted checkpoint (looping
 // while the fault plan keeps crashing the resumed incarnations), and
 // must land on final weights bitwise identical to the uninterrupted
-// sequential reference — verified by composing the committed sequential
-// prefix with the replayed suffix trace, plus the checkpoint plane's
-// own prefix-checksum verification on every Resume.
+// sequential reference. The hand-rolled resume loop moved into the
+// scenario plane (scenario.Run's operator loop, which also checks the
+// incarnation bump on every reload); each cell here is now a thin
+// wrapper over scenario.MatrixCell with the historical workload
+// geometry, and the verdicts are unchanged: at least one real crash,
+// full stream coverage, bitwise equality with the sequential reference.
 func TestCrashResumeMatrix(t *testing.T) {
-	cfg0 := crashCfg(2)
-	tc := crashTrainCfg(cfg0)
-	full := naspipe.SampleSubnets(cfg0.Space, cfg0.Seed, cfg0.NumSubnets)
-	seqReference.once.Do(func() {
-		seqReference.want = naspipe.TrainSequential(tc, full).Checksum
-	})
-	want := seqReference.want
-
 	for _, gpus := range []int{2, 4, 8} {
 		for _, sc := range crashSchedules {
 			gpus, sc := gpus, sc
 			t.Run(fmt.Sprintf("gpus=%d/%s", gpus, sc.name), func(t *testing.T) {
 				t.Parallel()
-				plan, err := naspipe.ParseFaultPlan(sc.spec)
+				s, err := scenario.MatrixCell(sc.name, sc.spec, gpus, false)
 				if err != nil {
-					t.Fatalf("plan: %v", err)
+					t.Fatalf("matrix cell: %v", err)
 				}
-				if plan.CrashTask != nil {
-					plan.CrashTask.Stage %= gpus
-				}
-				ckpt := filepath.Join(t.TempDir(), "run.ckpt")
-				r, err := naspipe.NewRunner(
-					naspipe.WithExecutor(naspipe.ExecutorConcurrent),
-					naspipe.WithTrace(true),
-					naspipe.WithFaults(plan),
-					naspipe.WithCheckpoint(ckpt),
-					naspipe.WithCheckpointTraining(tc),
-				)
+				cell, _, err := scenario.Run(context.Background(), s,
+					scenario.Options{StateDir: t.TempDir(), MaxResumes: maxResumes})
 				if err != nil {
-					t.Fatalf("runner: %v", err)
+					t.Fatalf("scenario run: %v", err)
 				}
-
-				ctx := context.Background()
-				cfg := crashCfg(gpus)
-				res, err := r.Run(ctx, cfg)
-				resumes := 0
-				for err != nil {
-					var crash *naspipe.CrashError
-					if !errors.As(err, &crash) {
-						t.Fatalf("non-crash failure after %d resumes: %v", resumes, err)
-					}
-					ck, lerr := naspipe.LoadCheckpoint(ckpt)
-					if lerr != nil {
-						t.Fatalf("checkpoint unreadable after crash: %v", lerr)
-					}
-					if ck.Incarnation != crash.Incarnation+1 {
-						t.Fatalf("crash at incarnation %d left checkpoint incarnation %d, want %d",
-							crash.Incarnation, ck.Incarnation, crash.Incarnation+1)
-					}
-					if resumes++; resumes > maxResumes {
-						t.Fatalf("still crashing after %d resumes (cursor %d/%d)", maxResumes, ck.Cursor, ck.NumSubnets)
-					}
-					res, err = r.Resume(ctx, cfg)
+				if len(cell.Failures) > 0 {
+					t.Fatalf("cell failed: %v", cell.Failures)
+				}
+				if !cell.Verified {
+					t.Fatal("final weights not bitwise-verified against the sequential reference")
 				}
 				// Every schedule must actually exercise crash-then-resume.
 				// Fault decisions are pure functions of (seed, incarnation,
 				// site), so this is deterministic, not flaky: the seeds above
 				// are chosen to crash at every tested depth.
-				if resumes == 0 {
+				if cell.Restarts == 0 {
 					t.Fatalf("schedule %q never crashed on %d GPUs", sc.spec, gpus)
-				}
-				if res.BaseSeq+res.Completed != cfg.NumSubnets {
-					t.Fatalf("final run covers [%d, %d), want end %d", res.BaseSeq, res.BaseSeq+res.Completed, cfg.NumSubnets)
-				}
-
-				// Bitwise composition: sequential prefix at the final base,
-				// then the resumed suffix's canonical trace replayed on it.
-				prefix := naspipe.TrainSequential(tc, full[:res.BaseSeq])
-				got := prefix.Checksum
-				if res.BaseSeq < len(full) {
-					rep, rerr := naspipe.TrainReplayOn(tc, prefix.Net, full[res.BaseSeq:], res.Trace)
-					if rerr != nil {
-						t.Fatalf("suffix replay: %v", rerr)
-					}
-					got = rep.Checksum
-				}
-				if got != want {
-					t.Fatalf("after %d resumes final weights %016x diverge from sequential reference %016x",
-						resumes, got, want)
 				}
 			})
 		}

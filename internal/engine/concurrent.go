@@ -248,6 +248,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.SeqBase < 0 {
 		return Result{}, fmt.Errorf("engine: negative SeqBase %d", cfg.SeqBase)
 	}
+	if err := cfg.validateTiming(); err != nil {
+		return Result{}, err
+	}
 	w, err := NewWorld(cfg, PartitionBalanced)
 	if err != nil {
 		return Result{}, err
@@ -1047,19 +1050,31 @@ func (c *ccRun) runForward(ctx context.Context, s *ccStage) bool {
 	return true
 }
 
+// ccStraggleUnit is the wall-clock cost of one unit of excess stage
+// slowness on the concurrent plane: a stage with speed factor s sleeps
+// (s−1)·ccStraggleUnit per task, making a declared straggler a real
+// wall-clock straggler without stretching test runtimes.
+const ccStraggleUnit = 25 * time.Microsecond
+
 // compute stands in for the stage's kernel work. With TimingJitter set it
 // sleeps a deterministic pseudo-random duration (up to ~50µs scaled by the
 // jitter magnitude) keyed by (JitterSeed, task) — real wall-clock
 // perturbation, modeling foreign hardware exactly as the simulator's
-// jitter does. Without jitter it still yields to the Go scheduler so
-// stage interleavings stay adversarial rather than lockstep.
+// jitter does. StageSpeeds add a per-stage deterministic slowdown on
+// top (heterogeneous clusters, stragglers). Without either it still
+// yields to the Go scheduler so stage interleavings stay adversarial
+// rather than lockstep.
 func (c *ccRun) compute(seq, stage int, kind task.Kind) {
+	var d time.Duration
 	if c.cfg.TimingJitter > 0 {
 		r := rng.Labeled(c.cfg.JitterSeed, fmt.Sprintf("ccjitter/%d/%d/%d", c.base+seq, stage, int(kind)))
-		d := time.Duration(c.cfg.TimingJitter * r.Float64() * float64(50*time.Microsecond))
-		if d > 0 {
-			time.Sleep(d)
-		}
+		d = time.Duration(c.cfg.TimingJitter * r.Float64() * float64(50*time.Microsecond))
+	}
+	if sp := c.cfg.StageSpeed(stage); sp > 1 {
+		d += time.Duration((sp - 1) * float64(ccStraggleUnit))
+	}
+	if d > 0 {
+		time.Sleep(d)
 		return
 	}
 	runtime.Gosched()

@@ -52,6 +52,22 @@ type Config struct {
 	TimingJitter float64
 	JitterSeed   uint64
 
+	// StageSpeeds models a heterogeneous cluster: every task on stage k
+	// takes StageSpeeds[k]× its baseline compute time (1.0 = the paper's
+	// testbed GPU; 2.0 = a straggler at half speed). Entries beyond the
+	// pipeline depth are ignored and missing entries mean 1.0, so an
+	// elastic resume at reduced depth keeps the surviving stages' speeds.
+	// Like TimingJitter this perturbs timing only: the CSP schedule — and
+	// with it the training result — is invariant under any speed
+	// assignment, which the scenario conformance suite pins.
+	StageSpeeds []float64
+
+	// SimCacheFactor overrides the policy's declared cache provisioning
+	// factor on the simulated plane (0 keeps the policy's traits). The
+	// scenario compiler uses it so one declarative cache budget drives
+	// both planes; the concurrent plane takes ConcurrentMem.CacheFactor.
+	SimCacheFactor float64
+
 	// ConcurrentMem configures the concurrent execution plane's per-stage
 	// memory context (the prefetching layer cache and the Algorithm 3
 	// predictor). The simulated plane ignores it — there the memory model
@@ -155,6 +171,30 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+// StageSpeed returns stage k's compute-time multiplier (1.0 when the
+// cluster is homogeneous or k is beyond the declared speeds).
+func (c Config) StageSpeed(k int) float64 {
+	if k >= 0 && k < len(c.StageSpeeds) {
+		return c.StageSpeeds[k]
+	}
+	return 1
+}
+
+// validateTiming rejects timing-perturbation parameters that would make
+// a run unschedulable rather than merely slower: non-positive stage
+// speeds and negative cache overrides. Shared by both execution planes.
+func (c Config) validateTiming() error {
+	for k, v := range c.StageSpeeds {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("engine: StageSpeeds[%d] = %v; speeds must be positive and finite", k, v)
+		}
+	}
+	if c.SimCacheFactor < 0 {
+		return fmt.Errorf("engine: negative SimCacheFactor %v", c.SimCacheFactor)
+	}
+	return nil
 }
 
 // Result carries everything the paper's tables and figures report about
@@ -382,7 +422,14 @@ func RunContext(ctx context.Context, cfg Config, policy Policy) (Result, error) 
 	if cfg.Probe != nil {
 		return Result{}, fmt.Errorf("engine: the health probe (Probe) is a concurrent-plane feature; the simulated clock has no live run to watch")
 	}
-	e := &Engine{cfg: cfg, policy: policy, traits: policy.Traits(), tel: cfg.Telemetry}
+	if err := cfg.validateTiming(); err != nil {
+		return Result{}, err
+	}
+	traits := policy.Traits()
+	if cfg.SimCacheFactor > 0 {
+		traits.CacheFactor = cfg.SimCacheFactor
+	}
+	e := &Engine{cfg: cfg, policy: policy, traits: traits, tel: cfg.Telemetry}
 	if err := e.buildWorld(); err != nil {
 		return Result{}, err
 	}
@@ -811,10 +858,10 @@ func (e *Engine) admit(k int, t task.Task) {
 		}
 	}
 	x := &execState{t: t, ids: ids, availableAt: readyAt, stallMs: readyAt - e.now, startedAt: e.now}
-	jitter := 1.0
+	jitter := e.cfg.StageSpeed(k)
 	if e.cfg.TimingJitter > 0 {
 		r := rng.Labeled(e.cfg.JitterSeed, fmt.Sprintf("jitter/%d/%d/%d", t.Subnet, t.Stage, int(t.Kind)))
-		jitter = 1 + e.cfg.TimingJitter*(2*r.Float64()-1)
+		jitter *= 1 + e.cfg.TimingJitter*(2*r.Float64()-1)
 	}
 	for _, id := range ids {
 		m := e.w.Net.Meta[id]

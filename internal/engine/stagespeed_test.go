@@ -1,0 +1,82 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"naspipe/internal/engine"
+	"naspipe/internal/sched"
+	"naspipe/internal/supernet"
+)
+
+func mustPolicy(t *testing.T, name string) engine.Policy {
+	t.Helper()
+	p, err := sched.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStageSpeedsSimulatedTraceInvariant pins the scenario plane's
+// heterogeneous-cluster guarantee on the simulated executor: a straggler
+// stage stretches the wall-clock timeline (and may reorder independent
+// layers globally) but leaves the CSP per-layer access order — and
+// therefore the training result — untouched.
+func TestStageSpeedsSimulatedTraceInvariant(t *testing.T) {
+	base := smallCfg(supernet.NLPc3, 4, 20)
+	base.RecordTrace = true
+	even := run(t, "naspipe", base)
+
+	slow := base
+	slow.StageSpeeds = []float64{1, 4, 1, 1}
+	straggled := run(t, "naspipe", slow)
+
+	if !even.Trace.PerLayerEqual(straggled.Trace) {
+		t.Fatal("straggler stage changed the per-layer CSP access order")
+	}
+	if straggled.TotalMs <= even.TotalMs {
+		t.Fatalf("4x straggler did not slow the simulated timeline: %v <= %v",
+			straggled.TotalMs, even.TotalMs)
+	}
+}
+
+// TestStageSpeedsConcurrentTraceInvariant runs the concurrent executor
+// on a skewed cluster (one straggler stage, jitter on top) and checks
+// the run still emits the sequential reference trace bitwise.
+func TestStageSpeedsConcurrentTraceInvariant(t *testing.T) {
+	cfg := ccCfg(4, true)
+	cfg.StageSpeeds = []float64{1, 3, 1, 2}
+	seq := run(t, "sequential", cfg)
+	cc, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("concurrent run: %v", err)
+	}
+	if cc.Completed != cfg.NumSubnets {
+		t.Fatalf("completed %d/%d", cc.Completed, cfg.NumSubnets)
+	}
+	if !cc.Trace.Equal(seq.Trace) {
+		t.Fatal("concurrent trace on a heterogeneous cluster diverged from the sequential reference")
+	}
+}
+
+// TestStageSpeedsValidation: both planes reject non-positive speed
+// factors; entries beyond the pipeline depth are tolerated (elastic
+// resumes run at reduced depth with the original speed list).
+func TestStageSpeedsValidation(t *testing.T) {
+	cfg := smallCfg(supernet.NLPc3, 2, 8)
+	cfg.StageSpeeds = []float64{1, 0}
+	if _, err := engine.RunContext(context.Background(), cfg, mustPolicy(t, "naspipe")); err == nil {
+		t.Error("simulated plane accepted a zero stage speed")
+	}
+	cfg.StageSpeeds = []float64{1, -2}
+	if _, err := engine.RunConcurrent(context.Background(), cfg); err == nil {
+		t.Error("concurrent plane accepted a negative stage speed")
+	}
+
+	cfg.StageSpeeds = []float64{1, 2, 3, 4} // longer than D=2: extra entries ignored
+	res := run(t, "naspipe", cfg)
+	if res.Failed || res.Deadlock || res.Completed != 8 {
+		t.Fatalf("overlong speed list broke the run: %+v", res)
+	}
+}

@@ -56,6 +56,23 @@ func (t TaskRef) String() string {
 	return fmt.Sprintf("%d:%d:%s", t.Stage, t.Seq, k)
 }
 
+// StormEvent is one entry of a deterministic fault storm: a targeted
+// crash (or wedge) pinned to a specific restart incarnation. Where the
+// one-shot CrashTask fires only in incarnation 0, a storm schedules the
+// whole outage sequence up front — entry k fires when incarnation k
+// reaches its task boundary — so a multi-crash scenario has an exact,
+// replayable restart count and recovery provably terminates once the
+// last scheduled incarnation is past.
+type StormEvent struct {
+	Incarnation int
+	Task        TaskRef
+	Wedge       bool // hang instead of crash (watchdog fixture)
+}
+
+func (e StormEvent) String() string {
+	return fmt.Sprintf("%d:%s", e.Incarnation, e.Task)
+}
+
 // Plan is a deterministic, seed-driven fault schedule. The zero value
 // injects nothing; rates are per-decision probabilities in [0, 1].
 type Plan struct {
@@ -78,6 +95,14 @@ type Plan struct {
 	// against. Like CrashTask it fires in incarnation 0 only, so a
 	// resume after the watchdog cuts a checkpoint gets past it.
 	WedgeTask *TaskRef
+
+	// Storm is a multi-incarnation targeted schedule: each entry fires
+	// at its own incarnation's named task boundary (crash, or wedge when
+	// Wedge is set). Unlike rate-based crashes — whose restart count
+	// depends on which racing site rolls first — a storm's restart count
+	// equals the number of incarnations it covers, exactly, on every
+	// run; the scenario plane's scorecards depend on that.
+	Storm []StormEvent
 
 	// Message faults, applied per delivery attempt of every cross-stage
 	// activation (forward) and gradient (backward) transfer. A dropped
@@ -113,6 +138,7 @@ const (
 // Enabled reports whether the plan injects any fault at all.
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.CrashRate > 0 || p.CrashTask != nil || p.WedgeTask != nil ||
+		len(p.Storm) > 0 ||
 		p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 || p.FetchFailRate > 0)
 }
 
@@ -151,6 +177,13 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("fault: malformed wedge task %+v", *t)
 		}
 	}
+	for i, ev := range p.Storm {
+		t := ev.Task
+		if ev.Incarnation < 0 || t.Stage < 0 || t.Seq < 0 ||
+			(t.Kind != KindForward && t.Kind != KindBackward) {
+			return fmt.Errorf("fault: malformed storm entry %d: %+v", i, ev)
+		}
+	}
 	return nil
 }
 
@@ -177,7 +210,10 @@ func (p Plan) withDefaults() Plan {
 //	seed=7,drop=0.05,delay=0.02,dup=0.01,crash=0.005,fetchfail=0.1,
 //	crashat=2:30:B,maxdelay=200us,retries=4,backoff=50us
 //
-// crashat is stage:seq:kind with kind F or B. Unknown keys are errors.
+// crashat/wedgeat take stage:seq:kind with kind F or B (the one-shot
+// incarnation-0 target), or incarnation:stage:seq:kind to append a
+// storm entry pinned to that incarnation; repeating the key builds the
+// full storm. Unknown keys are errors.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, kv := range strings.Split(spec, ",") {
@@ -212,13 +248,9 @@ func ParsePlan(spec string) (*Plan, error) {
 		case "retries":
 			p.MaxRetries, err = strconv.Atoi(val)
 		case "crashat":
-			var t *TaskRef
-			t, err = parseTaskRef(val)
-			p.CrashTask = t
+			err = p.addTargeted(val, false)
 		case "wedgeat":
-			var t *TaskRef
-			t, err = parseTaskRef(val)
-			p.WedgeTask = t
+			err = p.addTargeted(val, true)
 		default:
 			return nil, fmt.Errorf("fault: unknown plan key %q (known: seed, crash, crashat, wedgeat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)", key)
 		}
@@ -230,6 +262,41 @@ func ParsePlan(spec string) (*Plan, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// addTargeted parses a crashat/wedgeat value. stage:seq:kind sets the
+// one-shot incarnation-0 target; incarnation:stage:seq:kind appends a
+// storm entry pinned to that incarnation.
+func (p *Plan) addTargeted(val string, wedge bool) error {
+	if strings.Count(val, ":") == 3 {
+		parts := strings.SplitN(val, ":", 2)
+		inc, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return fmt.Errorf("bad incarnation %q: %w", parts[0], err)
+		}
+		t, err := parseTaskRef(parts[1])
+		if err != nil {
+			return err
+		}
+		p.Storm = append(p.Storm, StormEvent{Incarnation: inc, Task: *t, Wedge: wedge})
+		return nil
+	}
+	t, err := parseTaskRef(val)
+	if err != nil {
+		return err
+	}
+	if wedge {
+		if p.WedgeTask != nil {
+			return fmt.Errorf("duplicate wedgeat %q (pin storms to incarnations with inc:stage:seq:kind)", val)
+		}
+		p.WedgeTask = t
+	} else {
+		if p.CrashTask != nil {
+			return fmt.Errorf("duplicate crashat %q (pin storms to incarnations with inc:stage:seq:kind)", val)
+		}
+		p.CrashTask = t
+	}
+	return nil
 }
 
 func parseTaskRef(s string) (*TaskRef, error) {
@@ -274,6 +341,13 @@ func (p Plan) String() string {
 	}
 	if p.WedgeTask != nil {
 		add("wedgeat", p.WedgeTask.String())
+	}
+	for _, ev := range p.Storm {
+		k := "crashat"
+		if ev.Wedge {
+			k = "wedgeat"
+		}
+		add(k, ev.String())
 	}
 	rate("drop", p.DropRate)
 	rate("delay", p.DelayRate)
@@ -352,19 +426,36 @@ func (in *Injector) CrashAt(stage, seq int, kind int8) bool {
 		t.Stage == stage && t.Seq == seq && t.Kind == kind {
 		return true
 	}
+	if in.stormAt(stage, seq, kind, false) {
+		return true
+	}
 	if in.plan.CrashRate <= 0 {
 		return false
 	}
 	return in.roll(fmt.Sprintf("crash/%d/%d/%d/%d", in.incarnation, stage, seq, kind)) < in.plan.CrashRate
 }
 
+// stormAt reports whether a storm entry targets this incarnation's
+// (stage, seq, kind) boundary with the given wedge disposition.
+func (in *Injector) stormAt(stage, seq int, kind int8, wedge bool) bool {
+	for _, ev := range in.plan.Storm {
+		if ev.Wedge == wedge && ev.Incarnation == in.incarnation &&
+			ev.Task == (TaskRef{Stage: stage, Seq: seq, Kind: kind}) {
+			return true
+		}
+	}
+	return false
+}
+
 // WedgeAt decides whether the stage hangs at the (stage, seq, kind)
 // task boundary until cancelled. Fires in incarnation 0 only, so runs
 // resumed after a watchdog-cut checkpoint are not re-wedged.
 func (in *Injector) WedgeAt(stage, seq int, kind int8) bool {
-	t := in.plan.WedgeTask
-	return t != nil && in.incarnation == 0 &&
-		t.Stage == stage && t.Seq == seq && t.Kind == kind
+	if t := in.plan.WedgeTask; t != nil && in.incarnation == 0 &&
+		t.Stage == stage && t.Seq == seq && t.Kind == kind {
+		return true
+	}
+	return in.stormAt(stage, seq, kind, true)
 }
 
 // Message decides the fate of one delivery attempt of a cross-stage

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -30,8 +31,80 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		t.Fatalf("reparse crashat mismatch")
 	}
 	p2.CrashTask, p.CrashTask = nil, nil
-	if *p2 != *p {
+	if !reflect.DeepEqual(p2, p) {
 		t.Fatalf("reparse mismatch: %+v vs %+v", *p2, *p)
+	}
+}
+
+func TestParsePlanStormRoundTrip(t *testing.T) {
+	spec := "seed=9,crashat=1:2:F,crashat=1:2:9:F,wedgeat=2:0:14:B,crashat=3:1:16:B,drop=0.05"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	want := []StormEvent{
+		{Incarnation: 1, Task: TaskRef{Stage: 2, Seq: 9, Kind: KindForward}},
+		{Incarnation: 2, Task: TaskRef{Stage: 0, Seq: 14, Kind: KindBackward}, Wedge: true},
+		{Incarnation: 3, Task: TaskRef{Stage: 1, Seq: 16, Kind: KindBackward}},
+	}
+	if !reflect.DeepEqual(p.Storm, want) {
+		t.Fatalf("storm parsed wrong: %+v", p.Storm)
+	}
+	if p.CrashTask == nil || *p.CrashTask != (TaskRef{Stage: 1, Seq: 2, Kind: KindForward}) {
+		t.Fatalf("3-part crashat parsed wrong: %+v", p.CrashTask)
+	}
+	if !p.Enabled() {
+		t.Fatal("storm plan not Enabled")
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Fatalf("storm reparse mismatch:\n  %+v\n  %+v", *back, *p)
+	}
+}
+
+func TestParsePlanStormErrors(t *testing.T) {
+	for _, spec := range []string{
+		"crashat=x:2:9:F",             // bad incarnation
+		"crashat=-1:2:9:F",            // negative incarnation
+		"wedgeat=0:2:9:X",             // bad kind in storm entry
+		"crashat=1:2:F,crashat=1:3:F", // duplicate one-shot target
+		"wedgeat=1:2:F,wedgeat=1:3:F", // duplicate one-shot wedge
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q): want error, got nil", spec)
+		}
+	}
+	if err := (Plan{Storm: []StormEvent{{Incarnation: -1}}}).Validate(); err == nil {
+		t.Error("Validate accepted negative storm incarnation")
+	}
+	if err := (Plan{Storm: []StormEvent{{Task: TaskRef{Kind: 3}}}}).Validate(); err == nil {
+		t.Error("Validate accepted malformed storm task kind")
+	}
+}
+
+func TestStormFiresAtPinnedIncarnationOnly(t *testing.T) {
+	p := Plan{Seed: 3, Storm: []StormEvent{
+		{Incarnation: 1, Task: TaskRef{Stage: 2, Seq: 9, Kind: KindForward}},
+		{Incarnation: 2, Task: TaskRef{Stage: 0, Seq: 14, Kind: KindBackward}, Wedge: true},
+	}}
+	for inc := 0; inc < 4; inc++ {
+		in, err := NewInjector(p, inc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := in.CrashAt(2, 9, KindForward), inc == 1; got != want {
+			t.Errorf("incarnation %d: CrashAt(2,9,F) = %v, want %v", inc, got, want)
+		}
+		if got, want := in.WedgeAt(0, 14, KindBackward), inc == 2; got != want {
+			t.Errorf("incarnation %d: WedgeAt(0,14,B) = %v, want %v", inc, got, want)
+		}
+		// A crash entry never wedges and vice versa.
+		if in.WedgeAt(2, 9, KindForward) || in.CrashAt(0, 14, KindBackward) {
+			t.Errorf("incarnation %d: storm entry fired with wrong disposition", inc)
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"testing"
+
+	"naspipe"
+)
+
+// FuzzScenarioParse mirrors the root package's FuzzJobSpecJSON on the
+// scenario surface: whatever Parse accepts must Encode, re-Parse, and
+// re-Encode to identical bytes (Parse∘Encode is a fixed point), and the
+// second pass must stay accepted. Rejections must be structured — a
+// spec error naming a field, or a decode/trailing-data error — never a
+// panic.
+func FuzzScenarioParse(f *testing.F) {
+	if b, err := Encode(validScenario()); err == nil {
+		f.Add(string(b))
+	}
+	f.Add(`{"name":"calm","world":{"gpus":4},"workload":{"space":"NLP.c3","subnets":12,"seed":7}}`)
+	f.Add(`{"name":"storm","world":{"gpus":4,"stage_speeds":[1,3,1,2],"jitter":0.2},` +
+		`"workload":{"space":"NLP.c3","scale_blocks":8,"scale_choices":3,"subnets":18,"seed":7,"cache_factor":1.5,"predictor":true},` +
+		`"storm":{"faults":"seed=5,crashat=1:2:9:F,drop=0.05","supervise":{"max_restarts":10}},` +
+		`"expect":{"restarts":1}}`)
+	f.Add(`{"name":"multi","world":{"gpus":2},` +
+		`"workload":{"space":"NLP.c1","subnets":8,"seed":3,"arrival":"staggered",` +
+		`"jobs":[{"tenant":"a","delay_ms":5},{"tenant":"b","subnets":4,"faults":"seed=2,crashat=1:1:3:F"}]}}`)
+	f.Add(`{"scenario_version":"v1","name":"x","world":{"gpus":1},"workload":{"space":"NLP.c1","subnets":1,"seed":0}}`)
+	f.Add(`{"name":"BAD NAME","world":{"gpus":4},"workload":{"space":"NLP.c3","subnets":12,"seed":7}}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		s, err := Parse([]byte(raw))
+		if err != nil {
+			return // structured rejection; nothing more to hold
+		}
+		first, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to encode: %v\n%+v", err, s)
+		}
+		again, err := Parse(first)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\nbytes: %s", err, first)
+		}
+		second, err := Encode(again)
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if string(first) != string(second) {
+			t.Fatalf("Parse∘Encode is not a fixed point:\n first  %s\n second %s", first, second)
+		}
+	})
+}
+
+// TestSpecErrorsAreStructured pins the rejection contract the fuzzer
+// relies on: every invariant rejection unwraps to the shared spec-error
+// type with a non-empty field.
+func TestSpecErrorsAreStructured(t *testing.T) {
+	bad := []string{
+		`{"name":"x","world":{"gpus":0},"workload":{"space":"NLP.c1","subnets":4,"seed":1}}`,
+		`{"name":"x","world":{"gpus":2},"workload":{"space":"nope","subnets":4,"seed":1}}`,
+		`{"name":"x","world":{"gpus":2},"workload":{"space":"NLP.c1","subnets":4,"seed":1},"storm":{"faults":"zig"}}`,
+	}
+	for _, raw := range bad {
+		_, err := Parse([]byte(raw))
+		if err == nil {
+			t.Fatalf("accepted: %s", raw)
+		}
+		if naspipe.SpecField(err) == "" {
+			t.Fatalf("rejection of %s is not a structured spec error: %v", raw, err)
+		}
+	}
+}

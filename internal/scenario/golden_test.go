@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// catalogDir locates the repo's scenarios/ catalog from the package dir.
+const catalogDir = "../../scenarios"
+
+func loadCatalog(t *testing.T) []*Scenario {
+	t.Helper()
+	ents, err := os.ReadDir(catalogDir)
+	if err != nil {
+		t.Fatalf("scenario catalog missing: %v", err)
+	}
+	var scens []*Scenario
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		s, err := Load(filepath.Join(catalogDir, e.Name()))
+		if err != nil {
+			t.Fatalf("catalog file does not validate: %v", err)
+		}
+		scens = append(scens, s)
+	}
+	sort.Slice(scens, func(i, j int) bool { return scens[i].Name < scens[j].Name })
+	if len(scens) < 8 {
+		t.Fatalf("catalog has %d scenarios, the sweep contract wants >= 8", len(scens))
+	}
+	return scens
+}
+
+func sweep(t *testing.T, scens []*Scenario) []byte {
+	t.Helper()
+	cells := make([]Cell, 0, len(scens))
+	for _, s := range scens {
+		cell, _, err := Run(context.Background(), s, Options{StateDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("scenario %s: %v", s.Name, err)
+		}
+		if len(cell.Failures) > 0 {
+			t.Fatalf("scenario %s failed its gates: %v", s.Name, cell.Failures)
+		}
+		if !cell.Verified {
+			t.Fatalf("scenario %s not bitwise-verified", s.Name)
+		}
+		cells = append(cells, cell)
+	}
+	out, err := EncodeScorecard(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestScorecardGolden is the conformance sweep's determinism proof: two
+// full catalog sweeps, fresh state dirs, under whatever scheduling -race
+// and GOMAXPROCS throw at them, must produce byte-identical scorecards —
+// per-scenario checksums included. This is Definition 1 lifted from one
+// run to the whole catalog.
+func TestScorecardGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog sweep")
+	}
+	scens := loadCatalog(t)
+	first := sweep(t, scens)
+	second := sweep(t, scens)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("scorecard not byte-identical across sweeps:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+// TestCatalogFilesCanonical pins the catalog's hygiene: every committed
+// scenario file is in canonical form (Encode of its parse), so diffs
+// stay minimal and the fuzzer's fixed point covers exactly what ships.
+func TestCatalogFilesCanonical(t *testing.T) {
+	ents, err := os.ReadDir(catalogDir)
+	if err != nil {
+		t.Fatalf("scenario catalog missing: %v", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(catalogDir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		canon, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, canon) {
+			t.Errorf("%s is not canonical; re-encode it (go run ./cmd/naspipe-scenario -canon %s)", path, path)
+		}
+	}
+}

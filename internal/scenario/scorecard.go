@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cell is one scenario's scorecard row. Every field is deterministic at
+// a fixed seed: performance numbers come from the discrete-event
+// simulated plane (same world, same workload, fault-free), restart and
+// watchdog counts from targeted storm schedules, and the checksum from
+// the bitwise-verified weights. Wall-clock observations (sweep time,
+// recovery time) are deliberately NOT here — they go to the harness's
+// stdout log — so the scorecard file is byte-identical across runs,
+// machines, and GOMAXPROCS; CI diffs two sweeps to enforce it.
+type Cell struct {
+	Scenario string `json:"scenario"`
+	Jobs     int    `json:"jobs"`
+	GPUs     int    `json:"gpus"`
+	// Subnets is the total stream length across jobs.
+	Subnets int `json:"subnets"`
+	// Batch and the three performance columns are the simulated plane's
+	// deterministic model of this world/workload (see Run).
+	Batch                    int     `json:"batch"`
+	ThroughputSubnetsPerHour float64 `json:"throughput_subnets_per_hour"`
+	BubbleRatio              float64 `json:"bubble_ratio"`
+	// CacheHitRate is -1 when the memory plane is off.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Recovery columns, summed across jobs on the concurrent plane.
+	Restarts      int `json:"restarts"`
+	WatchdogFires int `json:"watchdog_fires"`
+	FinalGPUs     int `json:"final_gpus"`
+	// Verified: every job's weights matched the sequential reference
+	// bitwise. Checksum folds the per-job reference checksums.
+	Verified bool   `json:"verified"`
+	Checksum string `json:"checksum"`
+	// Failures lists violated expectation gates and verification
+	// errors; empty on a passing cell.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Scorecard is the sweep's machine-readable result: one cell per
+// scenario, sorted by name regardless of input order.
+type Scorecard struct {
+	ScorecardVersion int    `json:"scorecard_version"`
+	Cells            []Cell `json:"scenarios"`
+}
+
+// EncodeScorecard renders the canonical scorecard bytes: cells sorted
+// by scenario name, indented JSON, trailing newline. The golden test
+// pins byte identity of two independent sweeps through this encoder.
+func EncodeScorecard(cells []Cell) ([]byte, error) {
+	sorted := append([]Cell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Scenario < sorted[j].Scenario })
+	out, err := json.MarshalIndent(Scorecard{ScorecardVersion: 1, Cells: sorted}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// round6 quantizes a metric to 6 decimals: still deterministic (the
+// inputs already are), but stable to read and diff.
+func round6(v float64) float64 {
+	if v < 0 {
+		return v // -1 sentinel (cache off) passes through
+	}
+	return math.Round(v*1e6) / 1e6
+}
+
+// gate applies the scenario's Expect block to a finished cell,
+// appending one failure line per violated gate. The verification gate
+// defaults to true: a cell that did not prove bitwise equality fails
+// unless the scenario explicitly expects that.
+func gate(e *Expect, c *Cell) {
+	fail := func(format string, args ...any) {
+		c.Failures = append(c.Failures, fmt.Sprintf(format, args...))
+	}
+	wantVerified := true
+	if e != nil && e.Verified != nil {
+		wantVerified = *e.Verified
+	}
+	if c.Verified != wantVerified {
+		fail("verified = %v, scenario expects %v", c.Verified, wantVerified)
+	}
+	if e == nil {
+		return
+	}
+	if e.Restarts != nil && c.Restarts != *e.Restarts {
+		fail("restarts = %d, scenario pins %d", c.Restarts, *e.Restarts)
+	}
+	if e.MinRestarts > 0 && c.Restarts < e.MinRestarts {
+		fail("restarts = %d, scenario requires >= %d", c.Restarts, e.MinRestarts)
+	}
+	if e.WatchdogFires != nil && c.WatchdogFires != *e.WatchdogFires {
+		fail("watchdog fires = %d, scenario pins %d", c.WatchdogFires, *e.WatchdogFires)
+	}
+	if e.FinalGPUs > 0 && c.FinalGPUs != e.FinalGPUs {
+		fail("final gpus = %d, scenario pins %d", c.FinalGPUs, e.FinalGPUs)
+	}
+}

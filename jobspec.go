@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"naspipe/internal/data"
@@ -114,6 +115,15 @@ type SuperviseSpec struct {
 	// incidents attributed to one stage (0 = off). Implies elastic
 	// resume.
 	ElasticAfter int `json:"elastic_after,omitempty"`
+	// CrashLoopWindow declares the run crash-looping after this many
+	// consecutive restarts with no cursor advance (0 = default 3).
+	// Scenario storms that crash before the first commit raise it.
+	CrashLoopWindow int `json:"crash_loop_window,omitempty"`
+	// Backoff/BackoffMax bound the exponential delay between restart
+	// attempts (0 = defaults 5ms/250ms). Tight-loop test scenarios
+	// shrink them to keep sweeps fast.
+	Backoff    Duration `json:"backoff,omitempty"`
+	BackoffMax Duration `json:"backoff_max,omitempty"`
 }
 
 // JobSpec is the canonical, JSON-round-trippable description of one
@@ -157,6 +167,12 @@ type JobSpec struct {
 	// in [1-j, 1+j] keyed by JitterSeed; concurrent tasks really sleep.
 	Jitter     float64 `json:"jitter,omitempty"`
 	JitterSeed uint64  `json:"jitter_seed,omitempty"`
+	// StageSpeeds models a heterogeneous cluster: stage k's tasks take
+	// StageSpeeds[k]× their baseline compute time (1.0 = homogeneous,
+	// 2.0 = a straggler at half speed). Empty means homogeneous;
+	// otherwise one positive factor per GPU. Like Jitter this perturbs
+	// timing only — CSP keeps the training result bitwise invariant.
+	StageSpeeds []float64 `json:"stage_speeds,omitempty"`
 
 	// Trace forces parameter-access trace recording on or off; nil
 	// leaves it to the engine config (and Verify forces it on).
@@ -212,6 +228,15 @@ func SpecField(err error) string {
 		return e.Field
 	}
 	return ""
+}
+
+// SpecErrorf builds a field-attributed spec error of the shared type
+// SpecField reads. Layered spec surfaces (the scenario compiler) use it
+// so every configuration error in the system names its offending field
+// identically, whether it came from a JobSpec, a CLI flag set, or a
+// scenario file.
+func SpecErrorf(field, format string, args ...any) error {
+	return &specErr{Field: field, Msg: fmt.Sprintf(format, args...)}
 }
 
 // optionFacts is the single option-validation kernel shared by
@@ -325,6 +350,14 @@ func (s JobSpec) Validate() error {
 	if s.Jitter < 0 || s.Jitter >= 1 {
 		return &specErr{Field: "jitter", Msg: fmt.Sprintf("jitter must be in [0, 1), got %v", s.Jitter)}
 	}
+	if len(s.StageSpeeds) > 0 && len(s.StageSpeeds) != s.GPUs {
+		return &specErr{Field: "stage_speeds", Msg: fmt.Sprintf("want one speed factor per GPU (%d), got %d", s.GPUs, len(s.StageSpeeds))}
+	}
+	for k, v := range s.StageSpeeds {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return &specErr{Field: "stage_speeds", Msg: fmt.Sprintf("stage %d speed factor %v; factors must be positive and finite", k, v)}
+		}
+	}
 	kind, err := s.executorKind()
 	if err != nil {
 		return err
@@ -353,7 +386,8 @@ func (s JobSpec) Validate() error {
 		if kind != ExecutorConcurrent {
 			return &specErr{Field: "supervise", Msg: "supervision wraps the concurrent executor"}
 		}
-		if s.Supervise.MaxRestarts < 0 || s.Supervise.ElasticAfter < 0 || s.Supervise.StallTimeout < 0 {
+		if s.Supervise.MaxRestarts < 0 || s.Supervise.ElasticAfter < 0 || s.Supervise.StallTimeout < 0 ||
+			s.Supervise.CrashLoopWindow < 0 || s.Supervise.Backoff < 0 || s.Supervise.BackoffMax < 0 {
 			return &specErr{Field: "supervise", Msg: "negative supervision parameter"}
 		}
 	}
@@ -426,6 +460,15 @@ func (s JobSpec) SuperviseConfig() (SuperviseConfig, bool) {
 	if s.Supervise.MaxRestarts > 0 {
 		sc.MaxRestarts = s.Supervise.MaxRestarts
 	}
+	if s.Supervise.CrashLoopWindow > 0 {
+		sc.CrashLoopWindow = s.Supervise.CrashLoopWindow
+	}
+	if s.Supervise.Backoff > 0 {
+		sc.BackoffBase = time.Duration(s.Supervise.Backoff)
+	}
+	if s.Supervise.BackoffMax > 0 {
+		sc.BackoffMax = time.Duration(s.Supervise.BackoffMax)
+	}
 	sc.ElasticAfter = s.Supervise.ElasticAfter
 	return sc, true
 }
@@ -455,6 +498,7 @@ func (s JobSpec) Config() (Config, error) {
 		InflightLimit: s.Window,
 		TimingJitter:  s.Jitter,
 		JitterSeed:    s.JitterSeed,
+		StageSpeeds:   s.StageSpeeds,
 	}
 	if s.Trace != nil {
 		cfg.RecordTrace = *s.Trace

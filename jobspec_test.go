@@ -82,6 +82,19 @@ func TestJobSpecValidate(t *testing.T) {
 		{"zero gpus", func(s *JobSpec) { s.GPUs = 0 }, "gpus"},
 		{"negative subnets", func(s *JobSpec) { s.Subnets = -1 }, "subnets"},
 		{"jitter out of range", func(s *JobSpec) { s.Jitter = 1.0 }, "jitter"},
+		{"stage speeds ok", func(s *JobSpec) { s.StageSpeeds = []float64{1, 3, 1, 2} }, ""},
+		{"stage speeds wrong length", func(s *JobSpec) { s.StageSpeeds = []float64{1, 2} }, "stage_speeds"},
+		{"zero stage speed", func(s *JobSpec) { s.StageSpeeds = []float64{1, 0, 1, 1} }, "stage_speeds"},
+		{"negative stage speed", func(s *JobSpec) { s.StageSpeeds = []float64{1, 1, -1, 1} }, "stage_speeds"},
+		{"storm fault plan ok", func(s *JobSpec) { s.Faults = "seed=5,crashat=1:2:9:F,crashat=2:0:14:B" }, ""},
+		{"negative crash-loop window", func(s *JobSpec) {
+			s.Checkpoint = "x.ckpt"
+			s.Supervise = &SuperviseSpec{CrashLoopWindow: -1}
+		}, "supervise"},
+		{"negative restart backoff", func(s *JobSpec) {
+			s.Checkpoint = "x.ckpt"
+			s.Supervise = &SuperviseSpec{Backoff: -1}
+		}, "supervise"},
 		{"unknown executor", func(s *JobSpec) { s.Executor = "quantum" }, "executor"},
 		{"unknown policy", func(s *JobSpec) { s.Policy = "fifo" }, "policy"},
 		{"concurrent is CSP-only", func(s *JobSpec) { s.Policy = "gpipe" }, "policy"},
@@ -210,6 +223,8 @@ func FuzzJobSpecJSON(f *testing.F) {
 	f.Add(string(seed2))
 	f.Add(`{"space":"CV.c1","gpus":2,"subnets":4,"seed":9}`)
 	f.Add(`{"space":"NLP.c1","gpus":1,"subnets":1,"supervise":{"stall_timeout":"50ms"}}`)
+	f.Add(`{"space":"NLP.c1","executor":"concurrent","gpus":4,"subnets":8,"stage_speeds":[1,3,1,2],"faults":"seed=5,crashat=1:2:9:F"}`)
+	f.Add(`{"space":"NLP.c1","executor":"concurrent","gpus":2,"subnets":4,"checkpoint":"x.ckpt","supervise":{"crash_loop_window":25,"backoff":"100us","backoff_max":"1ms"}}`)
 	f.Fuzz(func(t *testing.T, raw string) {
 		var s JobSpec
 		if err := json.Unmarshal([]byte(raw), &s); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"naspipe"
+	"naspipe/internal/scenario"
 )
 
 // superviseTestConfig is the test baseline: generous budgets (the
@@ -61,43 +62,35 @@ func assertSupervisedBitwise(t *testing.T, res naspipe.Result) {
 // supervisor with zero operator intervention — crashes caught
 // in-process, resumed from the checkpoint — and the final weights stay
 // bitwise identical to the uninterrupted sequential reference.
+// The hand-rolled supervised loop moved into the scenario plane: each
+// cell is scenario.MatrixCell(..., supervised=true) — the same workload
+// geometry with the matrices' generous budgets attached as a
+// SuperviseSpec — run and bitwise-verified by scenario.Run.
 func TestSupervisedCrashMatrix(t *testing.T) {
 	for _, gpus := range []int{2, 4, 8} {
 		for _, sched := range crashSchedules {
 			gpus, sched := gpus, sched
 			t.Run(fmt.Sprintf("gpus=%d/%s", gpus, sched.name), func(t *testing.T) {
 				t.Parallel()
-				plan, err := naspipe.ParseFaultPlan(sched.spec)
+				s, err := scenario.MatrixCell(sched.name, sched.spec, gpus, true)
 				if err != nil {
-					t.Fatalf("plan: %v", err)
+					t.Fatalf("matrix cell: %v", err)
 				}
-				if plan.CrashTask != nil {
-					plan.CrashTask.Stage %= gpus
-				}
-				cfg := crashCfg(gpus)
-				r, err := naspipe.NewRunner(
-					naspipe.WithExecutor(naspipe.ExecutorConcurrent),
-					naspipe.WithTrace(true),
-					naspipe.WithFaults(plan),
-					naspipe.WithCheckpoint(filepath.Join(t.TempDir(), "run.ckpt")),
-					naspipe.WithCheckpointTraining(crashTrainCfg(cfg)),
-				)
+				cell, _, err := scenario.Run(context.Background(), s, scenario.Options{StateDir: t.TempDir()})
 				if err != nil {
-					t.Fatalf("runner: %v", err)
+					t.Fatalf("scenario run: %v", err)
 				}
-				res, rep, err := r.RunSupervised(context.Background(), cfg, superviseTestConfig())
-				if err != nil {
-					t.Fatalf("supervised run failed (%d restarts):\n%v", rep.Restarts, err)
+				if len(cell.Failures) > 0 {
+					t.Fatalf("supervised cell failed: %v", cell.Failures)
 				}
-				if rep.FinalState != naspipe.HealthDone {
-					t.Fatalf("final state %v, want done", rep.FinalState)
+				if !cell.Verified {
+					t.Fatal("supervised weights not bitwise-verified against the sequential reference")
 				}
 				// Every schedule crashes at incarnation 0 (pinned by
 				// TestCrashResumeMatrix), so supervision must have restarted.
-				if rep.Restarts < 1 || len(rep.Incidents) != rep.Restarts {
-					t.Fatalf("restarts=%d incidents=%d — schedule never exercised recovery", rep.Restarts, len(rep.Incidents))
+				if cell.Restarts < 1 {
+					t.Fatalf("schedule %q never exercised supervised recovery on %d GPUs", sched.spec, gpus)
 				}
-				assertSupervisedBitwise(t, res)
 			})
 		}
 	}
