@@ -91,15 +91,22 @@ func main() {
 	}
 }
 
-// printFaultTimeline reconstructs the failure timeline from the fault-
-// and health-category events of a telemetry log: every injected fault
-// (crash, wedge, drop, delay, duplicate, fetch failure), every persisted
-// checkpoint cut, and every supervisor health transition, in time order
-// with its site and payload.
+// printFaultTimeline reconstructs the failure timeline from the fault-,
+// health- and link-category events of a telemetry log: every injected
+// fault (crash, wedge, drop, delay, duplicate, fetch failure), every
+// persisted checkpoint cut, every supervisor health transition, and
+// every transport-link disruption (frame drop, link cut, reconnect,
+// go-back-N retransmit), in time order with its site and payload.
+// Steady-state link-send/link-recv traffic stays out — it belongs to
+// the histogram, not the failure story.
 func printFaultTimeline(evs []telemetry.Event, firstNs int64) {
 	var faults []telemetry.Event
 	for _, ev := range evs {
-		if c := ev.Op.Category(); c == "fault" || c == "health" {
+		switch ev.Op {
+		case telemetry.OpLinkSend, telemetry.OpLinkRecv:
+			continue
+		}
+		if c := ev.Op.Category(); c == "fault" || c == "health" || c == "link" {
 			faults = append(faults, ev)
 		}
 	}
@@ -131,9 +138,22 @@ func printFaultTimeline(evs []telemetry.Event, firstNs int64) {
 			from, to := telemetry.HealthFromTo(ev.Arg)
 			detail = fmt.Sprintf("%s → %s (incarnation %d)",
 				healthStateName(from), healthStateName(to), ev.Subnet)
+		case telemetry.OpLinkDrop:
+			detail = fmt.Sprintf("frame seq %d", ev.Arg)
+		case telemetry.OpLinkCut:
+			detail = fmt.Sprintf("after %d frames", ev.Arg)
+		case telemetry.OpLinkReconnect:
+			detail = fmt.Sprintf("attempt %d", ev.Arg)
+		case telemetry.OpLinkRetransmit:
+			detail = fmt.Sprintf("%d frames re-sent", ev.Arg)
 		}
-		fmt.Printf("  %10.3fms  stage %d  subnet %d%s  %-11s %s\n",
-			float64(ev.TsNs-firstNs)/1e6, ev.Stage, ev.Subnet, kind, ev.Op.String(), detail)
+		site := fmt.Sprintf("stage %d  subnet %d%s", ev.Stage, ev.Subnet, kind)
+		if ev.Op.Category() == "link" {
+			// Link events carry no subnet; Stage is the link's peer.
+			site = fmt.Sprintf("link peer %d", ev.Stage)
+		}
+		fmt.Printf("  %10.3fms  %-22s  %-15s %s\n",
+			float64(ev.TsNs-firstNs)/1e6, site, ev.Op.String(), detail)
 	}
 }
 

@@ -170,13 +170,14 @@ func catalogPaths(dir, only string) ([]string, error) {
 			want[n] = true
 		}
 	}
+	filtered := len(want) > 0
 	var paths []string
 	for _, e := range ents {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), ".json")
-		if len(want) > 0 && !want[name] {
+		if filtered && !want[name] {
 			continue
 		}
 		delete(want, name)

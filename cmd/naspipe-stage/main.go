@@ -1,0 +1,92 @@
+// Command naspipe-stage is one stage worker of the distributed
+// execution plane: it dials the coordinator, introduces itself with a
+// Hello, waits for its stage assignment, runs its slice of the
+// pipeline over the fault-tolerant transport link, and reports its
+// observed trace back for the global merge verification.
+//
+// Operators rarely run it by hand — `naspiped dist` launches one per
+// stage and relaunches the fleet after any death — but it is a plain
+// binary on purpose: kill -9 one mid-run and watch the coordinator
+// notice, tear down, and resume from the committed cursor.
+//
+// Usage:
+//
+//	naspipe-stage -addr 127.0.0.1:7420 -run r1 -stage 2 -incarnation 0
+//
+// Exit codes follow the naspipe contract:
+//
+//	0 — stage ran to completion and the coordinator released it
+//	1 — engine or transport failure
+//	2 — usage error
+//	3 — resumable: coordinator abort (fleet teardown before a
+//	    relaunch) or an injected crash the coordinator will resume
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"naspipe"
+	"naspipe/internal/distrib"
+)
+
+func main() {
+	os.Exit(int(run()))
+}
+
+func run() naspipe.ExitCode {
+	var (
+		addr        = flag.String("addr", "", "coordinator address to dial (required)")
+		runID       = flag.String("run", "", "run ID to join; must match the coordinator's (required)")
+		stage       = flag.Int("stage", -1, "pipeline stage this worker owns (required)")
+		incarnation = flag.Int("incarnation", 0, "fleet incarnation this worker belongs to")
+		heartbeat   = flag.Duration("heartbeat", 0, "liveness beacon period (0 = worker default)")
+		quiet       = flag.Bool("quiet", false, "suppress per-event worker logging")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "naspipe-stage: unexpected arguments %v\n", flag.Args())
+		return naspipe.ExitUsage
+	}
+	if *addr == "" || *runID == "" || *stage < 0 {
+		fmt.Fprintln(os.Stderr, "naspipe-stage: -addr, -run, and -stage are required")
+		return naspipe.ExitUsage
+	}
+
+	wc := distrib.WorkerConfig{
+		Addr: *addr, RunID: *runID,
+		Stage: *stage, Incarnation: *incarnation,
+		HeartbeatEvery: *heartbeat,
+	}
+	if !*quiet {
+		start := time.Now()
+		wc.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%7.3fs] "+format+"\n",
+				append([]any{time.Since(start).Seconds()}, args...)...)
+		}
+	}
+
+	// No SIGINT/SIGTERM handler on purpose: a stage worker's death is
+	// always abrupt from the coordinator's point of view — the drill
+	// this plane exists for is kill -9, which no handler survives.
+	err := distrib.RunWorker(context.Background(), wc)
+	switch {
+	case err == nil:
+		return naspipe.ExitOK
+	case distrib.Aborted(err):
+		fmt.Fprintf(os.Stderr, "naspipe-stage: %v\n", err)
+		return naspipe.ExitResumable
+	default:
+		var crash *naspipe.CrashError
+		if errors.As(err, &crash) {
+			fmt.Fprintf(os.Stderr, "naspipe-stage: injected crash: %v\n", err)
+			return naspipe.ExitResumable
+		}
+		fmt.Fprintf(os.Stderr, "naspipe-stage: %v\n", err)
+		return naspipe.ExitFailure
+	}
+}

@@ -31,8 +31,14 @@
 // restart, and verification. -log-format text keeps the legacy
 // human-readable lines.
 //
+// `naspiped dist` is a different mode entirely: instead of serving
+// HTTP it coordinates a multi-process training fleet — one
+// naspipe-stage OS process per pipeline stage over fault-tolerant TCP
+// links — and survives kill -9 of any worker by relaunching the fleet
+// from the committed checkpoint cursor (see cmd/naspiped/dist.go).
+//
 // Exit codes follow the naspipe contract: 0 clean shutdown, 1 runtime
-// failure, 2 usage error.
+// failure, 2 usage error (and, for dist, 3 resumable interruption).
 package main
 
 import (
@@ -50,6 +56,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "dist" {
+		os.Exit(int(distMain(os.Args[2:])))
+	}
 	var (
 		addr      = flag.String("addr", ":7419", "HTTP listen address for the /v1 API, /metrics, and /debug/")
 		stateDir  = flag.String("state-dir", "naspiped-state", "root directory for per-job specs, statuses, event logs, and checkpoints")

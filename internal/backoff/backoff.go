@@ -1,0 +1,47 @@
+// Package backoff is the one exponential-backoff policy shared by every
+// retry loop in the system: the supervision plane's restart delays, the
+// fault injector's dropped-message retries, and the transport plane's
+// per-link reconnect loops. One policy, one doubling rule, one cap —
+// three planes cannot drift apart on what "exponential backoff" means.
+package backoff
+
+import (
+	"context"
+	"time"
+)
+
+// Policy is a capped exponential-backoff schedule: Delay(0) = Base,
+// doubling per attempt, never exceeding Max. The zero value is unusable
+// on purpose — callers state their base and cap explicitly.
+type Policy struct {
+	Base time.Duration // first delay
+	Max  time.Duration // ceiling
+}
+
+// Delay returns the delay after the given zero-based failed attempt:
+// Base·2^attempt, capped at Max. Negative attempts clamp to 0.
+func (p Policy) Delay(attempt int) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// Sleep blocks for Delay(attempt), returning early with the context's
+// error on interruption — the interruptible form every supervised loop
+// (restart, reconnect) uses so shutdown is never held hostage by a
+// backoff timer.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,51 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayDoublesAndCaps(t *testing.T) {
+	p := Policy{Base: 5 * time.Millisecond, Max: 35 * time.Millisecond}
+	want := []time.Duration{
+		5 * time.Millisecond,  // attempt 0
+		10 * time.Millisecond, // 1
+		20 * time.Millisecond, // 2
+		35 * time.Millisecond, // 3: 40ms capped
+		35 * time.Millisecond, // 4: stays at the cap
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	if got := p.Delay(-3); got != p.Base {
+		t.Errorf("Delay(-3) = %v, want base %v", got, p.Base)
+	}
+	// A cap below the base still wins: the policy never sleeps past Max.
+	tight := Policy{Base: 10 * time.Millisecond, Max: 2 * time.Millisecond}
+	if got := tight.Delay(0); got != 2*time.Millisecond {
+		t.Errorf("capped Delay(0) = %v, want 2ms", got)
+	}
+}
+
+func TestSleepInterruptible(t *testing.T) {
+	p := Policy{Base: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+	// And an uninterrupted short sleep completes with nil.
+	if err := (Policy{Base: time.Microsecond, Max: time.Microsecond}).Sleep(context.Background(), 2); err != nil {
+		t.Fatalf("short Sleep: %v", err)
+	}
+}

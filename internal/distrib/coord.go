@@ -1,0 +1,676 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"naspipe"
+	"naspipe/internal/engine"
+	"naspipe/internal/fault"
+	"naspipe/internal/supervise"
+	"naspipe/internal/telemetry"
+	"naspipe/internal/trace"
+	"naspipe/internal/train"
+	"naspipe/internal/transport"
+)
+
+// CoordConfig parameterizes a coordinator. Spec, RunID, and Launcher
+// are required; everything else defaults.
+type CoordConfig struct {
+	// Spec is the job: the same versioned JobSpec the service API and
+	// CLIs speak. It must select the concurrent executor. The spec's
+	// Checkpoint path, Train plane, Supervise block, and Verify flag
+	// all apply — the coordinator is the durable half of the fleet.
+	Spec naspipe.JobSpec
+	// RunID names the run; worker Hellos must match it.
+	RunID string
+	// Addr is the listen address ("" = 127.0.0.1:0).
+	Addr string
+	// Launcher starts the stage workers each incarnation.
+	Launcher Launcher
+
+	// DeadAfter declares a worker dead when its heartbeats stop for
+	// this long (0 = 2s). Transient link cuts heal in milliseconds via
+	// reconnect, so anything that trips this is a real death.
+	DeadAfter time.Duration
+	// Resume starts from the spec's checkpoint file instead of fresh.
+	Resume bool
+
+	Tel *telemetry.Bus
+	Log func(format string, args ...any)
+}
+
+func (c CoordConfig) withDefaults() CoordConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2 * time.Second
+	}
+	return c
+}
+
+// Coordinator owns one distributed run: the durable cursor, the fleet
+// lifecycle, and the global verification.
+type Coordinator struct {
+	cfg      CoordConfig
+	spec     naspipe.JobSpec
+	specJSON []byte
+	plan     *fault.Plan // parsed spec.Faults (nil when none)
+
+	mu          sync.Mutex
+	cursor      int
+	incarnation int
+	rec         *fault.FileRecorder // nil without a checkpoint path
+}
+
+// NewCoordinator validates the configuration and builds a coordinator.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.RunID == "" {
+		return nil, fmt.Errorf("distrib: coordinator needs a RunID")
+	}
+	if cfg.Launcher == nil {
+		return nil, fmt.Errorf("distrib: coordinator needs a Launcher")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	if cfg.Spec.Executor != "concurrent" {
+		return nil, fmt.Errorf("distrib: the distributed plane runs the concurrent executor; spec says %q", cfg.Spec.Executor)
+	}
+	specJSON, err := json.Marshal(cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: encoding spec: %w", err)
+	}
+	var plan *fault.Plan
+	if cfg.Spec.Faults != "" {
+		if plan, err = fault.ParsePlan(cfg.Spec.Faults); err != nil {
+			return nil, fmt.Errorf("distrib: %w", err)
+		}
+	}
+	return &Coordinator{cfg: cfg, spec: cfg.Spec, specJSON: specJSON, plan: plan}, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log(format, args...)
+	}
+}
+
+func (c *Coordinator) state() (cursor, incarnation int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cursor, c.incarnation
+}
+
+// record applies a stage-0 consistency cut: the in-memory cursor
+// always advances (re-admission after a kill needs it even without a
+// checkpoint file), and the file recorder persists when configured.
+func (c *Coordinator) record(cut fault.Cut) error {
+	c.mu.Lock()
+	if cut.Cursor > c.cursor {
+		c.cursor = cut.Cursor
+	}
+	rec := c.rec
+	c.mu.Unlock()
+	if rec != nil {
+		return rec.Snapshot(cut)
+	}
+	return nil
+}
+
+// bump rolls the incarnation after an incident so the relaunched fleet
+// draws a fresh fault schedule.
+func (c *Coordinator) bump() error {
+	c.mu.Lock()
+	c.incarnation++
+	rec := c.rec
+	c.mu.Unlock()
+	if rec != nil {
+		return rec.Bump()
+	}
+	return nil
+}
+
+// Run executes the job to completion under supervision: launch fleet,
+// collect, and on any worker death relaunch from the committed cursor
+// until the stream finishes or the restart budget runs out. The
+// returned Result covers the final incarnation's suffix (BaseSeq tells
+// where it started); with spec.Verify the merged fleet trace has been
+// replayed against the sequential reference before Run returns.
+func (c *Coordinator) Run(ctx context.Context) (naspipe.Result, *supervise.Report, error) {
+	fullCfg, err := c.spec.Config()
+	if err != nil {
+		return naspipe.Result{}, &supervise.Report{}, err
+	}
+	if c.spec.Checkpoint != "" {
+		ident := fault.Checkpoint{
+			Space: c.spec.Space, Seed: c.spec.Seed, GPUs: c.spec.GPUs,
+			NumSubnets: c.spec.Subnets, JitterSeed: c.spec.JitterSeed,
+		}
+		if c.plan != nil {
+			ident.FaultSeed = c.plan.Seed
+		}
+		if c.cfg.Resume {
+			ck, lerr := fault.Load(c.spec.Checkpoint)
+			if lerr != nil {
+				return naspipe.Result{}, &supervise.Report{}, fmt.Errorf("distrib: resume: %w", lerr)
+			}
+			if ck.Space != c.spec.Space || ck.Seed != c.spec.Seed || ck.NumSubnets != c.spec.Subnets {
+				return naspipe.Result{}, &supervise.Report{}, fmt.Errorf("distrib: resume: checkpoint identity (space %s seed %d n %d) does not match the spec",
+					ck.Space, ck.Seed, ck.NumSubnets)
+			}
+			ident.Cursor, ident.Incarnation = ck.Cursor, ck.Incarnation
+			c.cursor, c.incarnation = ck.Cursor, ck.Incarnation
+		}
+		var weightFn func(int) uint64
+		if tc, ok := c.spec.TrainConfig(); ok {
+			weightFn = train.NewCheckpointer(tc, fullCfg.ResolveSubnets()).ChecksumAt
+		}
+		c.rec = fault.NewFileRecorder(c.spec.Checkpoint, ident, c.spec.CheckpointEvery, weightFn)
+		if err := c.rec.Init(); err != nil {
+			return naspipe.Result{}, &supervise.Report{}, fmt.Errorf("distrib: checkpoint init: %w", err)
+		}
+	}
+
+	scfg, ok := c.spec.SuperviseConfig()
+	if !ok {
+		scfg = supervise.Defaults()
+	}
+	scfg.Telemetry = c.cfg.Tel
+	scfg.Log = c.cfg.Log
+	inc := func(ctx context.Context, gpus int, probe *engine.RunProbe) (engine.Result, error) {
+		return c.incarnate(ctx, gpus, probe)
+	}
+	job := supervise.Job{
+		Run: inc, Resume: inc,
+		Cursor: func() (int, error) { cur, _ := c.state(); return cur, nil },
+		GPUs:   c.spec.GPUs, Total: c.spec.Subnets,
+	}
+	res, rep, err := supervise.Run(ctx, scfg, job)
+	if err != nil {
+		return res, rep, err
+	}
+	if c.spec.Verify {
+		tc, ok := c.spec.TrainConfig()
+		if !ok {
+			return res, rep, fmt.Errorf("distrib: verify requires a train spec")
+		}
+		sum, verr := naspipe.VerifyAgainstSequential(tc, fullCfg, res)
+		if verr != nil {
+			return res, rep, verr
+		}
+		c.logf("coordinator: resume verified: weights %016x match the sequential reference", sum)
+	}
+	return res, rep, nil
+}
+
+// workerExit is a process-watcher report: the stage whose process
+// ended, and how.
+type workerExit struct {
+	stage int
+	err   error
+}
+
+// fleetState is one incarnation's mutable bookkeeping, shared between
+// the relay pumps, the accept loop, and the main select loop.
+type fleetState struct {
+	mu        sync.Mutex
+	beats     []time.Time
+	lastTasks []int64
+	done      []*transport.Done
+	remaining int
+
+	allDone chan struct{}
+	deaths  chan workerExit
+	failed  chan *transport.Failed
+}
+
+func newFleetState(gpus int) *fleetState {
+	st := &fleetState{
+		beats:     make([]time.Time, gpus),
+		lastTasks: make([]int64, gpus),
+		done:      make([]*transport.Done, gpus),
+		remaining: gpus,
+		allDone:   make(chan struct{}),
+		deaths:    make(chan workerExit, gpus),
+		failed:    make(chan *transport.Failed, gpus),
+	}
+	now := time.Now()
+	for k := range st.beats {
+		st.beats[k] = now
+	}
+	return st
+}
+
+func (st *fleetState) beat(stage int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if stage >= 0 && stage < len(st.beats) {
+		st.beats[stage] = time.Now()
+	}
+}
+
+// taskDelta returns how many tasks the stage completed since its last
+// heartbeat (to feed the probe's monotone counter).
+func (st *fleetState) taskDelta(stage int, tasks int64) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if stage < 0 || stage >= len(st.lastTasks) {
+		return 0
+	}
+	d := tasks - st.lastTasks[stage]
+	if d < 0 {
+		d = 0
+	}
+	st.lastTasks[stage] = tasks
+	return d
+}
+
+func (st *fleetState) setDone(stage int, d *transport.Done) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if stage < 0 || stage >= len(st.done) || st.done[stage] != nil {
+		return
+	}
+	st.done[stage] = d
+	if st.remaining--; st.remaining == 0 {
+		close(st.allDone)
+	}
+}
+
+func (st *fleetState) isDone(stage int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return stage >= 0 && stage < len(st.done) && st.done[stage] != nil
+}
+
+// deadStage returns the first stage whose heartbeat is older than the
+// deadline and has not finished, or -1.
+func (st *fleetState) deadStage(deadAfter time.Duration) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := time.Now()
+	for k, b := range st.beats {
+		if st.done[k] == nil && now.Sub(b) > deadAfter {
+			return k
+		}
+	}
+	return -1
+}
+
+// incarnate runs one fleet incarnation: listen, launch one worker per
+// stage, relay frames, and either collect every Done (success) or
+// convert the first death into a *fault.CrashError after tearing the
+// fleet down (the supervision plane resumes from the committed
+// cursor).
+func (c *Coordinator) incarnate(parent context.Context, gpus int, probe *engine.RunProbe) (engine.Result, error) {
+	cursor, incNo := c.state()
+	total := c.spec.Subnets
+	start := time.Now()
+	res := engine.Result{
+		Policy: "NASPipe-CC-dist", Space: c.spec.Space, D: gpus,
+		BaseSeq: cursor,
+	}
+	if cursor >= total {
+		// The previous incarnation's crash landed after the final
+		// commit; nothing left to run.
+		res.Completed = 0
+		return res, nil
+	}
+	probe.Attach(gpus, cursor)
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return res, fmt.Errorf("distrib: listen %s: %w", c.cfg.Addr, err)
+	}
+	defer ln.Close()
+
+	// The transport fault plane injects on the coordinator-side links
+	// only — one deterministic site per (incarnation, stage, seqno),
+	// like the engine's per-task fault sites.
+	var inj *fault.Injector
+	if c.plan != nil && c.plan.TransportEnabled() {
+		if inj, err = fault.NewInjector(*c.plan, incNo); err != nil {
+			return res, err
+		}
+	}
+	links := make([]*transport.Link, gpus)
+	for k := range links {
+		links[k] = transport.NewLink(transport.LinkConfig{
+			Local: transport.Coordinator, Peer: k,
+			Injector: inj, Tel: c.cfg.Tel,
+		})
+	}
+	defer func() {
+		for _, l := range links {
+			l.Close()
+		}
+	}()
+
+	st := newFleetState(gpus)
+	go c.acceptLoop(ctx, ln, links, gpus, cursor, incNo, st)
+	var pumps sync.WaitGroup
+	for k := range links {
+		pumps.Add(1)
+		go func(k int) {
+			defer pumps.Done()
+			c.pump(ctx, k, links, probe, st)
+		}(k)
+	}
+
+	procs := make([]Process, gpus)
+	addr := ln.Addr().String()
+	for k := range procs {
+		p, lerr := c.cfg.Launcher.Start(ctx, WorkerSpec{
+			Addr: addr, RunID: c.cfg.RunID, Stage: k, Incarnation: incNo,
+		})
+		if lerr != nil {
+			c.killFleet(procs, links, "launch failed")
+			return res, fmt.Errorf("distrib: %w", lerr)
+		}
+		procs[k] = p
+		go func(k int, p Process) {
+			werr := p.Wait()
+			select {
+			case st.deaths <- workerExit{stage: k, err: werr}:
+			case <-ctx.Done():
+			}
+		}(k, p)
+	}
+	c.logf("coordinator: incarnation %d: fleet of %d launched (cursor %d/%d) on %s", incNo, gpus, cursor, total, addr)
+
+	deadTick := time.NewTicker(c.cfg.DeadAfter / 4)
+	defer deadTick.Stop()
+	incident := func(stage int, why string) (engine.Result, error) {
+		c.logf("coordinator: incarnation %d: stage %d died (%s); tearing fleet down", incNo, stage, why)
+		c.killFleet(procs, links, why)
+		cancel()
+		pumps.Wait()
+		if berr := c.bump(); berr != nil {
+			return res, fmt.Errorf("distrib: recording crash incarnation: %w", berr)
+		}
+		cur, _ := c.state()
+		return res, &fault.CrashError{Stage: stage, Seq: cur, Incarnation: incNo}
+	}
+	for {
+		select {
+		case <-parent.Done():
+			c.killFleet(procs, links, "interrupted")
+			cancel()
+			pumps.Wait()
+			if berr := c.bump(); berr != nil {
+				return res, berr
+			}
+			return res, parent.Err()
+		case <-st.allDone:
+			c.broadcast(links, "complete")
+			c.reapFleet(procs)
+			cancel()
+			pumps.Wait()
+			return c.finish(res, gpus, cursor, st, start)
+		case f := <-st.failed:
+			if f.Kind == "crash" {
+				return res, c.incidentErr(procs, links, &pumps, cancel,
+					&fault.CrashError{Stage: f.Stage, Seq: f.Seq, Kind: 0, Incarnation: f.Incarnation})
+			}
+			// A non-crash worker failure (spec rejected, transport
+			// poisoned) is not survivable by relaunch.
+			c.killFleet(procs, links, "worker failed")
+			cancel()
+			pumps.Wait()
+			return res, fmt.Errorf("distrib: stage %d failed: %s", f.Stage, f.Msg)
+		case we := <-st.deaths:
+			if st.isDone(we.stage) {
+				continue // clean exit after Done — expected
+			}
+			return incident(we.stage, fmt.Sprintf("process exited: %v", we.err))
+		case <-deadTick.C:
+			if k := st.deadStage(c.cfg.DeadAfter); k >= 0 {
+				return incident(k, fmt.Sprintf("no heartbeat for %v", c.cfg.DeadAfter))
+			}
+		}
+	}
+}
+
+// incidentErr tears the fleet down and returns the crash error after
+// bumping the incarnation — the Failed-frame twin of incident above.
+func (c *Coordinator) incidentErr(procs []Process, links []*transport.Link, pumps *sync.WaitGroup,
+	cancel context.CancelFunc, crash *fault.CrashError) error {
+	c.logf("coordinator: stage %d reported crash at seq %d; tearing fleet down", crash.Stage, crash.Seq)
+	c.killFleet(procs, links, "fleet restart")
+	cancel()
+	pumps.Wait()
+	if berr := c.bump(); berr != nil {
+		return fmt.Errorf("distrib: recording crash incarnation: %w", berr)
+	}
+	return crash
+}
+
+// finish assembles the incarnation's Result from the fleet's Done
+// reports: stage 0's completion count is authoritative, and the
+// workers' observed traces merge topologically into the global
+// observation the verification plane replays.
+func (c *Coordinator) finish(res engine.Result, gpus, cursor int, st *fleetState, start time.Time) (engine.Result, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	parts := make([]*trace.Trace, 0, gpus)
+	for k, d := range st.done {
+		if d == nil {
+			return res, fmt.Errorf("distrib: stage %d never reported done", k)
+		}
+		if k == 0 {
+			res.Completed = d.Completed
+		}
+		parts = append(parts, &trace.Trace{Events: d.Trace})
+	}
+	res.ObservedTrace = engine.MergeStageTraces(gpus, cursor, parts)
+	res.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if res.TotalMs > 0 {
+		res.SubnetsPerHour = float64(res.Completed) / (res.TotalMs / 3.6e6)
+	}
+	// The final cut normally lands before Done on the ordered link,
+	// but an unthrottled recorder is not guaranteed — commit the
+	// authoritative count.
+	final := cursor + res.Completed
+	if final > c.cursorLocked() {
+		c.mu.Lock()
+		if final > c.cursor {
+			c.cursor = final
+		}
+		c.mu.Unlock()
+	}
+	c.logf("coordinator: stream complete: %d subnets (cursor %d), %d trace events merged",
+		res.Completed, final, len(res.ObservedTrace.Events))
+	return res, nil
+}
+
+func (c *Coordinator) cursorLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cursor
+}
+
+// killFleet aborts and kills every worker. Abort is best-effort (the
+// dead one cannot hear it); Kill is not.
+func (c *Coordinator) killFleet(procs []Process, links []*transport.Link, why string) {
+	c.broadcast(links, why)
+	for _, p := range procs {
+		if p != nil {
+			p.Kill()
+		}
+	}
+}
+
+// reapFleet waits briefly for clean worker exits after a release
+// broadcast, then kills stragglers.
+func (c *Coordinator) reapFleet(procs []Process) {
+	deadline := time.After(2 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for _, p := range procs {
+			if p != nil {
+				p.Wait()
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		for _, p := range procs {
+			if p != nil {
+				p.Kill()
+			}
+		}
+	}
+}
+
+// broadcast sends an Abort to every connected worker.
+func (c *Coordinator) broadcast(links []*transport.Link, reason string) {
+	payload := transport.Abort{Reason: reason}.Encode()
+	for k, l := range links {
+		_ = l.Send(transport.Frame{
+			Type: transport.FrameAbort, From: transport.Coordinator, To: k,
+			Payload: payload,
+		})
+	}
+}
+
+// acceptLoop owns the listener: every inbound connection introduces
+// itself with a Hello, and the conn is attached to its stage's link.
+// Reconnects after a cut re-enter here — same handshake, same link,
+// and the link's reliability plane retransmits whatever the dead conn
+// lost. Stale incarnations (a zombie surviving a fleet kill) are
+// refused.
+func (c *Coordinator) acceptLoop(ctx context.Context, ln net.Listener, links []*transport.Link,
+	gpus, cursor, incNo int, st *fleetState) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed with the incarnation
+		}
+		go func(conn net.Conn) {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			f, err := transport.ReadFrame(conn)
+			if err != nil || f.Type != transport.FrameHello {
+				conn.Close()
+				return
+			}
+			h, err := transport.DecodeHello(f.Payload)
+			if err != nil || h.RunID != c.cfg.RunID || h.Stage < 0 || h.Stage >= gpus {
+				conn.Close()
+				return
+			}
+			if h.Incarnation != incNo {
+				// A zombie from before the fleet restart: refuse it.
+				transport.WriteFrame(conn, transport.Frame{
+					Type: transport.FrameAbort, From: transport.Coordinator, To: h.Stage,
+					Payload: transport.Abort{Reason: fmt.Sprintf("stale incarnation %d (current %d)", h.Incarnation, incNo)}.Encode(),
+				})
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			links[h.Stage].Attach(conn)
+			st.beat(h.Stage)
+			// (Re)issue the assignment. The worker acts on the first
+			// one it sees and ignores the rest.
+			_ = links[h.Stage].Send(transport.Frame{
+				Type: transport.FrameAssign, From: transport.Coordinator, To: h.Stage,
+				Payload: transport.Assign{
+					Stage: h.Stage, D: gpus, Cursor: cursor,
+					Incarnation: incNo, Spec: c.specJSON,
+				}.Encode(),
+			})
+		}(conn)
+	}
+}
+
+// pump relays one stage's inbound frames: engine traffic routes to its
+// destination stage (broadcasts fan out to everyone but the sender),
+// control frames feed the fleet state, the checkpoint recorder, and
+// the health probe.
+func (c *Coordinator) pump(ctx context.Context, k int, links []*transport.Link,
+	probe *engine.RunProbe, st *fleetState) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case f, ok := <-links[k].In():
+			if !ok {
+				return
+			}
+			switch f.Type {
+			case transport.FrameFwd, transport.FrameBwd, transport.FrameNote, transport.FrameFetch:
+				c.route(links, f)
+			case transport.FrameCut:
+				cut, err := transport.DecodeCut(f.Payload)
+				if err == nil {
+					if rerr := c.record(cut); rerr != nil {
+						c.logf("coordinator: checkpoint save failed: %v", rerr)
+					}
+				}
+			case transport.FrameHeartbeat:
+				h, err := transport.DecodeHeartbeat(f.Payload)
+				if err != nil {
+					continue
+				}
+				st.beat(h.Stage)
+				probe.AdvanceFrontier(h.Frontier)
+				health := engine.StageHealth{Stage: h.Stage, BlockedHead: -1, OwnerSubnet: -1}
+				delta := st.taskDelta(h.Stage, h.Tasks)
+				if delta == 0 {
+					probe.Publish(health, false)
+				}
+				for ; delta > 0; delta-- {
+					probe.Publish(health, true)
+				}
+			case transport.FrameDone:
+				d, err := transport.DecodeDone(f.Payload)
+				if err == nil {
+					st.setDone(k, &d)
+				}
+			case transport.FrameFailed:
+				fl, err := transport.DecodeFailed(f.Payload)
+				if err == nil {
+					select {
+					case st.failed <- &fl:
+					default:
+					}
+				}
+			}
+		}
+	}
+}
+
+// route forwards one engine frame to its destination link. Broadcast
+// fans out to every stage except the sender — the completion-note
+// pattern, with the coordinator doing the expansion so each worker
+// link carries exactly the frames its stage must see.
+func (c *Coordinator) route(links []*transport.Link, f transport.Frame) {
+	if f.To == transport.Broadcast {
+		for j := range links {
+			if j != f.From {
+				g := f
+				g.To = j
+				_ = links[j].Send(g)
+			}
+		}
+		return
+	}
+	if f.To >= 0 && f.To < len(links) {
+		_ = links[f.To].Send(f)
+	}
+}
+
+// ErrNotDistributed marks spec shapes the plane cannot run.
+var ErrNotDistributed = errors.New("distrib: spec does not describe a distributed run")

@@ -1,0 +1,188 @@
+// Package distrib is the distributed execution plane's control half:
+// a coordinator that owns a training run and a fleet of stage workers
+// that execute it, one OS process (or goroutine, under the in-process
+// launcher) per pipeline stage, connected in a TCP star.
+//
+// The topology is deliberately a star, not a mesh: every worker holds
+// exactly one fault-tolerant transport.Link to the coordinator, which
+// relays engine traffic by destination stage and expands broadcasts.
+// That puts every cross-stage frame through one choke point where the
+// deterministic fault plane can drop, cut, and partition links, and it
+// makes worker death observable in one place — a worker is declared
+// dead when its heartbeats stop arriving before the deadline or its
+// process exits without reporting a result.
+//
+// Recovery is the single-process supervision story lifted across
+// process boundaries. The coordinator is the only holder of durable
+// state: the stage-0 worker streams consistency cuts to it, and the
+// coordinator's checkpoint recorder persists them. When any worker
+// dies — a crash injected by the fault plane, a kill -9, a silent
+// hang — the coordinator tears the whole incarnation down, bumps the
+// incarnation, and relaunches the fleet from the committed cursor; the
+// suffix renumbers through SeqBase exactly as a single-process resume
+// does, so the merged result is bitwise identical to the uninterrupted
+// run (CSP, Definition 1).
+//
+// Verification composes across the fleet: each worker checks its local
+// per-layer projection inside the engine, reports its observed trace
+// in its Done frame, and the coordinator topologically merges the
+// fleet's traces (engine.MergeStageTraces) into one global observation
+// that replays against the sequential reference.
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"naspipe/internal/telemetry"
+)
+
+// WorkerSpec tells a launcher everything one stage worker needs to
+// join a run: where the coordinator listens, which run and incarnation
+// it is joining, and which stage it owns.
+type WorkerSpec struct {
+	Addr        string
+	RunID       string
+	Stage       int
+	Incarnation int
+}
+
+// Process is a launched worker. Wait blocks until the worker exits and
+// returns its terminal error; Kill terminates it abruptly (SIGKILL for
+// real processes) — the worker gets no chance to say goodbye, which is
+// the point: recovery must not depend on clean shutdown.
+type Process interface {
+	Wait() error
+	Kill() error
+}
+
+// Launcher starts stage workers. The coordinator launches one worker
+// per stage at every incarnation and kills the survivors when any
+// member of the fleet dies.
+type Launcher interface {
+	Start(ctx context.Context, w WorkerSpec) (Process, error)
+}
+
+// ExecLauncher runs each worker as a separate OS process — the real
+// deployment shape, and the one the kill -9 drill exercises.
+type ExecLauncher struct {
+	// Bin is the worker binary (naspipe-stage). Required.
+	Bin string
+	// Args are extra arguments appended after the standard set.
+	Args []string
+	// LogDir, when set, captures each worker's combined output to
+	// stage-<k>.inc<i>.log inside it.
+	LogDir string
+}
+
+type execProcess struct {
+	cmd *exec.Cmd
+	log *os.File
+}
+
+func (p *execProcess) Wait() error {
+	err := p.cmd.Wait()
+	if p.log != nil {
+		p.log.Close()
+	}
+	return err
+}
+
+func (p *execProcess) Kill() error {
+	// SIGKILL, not SIGTERM: the drill is surviving ungraceful death.
+	return p.cmd.Process.Kill()
+}
+
+// Start launches `Bin -addr A -run R -stage K -incarnation I [Args...]`.
+func (l *ExecLauncher) Start(ctx context.Context, w WorkerSpec) (Process, error) {
+	if l.Bin == "" {
+		return nil, fmt.Errorf("distrib: ExecLauncher needs a worker binary")
+	}
+	args := []string{
+		"-addr", w.Addr,
+		"-run", w.RunID,
+		"-stage", strconv.Itoa(w.Stage),
+		"-incarnation", strconv.Itoa(w.Incarnation),
+	}
+	args = append(args, l.Args...)
+	cmd := exec.Command(l.Bin, args...)
+	p := &execProcess{cmd: cmd}
+	if l.LogDir != "" {
+		f, err := os.Create(filepath.Join(l.LogDir,
+			fmt.Sprintf("stage-%d.inc%d.log", w.Stage, w.Incarnation)))
+		if err != nil {
+			return nil, fmt.Errorf("distrib: worker log: %w", err)
+		}
+		cmd.Stdout, cmd.Stderr = f, f
+		p.log = f
+	}
+	if err := cmd.Start(); err != nil {
+		if p.log != nil {
+			p.log.Close()
+		}
+		return nil, fmt.Errorf("distrib: launching stage %d: %w", w.Stage, err)
+	}
+	return p, nil
+}
+
+// InProcLauncher runs each worker as a goroutine inside this process —
+// same worker code, same TCP links, same frames on the wire; only the
+// process boundary is simulated. Kill cancels the worker's context
+// without any farewell frame, which from the coordinator's side is
+// indistinguishable from kill -9: the connection just dies.
+type InProcLauncher struct {
+	// Tel, when non-nil, receives every worker's link telemetry.
+	Tel *telemetry.Bus
+	// Log, when non-nil, receives worker log lines.
+	Log func(format string, args ...any)
+}
+
+type inprocProcess struct {
+	cancel context.CancelFunc
+	done   chan error
+
+	mu   sync.Mutex
+	err  error
+	dead bool
+}
+
+func (p *inprocProcess) Wait() error {
+	p.mu.Lock()
+	if p.dead {
+		defer p.mu.Unlock()
+		return p.err
+	}
+	p.mu.Unlock()
+	err := <-p.done
+	p.mu.Lock()
+	p.err, p.dead = err, true
+	p.mu.Unlock()
+	return err
+}
+
+func (p *inprocProcess) Kill() error {
+	p.cancel()
+	return nil
+}
+
+// Start runs RunWorker in a goroutine. The worker context is detached
+// from ctx's cancellation path only through Kill — exactly one way to
+// die, like a process.
+func (l *InProcLauncher) Start(ctx context.Context, w WorkerSpec) (Process, error) {
+	wctx, cancel := context.WithCancel(context.Background())
+	p := &inprocProcess{cancel: cancel, done: make(chan error, 1)}
+	go func() {
+		p.done <- RunWorker(wctx, WorkerConfig{
+			Addr: w.Addr, RunID: w.RunID,
+			Stage: w.Stage, Incarnation: w.Incarnation,
+			Tel: l.Tel, Log: l.Log,
+		})
+		cancel()
+	}()
+	return p, nil
+}

@@ -1,0 +1,213 @@
+package distrib_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"naspipe"
+	"naspipe/internal/distrib"
+	"naspipe/internal/engine"
+	"naspipe/internal/supervise"
+	"naspipe/internal/train"
+)
+
+// distSpec is the shared fleet job: small enough to run in CI, deep
+// enough (D=4) that every relay path — forwards, gradients, broadcast
+// notes — carries real traffic, with jitter so interleavings vary.
+func distSpec(t *testing.T, subnets int) naspipe.JobSpec {
+	t.Helper()
+	return naspipe.JobSpec{
+		Space: "NLP.c3", ScaleBlocks: 8, ScaleChoices: 3,
+		Executor: "concurrent", GPUs: 4, Subnets: subnets, Seed: 7,
+		Jitter: 0.3, JitterSeed: 11,
+		Train:  &naspipe.TrainSpec{Dim: 8, BatchSize: 2, LR: 0.05},
+		Verify: true,
+	}
+}
+
+func coordFor(t *testing.T, spec naspipe.JobSpec, runID string) *distrib.Coordinator {
+	t.Helper()
+	co, err := distrib.NewCoordinator(distrib.CoordConfig{
+		Spec: spec, RunID: runID,
+		Launcher: &distrib.InProcLauncher{Log: t.Logf},
+		Log:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// TestFleetMatchesSequentialBitwise is the distributed plane's core
+// guarantee: four stage workers over real TCP links, with timing
+// jitter, produce a merged trace whose replay is bitwise identical to
+// strict sequential training. The coordinator's Verify already
+// replays; this test re-derives the checksum independently too.
+func TestFleetMatchesSequentialBitwise(t *testing.T) {
+	spec := distSpec(t, 12)
+	co := coordFor(t, spec, "bitwise-test")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, rep, err := co.Run(ctx)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if rep.FinalState != supervise.Done {
+		t.Fatalf("final state %v, want Done", rep.FinalState)
+	}
+	if res.Completed != spec.Subnets {
+		t.Fatalf("completed %d/%d", res.Completed, spec.Subnets)
+	}
+	if res.BaseSeq != 0 || res.ObservedTrace == nil {
+		t.Fatalf("result shape: base %d, trace %v", res.BaseSeq, res.ObservedTrace != nil)
+	}
+
+	// Independent re-derivation: the merged fleet trace replays to the
+	// sequential reference's checksum on a fresh net.
+	tc, _ := spec.TrainConfig()
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := cfg.ResolveSubnets()
+	want := train.Sequential(tc, subs).Checksum
+	got, err := train.Replay(tc, subs, res.ObservedTrace)
+	if err != nil {
+		t.Fatalf("merged-trace replay: %v", err)
+	}
+	if got.Checksum != want {
+		t.Fatalf("fleet checksum %016x, want sequential %016x", got.Checksum, want)
+	}
+
+	// And the fleet agrees with the single-process concurrent plane.
+	sp, err := engine.RunConcurrent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Completed != res.Completed {
+		t.Fatalf("single-process completed %d, fleet %d", sp.Completed, res.Completed)
+	}
+}
+
+// TestFleetSurvivesWorkerKill is the kill -9 drill in miniature: a
+// mid-run abrupt kill of one stage worker (no farewell frame — the
+// connection just dies) must be detected, the fleet torn down and
+// relaunched from the committed cursor, and the final result must
+// still verify bitwise against the sequential reference.
+func TestFleetSurvivesWorkerKill(t *testing.T) {
+	spec := distSpec(t, 12)
+	spec.Checkpoint = filepath.Join(t.TempDir(), "fleet.ckpt")
+	spec.Supervise = &naspipe.SuperviseSpec{
+		MaxRestarts: 4, Backoff: naspipe.Duration(time.Millisecond),
+		BackoffMax: naspipe.Duration(5 * time.Millisecond),
+		// Kills before the first commit must not read as a crash loop.
+		CrashLoopWindow: 4,
+	}
+
+	killer := &killingLauncher{
+		InProcLauncher: distrib.InProcLauncher{Log: t.Logf},
+		victim:         2,
+		after:          30 * time.Millisecond,
+	}
+	co, err := distrib.NewCoordinator(distrib.CoordConfig{
+		Spec: spec, RunID: "kill-test", Launcher: killer, Log: t.Logf,
+		DeadAfter: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, rep, err := co.Run(ctx)
+	if err != nil {
+		t.Fatalf("fleet run with kill: %v\nincidents:\n%s", err, rep.Timeline())
+	}
+	if rep.Restarts < 1 {
+		t.Fatalf("expected at least one fleet restart, got %d", rep.Restarts)
+	}
+	if rep.FinalState != supervise.Done {
+		t.Fatalf("final state %v, want Done", rep.FinalState)
+	}
+	total := res.BaseSeq + res.Completed
+	if total != spec.Subnets {
+		t.Fatalf("resumed run covers %d/%d subnets (base %d + completed %d)",
+			total, spec.Subnets, res.BaseSeq, res.Completed)
+	}
+	// Verify already ran inside co.Run (spec.Verify). Pin the prefix
+	// composition independently: sequential prefix + replayed suffix.
+	tc, _ := spec.TrainConfig()
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := naspipe.VerifyAgainstSequential(tc, cfg, res); err != nil {
+		t.Fatalf("post-kill verification: %v", err)
+	}
+}
+
+// TestFleetResumeAcrossCoordinators models coordinator death: run a
+// fleet that gets killed mid-run, stop the whole coordinator, then
+// build a fresh one resuming from the checkpoint file.
+func TestFleetResumeAcrossCoordinators(t *testing.T) {
+	spec := distSpec(t, 10)
+	spec.Checkpoint = filepath.Join(t.TempDir(), "fleet.ckpt")
+
+	// Phase 1: interrupt the run by cancelling the coordinator once
+	// the run is mid-stream.
+	co1 := coordFor(t, spec, "resume-test")
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	_, _, err := co1.Run(ctx)
+	cancel()
+	if err == nil {
+		t.Skip("run finished before the interrupt; nothing to resume")
+	}
+
+	// Phase 2: a fresh coordinator resumes from the file.
+	co2, err := distrib.NewCoordinator(distrib.CoordConfig{
+		Spec: spec, RunID: "resume-test-2",
+		Launcher: &distrib.InProcLauncher{Log: t.Logf},
+		Log:      t.Logf, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel2()
+	res, rep, err := co2.Run(ctx2)
+	if err != nil {
+		t.Fatalf("resumed fleet: %v\nincidents:\n%s", err, rep.Timeline())
+	}
+	if res.BaseSeq+res.Completed != spec.Subnets {
+		t.Fatalf("resumed run covers %d+%d of %d", res.BaseSeq, res.Completed, spec.Subnets)
+	}
+	tc, _ := spec.TrainConfig()
+	cfg, _ := spec.Config()
+	if _, err := naspipe.VerifyAgainstSequential(tc, cfg, res); err != nil {
+		t.Fatalf("cross-coordinator verification: %v", err)
+	}
+}
+
+// killingLauncher wraps the in-process launcher and kills the victim
+// stage's first-incarnation worker after a delay — abruptly, like
+// kill -9: the worker sends nothing, its connection simply dies.
+type killingLauncher struct {
+	distrib.InProcLauncher
+	victim int
+	after  time.Duration
+}
+
+func (l *killingLauncher) Start(ctx context.Context, w distrib.WorkerSpec) (distrib.Process, error) {
+	p, err := l.InProcLauncher.Start(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	if w.Stage == l.victim && w.Incarnation == 0 {
+		go func() {
+			time.Sleep(l.after)
+			p.Kill()
+		}()
+	}
+	return p, nil
+}

@@ -180,8 +180,15 @@ func (s *ccStage) telFault(op telemetry.Op, gseq int, kind int8, arg int64) {
 type ccRun struct {
 	cfg    Config
 	w      *World
-	stages []*ccStage
-	base   int // Config.SeqBase
+	stages []*ccStage // indexed by stage; nil for stages remote to this process
+	base   int        // Config.SeqBase
+
+	// Distributed plane (nil for a single-process run): dist routes all
+	// cross-stage traffic through dist.Transport; a failed send poisons
+	// the run via sendOnce/sendErr (see dist.go).
+	dist     *DistConfig
+	sendOnce sync.Once
+	sendErr  error
 
 	mu  sync.Mutex
 	obs *trace.Trace // raw interleaving; nil unless RecordTrace
@@ -255,7 +262,18 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	c := &ccRun{cfg: cfg, w: w, base: cfg.SeqBase, rec: cfg.Checkpoint, probe: cfg.Probe}
+	c := &ccRun{cfg: cfg, w: w, base: cfg.SeqBase, rec: cfg.Checkpoint, probe: cfg.Probe, dist: cfg.Dist}
+	local := make([]bool, w.D)
+	if c.dist != nil {
+		if err := c.dist.validate(w.D); err != nil {
+			return Result{}, err
+		}
+		local = c.dist.localSet(w.D)
+	} else {
+		for k := range local {
+			local[k] = true
+		}
+	}
 	if cfg.Faults.Enabled() {
 		c.inj, err = fault.NewInjector(*cfg.Faults, cfg.FaultIncarnation)
 		if err != nil {
@@ -283,6 +301,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	}
 	c.stages = make([]*ccStage, w.D)
 	for k := 0; k < w.D; k++ {
+		if !local[k] {
+			continue // the stage runs in another process, behind the transport
+		}
 		s := &ccStage{
 			k:     k,
 			base:  c.base,
@@ -338,13 +359,19 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	start := time.Now()
+	// Pump goroutines (dist only): one per local stage, draining the
+	// transport's delivery queues into the stage arrival channels.
+	stopPumps := func() {}
+	if c.dist != nil {
+		stopPumps = c.startPumps()
+	}
 	// Async prefetcher goroutines: one per stage, alive for the whole run,
 	// applying subnet prefetch requests to the stage cache concurrently
 	// with that stage's compute.
 	stopFetch := make(chan struct{})
 	var fwg sync.WaitGroup
 	for _, s := range c.stages {
-		if s.fetchQ == nil {
+		if s == nil || s.fetchQ == nil {
 			continue
 		}
 		fwg.Add(1)
@@ -355,6 +382,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	}
 	var wg sync.WaitGroup
 	for _, s := range c.stages {
+		if s == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(s *ccStage) {
 			defer wg.Done()
@@ -362,6 +392,7 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		}(s)
 	}
 	wg.Wait() // establishes happens-before: stage state is safe to read below
+	stopPumps()
 	close(stopFetch)
 	fwg.Wait()
 
@@ -371,10 +402,24 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		BaseSeq:       c.base,
 	}
 	res.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
-	res.Completed = c.stages[0].bwdDone
+	// Every subnet's backward passes through every stage, so any local
+	// stage's backward counter measures completion; the minimum is the
+	// conservative one for the deadlock verdict. A dist worker without
+	// stage 0 still reports n here on a clean finish — the coordinator
+	// takes the authoritative count from the stage-0 owner.
+	res.Completed = n
+	for _, s := range c.stages {
+		if s != nil && s.bwdDone < res.Completed {
+			res.Completed = s.bwdDone
+		}
+	}
 	res.Deadlock = res.Completed < n
 	res.Contention = make([]metrics.StageContention, w.D)
 	for k, s := range c.stages {
+		if s == nil {
+			res.Contention[k] = metrics.StageContention{Stage: k}
+			continue
+		}
 		// Snapshot-delta against the run-start baseline: a reused scheduler
 		// must not leak a previous incarnation's pressure into this run's
 		// contention table.
@@ -389,6 +434,14 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	if c.obs != nil {
 		res.ObservedTrace = c.obs
 		res.Trace = CanonicalTrace(w)
+		if c.dist != nil {
+			// A dist worker observes only its local stages; its reference
+			// is the canonical trace filtered to them. Partitions are
+			// per-subnet, so a layer can straddle workers across subnets —
+			// this local check is necessary but not sufficient, and the
+			// coordinator's merged-trace verification is the full one.
+			res.Trace = FilterTrace(res.Trace, c.dist.Stages)
+		}
 	}
 	if c.tel != nil {
 		// The first real concurrent-plane spans: reconstructed from the
@@ -400,6 +453,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 	}
 	if c.recErr != nil {
 		return res, fmt.Errorf("engine: checkpoint recorder: %w", c.recErr)
+	}
+	if c.sendErr != nil {
+		return res, c.sendErr
 	}
 	if c.crashErr != nil {
 		// An injected crash aborts the whole run, like the process death
@@ -414,7 +470,9 @@ func RunConcurrent(ctx context.Context, cfg Config) (Result, error) {
 		// happens-before edge.
 		stall := &StallError{Completed: res.Completed, Total: n}
 		for _, s := range c.stages {
-			stall.Stages = append(stall.Stages, c.healthOf(s, false))
+			if s != nil {
+				stall.Stages = append(stall.Stages, c.healthOf(s, false))
+			}
 		}
 		return res, stall
 	}
@@ -437,6 +495,10 @@ func (c *ccRun) collectCacheStats(res *Result) {
 	var hits, misses int
 	var budget int64
 	for k, s := range c.stages {
+		if s == nil {
+			res.CacheStats[k] = metrics.StageCache{Stage: k}
+			continue
+		}
 		st := s.cache.Stats()
 		res.CacheStats[k] = metrics.StageCache{
 			Stage:             k,
@@ -898,7 +960,7 @@ func (c *ccRun) runBackward(ctx context.Context, s *ccStage) bool {
 		// Cross-stage context push (§3.3): the upstream stage will process
 		// this subnet's backward next; prefetch its context there, hiding
 		// the copy behind this stage's compute plus the transfer.
-		c.stages[s.k-1].requestFetch(seq)
+		c.pushFetch(s, s.k-1, seq)
 	}
 	c.compute(seq, s.k, task.Backward)
 	// The WRITE must be visible in the trace before any dependent learns
@@ -914,16 +976,26 @@ func (c *ccRun) runBackward(ctx context.Context, s *ccStage) bool {
 			c.probe.advanceFrontier(c.base + s.sched.Frontier())
 		}
 	}
-	for _, t := range c.stages {
-		if t != s {
-			t.sendNote(ccNote{seq: seq, ids: ids, finished: finished})
+	if c.dist != nil {
+		// One uniform path for all cross-stage traffic in a dist run:
+		// the note rides the transport even to co-local stages.
+		c.broadcastNote(s, ccNote{seq: seq, ids: ids, finished: finished})
+	} else {
+		for _, t := range c.stages {
+			if t != s {
+				t.sendNote(ccNote{seq: seq, ids: ids, finished: finished})
+			}
 		}
 	}
 	if s.k > 0 {
 		s.telFlow(telemetry.OpTransferSend, telemetry.PhaseFlowBegin, seq, telemetry.KindBackward, s.k)
 		grad := ccBwd{seq: seq, carried: s.pendingCarry()}
 		c.transport(s, telemetry.KindBackward, seq, func() {
-			c.stages[s.k-1].bwdIn <- grad
+			if c.dist != nil {
+				c.sendBwd(s, grad)
+			} else {
+				c.stages[s.k-1].bwdIn <- grad
+			}
 		})
 	}
 	if s.cache != nil {
@@ -1023,7 +1095,7 @@ func (c *ccRun) runForward(ctx context.Context, s *ccStage) bool {
 	}
 	if s.k < c.w.D-1 {
 		// Cross-stage context push (§3.3), forward direction.
-		c.stages[s.k+1].requestFetch(seq)
+		c.pushFetch(s, s.k+1, seq)
 	}
 	// The READ happens at admission — after the CSP check, before compute —
 	// mirroring the simulator's context-acquire semantics.
@@ -1038,7 +1110,11 @@ func (c *ccRun) runForward(ctx context.Context, s *ccStage) bool {
 	s.telTask(telemetry.OpTaskComplete, telemetry.PhaseEnd, seq, telemetry.KindForward)
 	if s.k < c.w.D-1 {
 		c.transport(s, telemetry.KindForward, seq, func() {
-			c.stages[s.k+1].fwdIn <- seq
+			if c.dist != nil {
+				c.sendFwd(s, seq)
+			} else {
+				c.stages[s.k+1].fwdIn <- seq
+			}
 		})
 	} else {
 		// Loss computed: the backward is immediately ready locally.

@@ -1,0 +1,360 @@
+// The distributed execution plane's engine half: stage processes.
+//
+// A DistConfig tells RunConcurrent to execute only a subset of the
+// pipeline's stages and to route every cross-stage message — activation
+// handoffs, gradient returns, completion-note broadcasts, cross-stage
+// prefetch pushes — through a transport.Transport instead of direct
+// channel sends. The stage goroutines themselves are unchanged: the
+// same scheduler, the same admission rule, the same trace emission.
+// What varies is purely the wiring, so a ChanTransport-backed run is
+// the single-process executor with one level of indirection, and a
+// Link-backed run is the same executor spread across OS processes.
+//
+// Each local stage gets a pump goroutine that drains its transport
+// delivery queue into the stage's arrival channels. The pump is the
+// only producer of a dist stage's notes channel (a stage's own
+// completions self-apply without a message), so its blocking sends are
+// deadlock-free; fwd/bwd arrival buffers are sized for every possible
+// delivery exactly as in the single-process plane.
+//
+// Verification composes: a worker's observed trace covers only its
+// local stages, so RunConcurrent checks the local observation against
+// the canonical trace filtered to local stages. That projection is
+// necessary but not sufficient — stage partitions are per-subnet, so a
+// layer's accesses can straddle workers — which is why the coordinator
+// (internal/distrib) k-way-merges the workers' traces back into a
+// single causally-ordered global observation (MergeStageTraces) and
+// re-verifies the whole run against the sequential reference.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"naspipe/internal/supernet"
+	"naspipe/internal/trace"
+	"naspipe/internal/transport"
+)
+
+// DistConfig places this process in a distributed run.
+type DistConfig struct {
+	// Transport carries all cross-stage traffic. The engine closes
+	// nothing: the caller owns the transport's lifecycle.
+	Transport transport.Transport
+
+	// Stages lists the pipeline stages this process executes (distinct,
+	// each in [0, D)). Every other stage is assumed to run elsewhere,
+	// reachable through Transport.
+	Stages []int
+}
+
+func (d *DistConfig) validate(depth int) error {
+	if d.Transport == nil {
+		return fmt.Errorf("engine: DistConfig.Transport is nil")
+	}
+	if len(d.Stages) == 0 {
+		return fmt.Errorf("engine: DistConfig.Stages is empty")
+	}
+	seen := make(map[int]bool, len(d.Stages))
+	for _, k := range d.Stages {
+		if k < 0 || k >= depth {
+			return fmt.Errorf("engine: DistConfig stage %d outside the %d-stage pipeline", k, depth)
+		}
+		if seen[k] {
+			return fmt.Errorf("engine: DistConfig stage %d listed twice", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// localSet returns a by-stage membership mask.
+func (d *DistConfig) localSet(depth int) []bool {
+	local := make([]bool, depth)
+	for _, k := range d.Stages {
+		local[k] = true
+	}
+	return local
+}
+
+// send pushes one message into the distributed fabric. A transport
+// refusing traffic (closed during teardown, a dead peer past its
+// reconnect budget) poisons the run like a checkpoint-recorder failure:
+// every stage goroutine unwinds and the first error is reported.
+func (c *ccRun) send(m transport.Msg) {
+	if err := c.dist.Transport.Send(m); err != nil {
+		c.sendOnce.Do(func() { c.sendErr = fmt.Errorf("engine: transport send (stage %d -> %d): %w", m.From, m.To, err) })
+		c.crashed.Store(true)
+	}
+}
+
+// sendFwd hands an activation to stage k+1; sendBwd returns a gradient
+// (with its carried pending-backward records) to stage k-1. Both are
+// the dist counterparts of the direct fwdIn/bwdIn channel sends and run
+// inside the same fault-plane wrapper (ccRun.transport).
+func (c *ccRun) sendFwd(s *ccStage, seq int) {
+	c.send(transport.Msg{Type: transport.FrameFwd, From: s.k, To: s.k + 1, Seq: seq})
+}
+
+func (c *ccRun) sendBwd(s *ccStage, b ccBwd) {
+	c.send(transport.Msg{Type: transport.FrameBwd, From: s.k, To: s.k - 1, Seq: b.seq, Carried: b.carried})
+}
+
+// broadcastNote fans a completion note out to every other stage —
+// co-local ones included, so the message plane stays uniform: exactly
+// one path exists for cross-stage traffic in a dist run.
+func (c *ccRun) broadcastNote(s *ccStage, n ccNote) {
+	c.send(transport.Msg{
+		Type: transport.FrameNote, From: s.k, To: transport.Broadcast,
+		Seq: n.seq, IDs: n.ids, Finished: n.finished,
+	})
+}
+
+// pushFetch forwards a cross-stage context-push (§3.3) to stage k. In
+// a dist run the push becomes a Fetch message when the memory plane is
+// on; without a cache the receiver would discard it, so it is never
+// sent — frame counts stay free of dead traffic.
+func (c *ccRun) pushFetch(s *ccStage, k, seq int) {
+	if c.dist == nil {
+		c.stages[k].requestFetch(seq)
+		return
+	}
+	if c.cfg.ConcurrentMem.Enabled() {
+		c.send(transport.Msg{Type: transport.FrameFetch, From: s.k, To: k, Seq: seq})
+	}
+}
+
+// pumpLoop drains one local stage's transport deliveries into its
+// arrival channels, translating wire messages back into the exact
+// events a direct channel send would have produced. It runs until
+// stopped: the run keeps pumps alive past stage completion so late
+// traffic (another worker's tail notes) never backs up the fabric.
+func (c *ccRun) pumpLoop(stop <-chan struct{}, s *ccStage) {
+	in := c.dist.Transport.Recv(s.k)
+	for {
+		select {
+		case <-stop:
+			return
+		case m := <-in:
+			switch m.Type {
+			case transport.FrameFwd:
+				s.fwdIn <- m.Seq
+			case transport.FrameBwd:
+				s.bwdIn <- ccBwd{seq: m.Seq, carried: m.Carried}
+			case transport.FrameNote:
+				select {
+				case s.notes <- ccNote{seq: m.Seq, ids: m.IDs, finished: m.Finished}:
+				case <-stop:
+					return
+				}
+			case transport.FrameFetch:
+				s.requestFetch(m.Seq)
+			}
+		}
+	}
+}
+
+// startPumps spawns one pump per local stage and returns their stop
+// function (idempotent).
+func (c *ccRun) startPumps() func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, s := range c.stages {
+		if s == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s *ccStage) {
+			defer wg.Done()
+			c.pumpLoop(stop, s)
+		}(s)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stop) })
+		wg.Wait()
+	}
+}
+
+// DistQueueCap sizes a transport's per-stage delivery queue so sends
+// never block steady-state: per stage, at most n forwards + n backwards
+// (×2 under fault-plane duplication), (D-1)·n notes, and ~2n fetch
+// pushes can ever arrive.
+func DistQueueCap(d, n int) int { return 2*(d+4)*n + 16 }
+
+// FilterTrace returns the sub-trace of tr on the given stages, in
+// order — the canonical reference a dist worker checks its local
+// observation against, and the shape the coordinator's merge consumes.
+func FilterTrace(tr *trace.Trace, stages []int) *trace.Trace {
+	keep := make(map[int]bool, len(stages))
+	for _, k := range stages {
+		keep[k] = true
+	}
+	out := &trace.Trace{}
+	for _, ev := range tr.Events {
+		if keep[ev.Stage] {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
+// MergeStageTraces reconstructs a valid global emission order from the
+// workers' local observed traces: a topological k-way merge over the
+// run's causal DAG. The DAG's edges are each worker's local emission
+// order, the per-subnet pipeline chain (READs walk the stages
+// downstream, then WRITEs walk back upstream), and the per-layer CSP
+// order (Definition 1: a layer's accesses happen in subnet order,
+// reads before writes within a subnet). The real execution's
+// wall-clock order is a linear extension of exactly that DAG — the
+// chain is the pipeline's dataflow and the per-layer order is what
+// each stage's csp.Scheduler enforces at admission via cross-stage
+// MarkWritten notes — so the merge always completes and always
+// satisfies the replay trainer's global-order constraint. Rank in the
+// canonical causal order breaks ties deterministically (ranks are
+// unique per access, so the result is independent of the order parts
+// are passed in).
+//
+// Rank alone would not be safe: under out-of-order forwarding a stage
+// legally runs F(p) before F(q) with p > q while stage D-1 retires
+// B(q); picking strictly by rank would then emit subnet q's first WRITE
+// while its stage-k READ is still queued behind F(p) — an order the
+// replay trainer correctly rejects. Nor is the subnet chain alone
+// enough: stage partitions are per-subnet, so the same layer can live
+// on stage 0 for subnet p and stage 1 for subnet q — two different
+// workers whose local orders say nothing about each other. Only the
+// per-layer gate restores that cross-worker edge.
+func MergeStageTraces(depth, base int, parts []*trace.Trace) *trace.Trace {
+	rank := func(ev trace.Event) int {
+		seq := ev.Subnet - base
+		if ev.Kind == trace.Read {
+			return seq*2*depth + ev.Stage
+		}
+		return seq*2*depth + depth + (depth - 1 - ev.Stage)
+	}
+	// Per-subnet causal chains over the (kind, stage) groups that
+	// actually occur — a subnet with an empty partition on some stage
+	// simply has no group there. The chain orders each subnet's READs
+	// downstream then its WRITEs upstream; an access is eligible when
+	// its group is the subnet's current chain position, which encodes
+	// both pipeline causality and reads-before-first-write.
+	type group struct {
+		kind  trace.AccessKind
+		stage int
+	}
+	counts := make(map[int]map[group]int)
+	for _, tr := range parts {
+		for _, ev := range tr.Events {
+			q := ev.Subnet - base
+			if counts[q] == nil {
+				counts[q] = make(map[group]int)
+			}
+			counts[q][group{ev.Kind, ev.Stage}]++
+		}
+	}
+	chains := make(map[int][]group, len(counts))
+	for q, gs := range counts {
+		var chain []group
+		for k := 0; k < depth; k++ {
+			if gs[group{trace.Read, k}] > 0 {
+				chain = append(chain, group{trace.Read, k})
+			}
+		}
+		for k := depth - 1; k >= 0; k-- {
+			if gs[group{trace.Write, k}] > 0 {
+				chain = append(chain, group{trace.Write, k})
+			}
+		}
+		chains[q] = chain
+	}
+	// Per-layer CSP chains over the (subnet, kind) groups that occur on
+	// each layer, in the sequential order Definition 1 fixes: subnets
+	// ascending, READs before WRITEs within a subnet. For one subnet a
+	// layer lives on one stage, so each group comes from one worker and
+	// group-internal order is that worker's local order.
+	type lgroup struct {
+		seq  int
+		kind trace.AccessKind
+	}
+	lcounts := make(map[supernet.LayerID]map[lgroup]int)
+	for _, tr := range parts {
+		for _, ev := range tr.Events {
+			if lcounts[ev.Layer] == nil {
+				lcounts[ev.Layer] = make(map[lgroup]int)
+			}
+			lcounts[ev.Layer][lgroup{ev.Subnet - base, ev.Kind}]++
+		}
+	}
+	lchains := make(map[supernet.LayerID][]lgroup, len(lcounts))
+	for l, gs := range lcounts {
+		seqs := make([]int, 0, len(gs))
+		seen := make(map[int]bool, len(gs))
+		for g := range gs {
+			if !seen[g.seq] {
+				seen[g.seq] = true
+				seqs = append(seqs, g.seq)
+			}
+		}
+		sort.Ints(seqs)
+		chain := make([]lgroup, 0, len(gs))
+		for _, q := range seqs {
+			if gs[lgroup{q, trace.Read}] > 0 {
+				chain = append(chain, lgroup{q, trace.Read})
+			}
+			if gs[lgroup{q, trace.Write}] > 0 {
+				chain = append(chain, lgroup{q, trace.Write})
+			}
+		}
+		lchains[l] = chain
+	}
+	lpos := make(map[supernet.LayerID]int, len(lchains))
+	lemitted := make(map[supernet.LayerID]map[lgroup]int, len(lchains))
+	pos := make(map[int]int, len(chains))
+	emitted := make(map[int]map[group]int, len(chains))
+	idx := make([]int, len(parts))
+	out := &trace.Trace{}
+	for {
+		best, bestRank := -1, 0
+		for i, tr := range parts {
+			if idx[i] >= len(tr.Events) {
+				continue
+			}
+			ev := tr.Events[idx[i]]
+			q := ev.Subnet - base
+			if chains[q][pos[q]] != (group{ev.Kind, ev.Stage}) {
+				continue
+			}
+			if lchains[ev.Layer][lpos[ev.Layer]] != (lgroup{q, ev.Kind}) {
+				continue
+			}
+			if r := rank(ev); best < 0 || r < bestRank {
+				best, bestRank = i, r
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		ev := parts[best].Events[idx[best]]
+		idx[best]++
+		ev.Order = len(out.Events)
+		out.Events = append(out.Events, ev)
+		q := ev.Subnet - base
+		g := group{ev.Kind, ev.Stage}
+		if emitted[q] == nil {
+			emitted[q] = make(map[group]int)
+		}
+		emitted[q][g]++
+		if emitted[q][g] == counts[q][g] {
+			pos[q]++
+		}
+		lg := lgroup{q, ev.Kind}
+		if lemitted[ev.Layer] == nil {
+			lemitted[ev.Layer] = make(map[lgroup]int)
+		}
+		lemitted[ev.Layer][lg]++
+		if lemitted[ev.Layer][lg] == lcounts[ev.Layer][lg] {
+			lpos[ev.Layer]++
+		}
+	}
+}

@@ -120,6 +120,12 @@ type Config struct {
 	// stall. A probe may be reused across incarnations; RunConcurrent
 	// re-attaches it at start. Concurrent plane only.
 	Probe *RunProbe
+
+	// Dist, when non-nil, runs only Dist.Stages of the pipeline in this
+	// process and routes every cross-stage message through
+	// Dist.Transport instead of direct channel sends — the distributed
+	// execution plane (see dist.go). Concurrent plane only.
+	Dist *DistConfig
 }
 
 // MemPlaneConfig is the concurrent plane's memory-context configuration.

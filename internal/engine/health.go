@@ -85,6 +85,22 @@ func (p *RunProbe) advanceFrontier(f int) {
 	}
 }
 
+// Attach (re)binds the probe to a starting run of d stages at the
+// given sequence base, exactly as RunConcurrent does internally. The
+// distributed coordinator calls it when a remote incarnation launches,
+// so the same supervision plane can watch a fleet it does not run
+// in-process.
+func (p *RunProbe) Attach(d, base int) { p.attach(d, base) }
+
+// Publish records one stage's health as reported over the wire;
+// taskDone bumps the monotone progress counter. The coordinator feeds
+// worker heartbeats through this.
+func (p *RunProbe) Publish(h StageHealth, taskDone bool) { p.publish(h, taskDone) }
+
+// AdvanceFrontier records a remotely-reported committed stage-0
+// backward frontier.
+func (p *RunProbe) AdvanceFrontier(f int) { p.advanceFrontier(f) }
+
 // Progress returns the two monotone progress signals a watchdog
 // distinguishes slow-from-stalled by: the committed frontier and the
 // total completed-task count. Parks and queue churn update stage

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"naspipe/internal/backoff"
 	"naspipe/internal/rng"
 )
 
@@ -125,6 +126,41 @@ type Plan struct {
 	MaxRetries  int           // 0 = default 4
 	BackoffBase time.Duration // 0 = default 50µs; doubles per retry
 	BackoffMax  time.Duration // 0 = default 2ms; backoff ceiling
+
+	// Transport-level faults, consulted by the multi-process transport
+	// plane's links (the in-proc channel path has no wire to cut).
+	//
+	// LinkDropRate is the probability that one data frame is discarded
+	// at the sender before reaching the wire; the link's retransmit
+	// timer resends it, exercising sequence-numbered recovery. Decisions
+	// are keyed by (incarnation, stage, frame seqno), so a given frame
+	// is dropped at most once and delivery always terminates.
+	LinkDropRate float64
+	// LinkDrops are targeted single-frame drops: stage's link discards
+	// exactly the AfterFrames-th data frame of the named incarnation.
+	LinkDrops []LinkEvent
+	// Disconnects are targeted link cuts: the named stage's link to the
+	// coordinator is severed once it has sent AfterFrames data frames in
+	// the named incarnation. The link's reconnect loop (shared backoff
+	// policy) restores it and retransmits everything unacknowledged.
+	Disconnects []LinkEvent
+	// Partitions sever every link at once: each link cuts itself when
+	// its own data-frame count reaches AfterFrames in the named
+	// incarnation (Stage is ignored), so the whole fleet loses the
+	// coordinator around the same point and must heal by reconnecting.
+	Partitions []LinkEvent
+}
+
+// LinkEvent names one deterministic transport fault site: a stage's
+// link, after it has sent AfterFrames data frames, in one incarnation.
+type LinkEvent struct {
+	Incarnation int
+	Stage       int
+	AfterFrames int
+}
+
+func (e LinkEvent) String() string {
+	return fmt.Sprintf("%d:%d:%d", e.Incarnation, e.Stage, e.AfterFrames)
 }
 
 // Default retry/delay parameters (see Plan field comments).
@@ -139,7 +175,16 @@ const (
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.CrashRate > 0 || p.CrashTask != nil || p.WedgeTask != nil ||
 		len(p.Storm) > 0 ||
-		p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 || p.FetchFailRate > 0)
+		p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 || p.FetchFailRate > 0 ||
+		p.TransportEnabled())
+}
+
+// TransportEnabled reports whether the plan injects any transport-level
+// fault (frame drops, link cuts, partitions). The engine's in-proc
+// paths ignore these; only the transport plane's links consult them.
+func (p *Plan) TransportEnabled() bool {
+	return p != nil && (p.LinkDropRate > 0 || len(p.LinkDrops) > 0 ||
+		len(p.Disconnects) > 0 || len(p.Partitions) > 0)
 }
 
 // Validate rejects out-of-range rates and negative durations.
@@ -149,7 +194,7 @@ func (p Plan) Validate() error {
 		v    float64
 	}{
 		{"crash", p.CrashRate}, {"drop", p.DropRate}, {"delay", p.DelayRate},
-		{"dup", p.DupRate}, {"fetchfail", p.FetchFailRate},
+		{"dup", p.DupRate}, {"fetchfail", p.FetchFailRate}, {"linkdrop", p.LinkDropRate},
 	}
 	for _, r := range rates {
 		if r.v < 0 || r.v > 1 {
@@ -182,6 +227,16 @@ func (p Plan) Validate() error {
 		if ev.Incarnation < 0 || t.Stage < 0 || t.Seq < 0 ||
 			(t.Kind != KindForward && t.Kind != KindBackward) {
 			return fmt.Errorf("fault: malformed storm entry %d: %+v", i, ev)
+		}
+	}
+	for _, group := range []struct {
+		name string
+		evs  []LinkEvent
+	}{{"linkdropat", p.LinkDrops}, {"disconnect", p.Disconnects}, {"partition", p.Partitions}} {
+		for i, ev := range group.evs {
+			if ev.Incarnation < 0 || ev.Stage < 0 || ev.AfterFrames < 0 {
+				return fmt.Errorf("fault: malformed %s entry %d: %+v", group.name, i, ev)
+			}
 		}
 	}
 	return nil
@@ -251,8 +306,16 @@ func ParsePlan(spec string) (*Plan, error) {
 			err = p.addTargeted(val, false)
 		case "wedgeat":
 			err = p.addTargeted(val, true)
+		case "linkdrop":
+			p.LinkDropRate, err = strconv.ParseFloat(val, 64)
+		case "linkdropat":
+			err = p.addLink(&p.LinkDrops, val, true)
+		case "disconnect":
+			err = p.addLink(&p.Disconnects, val, true)
+		case "partition":
+			err = p.addLink(&p.Partitions, val, false)
 		default:
-			return nil, fmt.Errorf("fault: unknown plan key %q (known: seed, crash, crashat, wedgeat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries)", key)
+			return nil, fmt.Errorf("fault: unknown plan key %q (known: seed, crash, crashat, wedgeat, drop, delay, dup, fetchfail, maxdelay, backoff, backoffmax, retries, linkdrop, linkdropat, disconnect, partition)", key)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("fault: bad value for %s: %w", key, err)
@@ -296,6 +359,39 @@ func (p *Plan) addTargeted(val string, wedge bool) error {
 		}
 		p.CrashTask = t
 	}
+	return nil
+}
+
+// addLink parses a transport fault value. With a stage (linkdropat,
+// disconnect): stage:after or incarnation:stage:after. Without one
+// (partition): after or incarnation:after.
+func (p *Plan) addLink(into *[]LinkEvent, val string, hasStage bool) error {
+	parts := strings.Split(val, ":")
+	nums := make([]int, len(parts))
+	for i, s := range parts {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad field %q: %w", s, err)
+		}
+		nums[i] = n
+	}
+	var ev LinkEvent
+	switch {
+	case hasStage && len(nums) == 2:
+		ev = LinkEvent{Stage: nums[0], AfterFrames: nums[1]}
+	case hasStage && len(nums) == 3:
+		ev = LinkEvent{Incarnation: nums[0], Stage: nums[1], AfterFrames: nums[2]}
+	case !hasStage && len(nums) == 1:
+		ev = LinkEvent{AfterFrames: nums[0]}
+	case !hasStage && len(nums) == 2:
+		ev = LinkEvent{Incarnation: nums[0], AfterFrames: nums[1]}
+	default:
+		if hasStage {
+			return fmt.Errorf("want stage:after or inc:stage:after, got %q", val)
+		}
+		return fmt.Errorf("want after or inc:after, got %q", val)
+	}
+	*into = append(*into, ev)
 	return nil
 }
 
@@ -353,6 +449,16 @@ func (p Plan) String() string {
 	rate("delay", p.DelayRate)
 	rate("dup", p.DupRate)
 	rate("fetchfail", p.FetchFailRate)
+	rate("linkdrop", p.LinkDropRate)
+	for _, ev := range p.LinkDrops {
+		add("linkdropat", ev.String())
+	}
+	for _, ev := range p.Disconnects {
+		add("disconnect", ev.String())
+	}
+	for _, ev := range p.Partitions {
+		add("partition", fmt.Sprintf("%d:%d", ev.Incarnation, ev.AfterFrames))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -490,15 +596,43 @@ func (in *Injector) FetchFails(stage, seq int) bool {
 	return in.roll(fmt.Sprintf("fetch/%d/%d/%d", in.incarnation, stage, seq)) < in.plan.FetchFailRate
 }
 
+// FrameDrop decides whether a link discards its seqno-th data frame at
+// the sender (the retransmit timer recovers it). Combines the targeted
+// linkdropat entries with the rate-based draw, keyed so any given frame
+// is dropped at most once per incarnation — delivery always terminates.
+func (in *Injector) FrameDrop(stage int, seqno uint64) bool {
+	for _, ev := range in.plan.LinkDrops {
+		if ev.Incarnation == in.incarnation && ev.Stage == stage && uint64(ev.AfterFrames) == seqno {
+			return true
+		}
+	}
+	if in.plan.LinkDropRate <= 0 {
+		return false
+	}
+	return in.roll(fmt.Sprintf("linkdrop/%d/%d/%d", in.incarnation, stage, seqno)) < in.plan.LinkDropRate
+}
+
+// LinkCut decides whether a stage's link severs itself once it has sent
+// `sent` data frames: a targeted disconnect of this link, or a
+// partition (every link cuts at its own matching count). The link's
+// reconnect loop heals either; the distinction is observability.
+func (in *Injector) LinkCut(stage int, sent uint64) bool {
+	for _, ev := range in.plan.Disconnects {
+		if ev.Incarnation == in.incarnation && ev.Stage == stage && uint64(ev.AfterFrames) == sent {
+			return true
+		}
+	}
+	for _, ev := range in.plan.Partitions {
+		if ev.Incarnation == in.incarnation && uint64(ev.AfterFrames) == sent {
+			return true
+		}
+	}
+	return false
+}
+
 // Backoff returns the exponential retry delay after the given dropped
-// attempt: BackoffBase·2^attempt, capped at BackoffMax.
+// attempt: BackoffBase·2^attempt, capped at BackoffMax — the shared
+// backoff.Policy schedule.
 func (in *Injector) Backoff(attempt int) time.Duration {
-	d := in.plan.BackoffBase
-	for i := 0; i < attempt && d < in.plan.BackoffMax; i++ {
-		d *= 2
-	}
-	if d > in.plan.BackoffMax {
-		d = in.plan.BackoffMax
-	}
-	return d
+	return backoff.Policy{Base: in.plan.BackoffBase, Max: in.plan.BackoffMax}.Delay(attempt)
 }

@@ -1,0 +1,106 @@
+package fault
+
+import "testing"
+
+func TestParsePlanTransportKeysRoundTrip(t *testing.T) {
+	spec := "seed=9,linkdrop=0.02,linkdropat=0:1:7,disconnect=1:2:30,partition=0:12"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	if p.LinkDropRate != 0.02 {
+		t.Errorf("LinkDropRate = %v, want 0.02", p.LinkDropRate)
+	}
+	if len(p.LinkDrops) != 1 || p.LinkDrops[0] != (LinkEvent{Incarnation: 0, Stage: 1, AfterFrames: 7}) {
+		t.Errorf("LinkDrops = %+v", p.LinkDrops)
+	}
+	if len(p.Disconnects) != 1 || p.Disconnects[0] != (LinkEvent{Incarnation: 1, Stage: 2, AfterFrames: 30}) {
+		t.Errorf("Disconnects = %+v", p.Disconnects)
+	}
+	if len(p.Partitions) != 1 || p.Partitions[0] != (LinkEvent{Incarnation: 0, AfterFrames: 12}) {
+		t.Errorf("Partitions = %+v", p.Partitions)
+	}
+	// String must re-parse to the identical plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if p.String() != p2.String() {
+		t.Errorf("round trip diverged:\n  first  %s\n  second %s", p, p2)
+	}
+	if !p.TransportEnabled() || !p.Enabled() {
+		t.Error("transport-fault plan must report Enabled and TransportEnabled")
+	}
+}
+
+func TestParsePlanTransportShortForms(t *testing.T) {
+	p, err := ParsePlan("disconnect=2:30,partition=12,linkdropat=1:7")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Disconnects[0] != (LinkEvent{Stage: 2, AfterFrames: 30}) {
+		t.Errorf("short disconnect = %+v", p.Disconnects[0])
+	}
+	if p.Partitions[0] != (LinkEvent{AfterFrames: 12}) {
+		t.Errorf("short partition = %+v", p.Partitions[0])
+	}
+	if p.LinkDrops[0] != (LinkEvent{Stage: 1, AfterFrames: 7}) {
+		t.Errorf("short linkdropat = %+v", p.LinkDrops[0])
+	}
+	for _, bad := range []string{
+		"disconnect=1", "disconnect=1:2:3:4", "partition=1:2:3",
+		"linkdropat=x:1", "linkdrop=1.5", "disconnect=-1:2",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a malformed transport fault", bad)
+		}
+	}
+}
+
+func TestInjectorFrameDropAndLinkCut(t *testing.T) {
+	p, err := ParsePlan("seed=5,linkdropat=0:1:7,disconnect=0:2:30,partition=1:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj0, _ := NewInjector(*p, 0)
+	inj1, _ := NewInjector(*p, 1)
+
+	if !inj0.FrameDrop(1, 7) {
+		t.Error("targeted linkdropat 0:1:7 did not fire at (stage 1, frame 7, inc 0)")
+	}
+	if inj0.FrameDrop(1, 8) || inj0.FrameDrop(0, 7) || inj1.FrameDrop(1, 7) {
+		t.Error("targeted frame drop fired off-site")
+	}
+	if !inj0.LinkCut(2, 30) {
+		t.Error("disconnect 0:2:30 did not cut (stage 2, sent 30, inc 0)")
+	}
+	if inj0.LinkCut(2, 31) || inj0.LinkCut(1, 30) || inj1.LinkCut(2, 30) {
+		t.Error("disconnect fired off-site")
+	}
+	// The partition cuts every stage's link at its own frame count, in
+	// its pinned incarnation only.
+	for stage := 0; stage < 4; stage++ {
+		if !inj1.LinkCut(stage, 12) {
+			t.Errorf("partition 1:12 did not cut stage %d", stage)
+		}
+		if inj0.LinkCut(stage, 12) {
+			t.Errorf("partition fired in wrong incarnation on stage %d", stage)
+		}
+	}
+
+	// Rate-based frame drops: deterministic per site, and plausible rate.
+	rp, _ := ParsePlan("seed=5,linkdrop=0.5")
+	ri, _ := NewInjector(*rp, 0)
+	drops := 0
+	for i := uint64(0); i < 1000; i++ {
+		if ri.FrameDrop(1, i) {
+			drops++
+		}
+		if ri.FrameDrop(1, i) != ri.FrameDrop(1, i) {
+			t.Fatal("FrameDrop not deterministic")
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Errorf("linkdrop=0.5 dropped %d/1000 frames", drops)
+	}
+}

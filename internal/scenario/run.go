@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"naspipe"
+	"naspipe/internal/distrib"
 	"naspipe/internal/service"
 )
 
@@ -74,7 +75,8 @@ func Run(ctx context.Context, s *Scenario, opt Options) (Cell, Observed, error) 
 		return Cell{}, Observed{}, err
 	}
 
-	cell := Cell{Scenario: s.Name, Jobs: len(comp.Jobs), GPUs: s.World.GPUs, FinalGPUs: s.World.GPUs}
+	cell := Cell{Scenario: s.Name, Jobs: len(comp.Jobs), GPUs: s.World.GPUs,
+		Processes: s.World.Processes, FinalGPUs: s.World.GPUs}
 	for _, j := range comp.Jobs {
 		cell.Subnets += j.Spec.Subnets
 	}
@@ -84,9 +86,12 @@ func Run(ctx context.Context, s *Scenario, opt Options) (Cell, Observed, error) 
 
 	var obs Observed
 	start := time.Now()
-	if comp.MultiJob {
+	switch {
+	case comp.MultiJob:
 		err = serviceRun(ctx, comp, opt, &cell)
-	} else {
+	case s.World.Processes > 0:
+		err = distribRun(ctx, s, comp.Jobs[0].Spec, opt, &cell, &obs)
+	default:
 		err = directRun(ctx, comp.Jobs[0].Spec, opt, &cell, &obs)
 	}
 	obs.Wall = time.Since(start)
@@ -196,6 +201,12 @@ func directRun(ctx context.Context, spec naspipe.JobSpec, opt Options, cell *Cel
 		}
 	}
 
+	return verifyCell(spec, cfg, res, cell)
+}
+
+// verifyCell closes out a single-job cell: coverage, then independent
+// bitwise verification of the result against the sequential reference.
+func verifyCell(spec naspipe.JobSpec, cfg naspipe.Config, res naspipe.Result, cell *Cell) error {
 	if res.BaseSeq+res.Completed != spec.Subnets {
 		cell.Failures = append(cell.Failures,
 			fmt.Sprintf("coverage hole: base %d + completed %d != %d subnets", res.BaseSeq, res.Completed, spec.Subnets))
@@ -213,6 +224,47 @@ func directRun(ctx context.Context, spec naspipe.JobSpec, opt Options, cell *Cel
 	cell.Verified = true
 	cell.Checksum = fmt.Sprintf("%016x", sum)
 	return nil
+}
+
+// distribRun executes a single-job scenario on the distributed
+// execution plane: a coordinator with one stage worker per GPU (the
+// in-process launcher — same worker code and TCP frames as separate OS
+// processes, hermetic for the sweep). The coordinator supervises,
+// relaunches the fleet on any worker death, and merges the workers'
+// observed traces; the cell then re-verifies the merged result bitwise
+// exactly like the single-process path, so `processes` shows up
+// nowhere in the checksum — only in how the work was executed.
+func distribRun(ctx context.Context, s *Scenario, spec naspipe.JobSpec, opt Options, cell *Cell, obs *Observed) error {
+	co, err := distrib.NewCoordinator(distrib.CoordConfig{
+		Spec:     spec,
+		RunID:    "scenario-" + s.Name,
+		Launcher: &distrib.InProcLauncher{Log: opt.Log},
+		Log:      opt.Log,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	start := time.Now()
+	res, rep, err := co.Run(ctx)
+	if rep != nil {
+		cell.Restarts = rep.Restarts
+		cell.WatchdogFires = rep.WatchdogFires
+		if rep.FinalGPUs > 0 {
+			cell.FinalGPUs = rep.FinalGPUs
+		}
+		if rep.Restarts > 0 {
+			obs.Recovery = time.Since(start)
+		}
+	}
+	if err != nil {
+		cell.Failures = append(cell.Failures, fmt.Sprintf("distributed fleet: %v", err))
+		return nil
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return err
+	}
+	return verifyCell(spec, cfg, res, cell)
 }
 
 // operatorLoop is the unsupervised recovery discipline the crash-resume

@@ -48,6 +48,14 @@ type World struct {
 	// [1-j, 1+j] keyed by JitterSeed.
 	Jitter     float64 `json:"jitter,omitempty"`
 	JitterSeed uint64  `json:"jitter_seed,omitempty"`
+	// Processes, when non-zero, runs the real pass on the distributed
+	// execution plane: a coordinator plus one stage worker per GPU,
+	// connected over fault-tolerant transport links, with worker death
+	// healed by fleet relaunch from the committed cursor. The fleet
+	// shape is one worker per stage, so the only legal value is GPUs.
+	// Like everything else in World, it perturbs execution, not results:
+	// the cell's checksum must match the single-process one bitwise.
+	Processes int `json:"processes,omitempty"`
 }
 
 // JobLoad is one job of a multi-job workload, submitted through the
@@ -234,6 +242,22 @@ var invariants = []invariant{
 	{"world.jitter", func(s *Scenario) string {
 		if j := s.World.Jitter; j < 0 || j >= 1 {
 			return fmt.Sprintf("jitter must be in [0, 1), got %v", j)
+		}
+		return ""
+	}},
+	{"world.processes", func(s *Scenario) string {
+		p := s.World.Processes
+		if p == 0 {
+			return ""
+		}
+		if p != s.World.GPUs {
+			return fmt.Sprintf("the distributed fleet runs one stage worker per GPU; processes must equal gpus (%d), got %d", s.World.GPUs, p)
+		}
+		if len(s.Workload.Jobs) > 0 {
+			return "distributed fleets run single-job scenarios; drop workload.jobs"
+		}
+		if s.Storm != nil && s.Storm.Elastic {
+			return "elastic depth changes are not supported on the distributed plane yet"
 		}
 		return ""
 	}},

@@ -46,6 +46,15 @@ func TestScenarioInvariants(t *testing.T) {
 		{"zero speed", func(s *Scenario) { s.World.StageSpeeds = []float64{1, 0, 1, 1} }, "world.stage_speeds", "positive and finite"},
 		{"jitter out of range", func(s *Scenario) { s.World.Jitter = 1 }, "world.jitter", "[0, 1)"},
 		{"negative jitter", func(s *Scenario) { s.World.Jitter = -0.1 }, "world.jitter", "[0, 1)"},
+		{"processes not one per stage", func(s *Scenario) { s.World.Processes = 2 }, "world.processes", "must equal gpus"},
+		{"processes with jobs", func(s *Scenario) {
+			s.World.Processes = 4
+			s.Workload.Jobs = []JobLoad{{Tenant: "a"}}
+		}, "world.processes", "single-job"},
+		{"processes with elastic", func(s *Scenario) {
+			s.World.Processes = 4
+			s.Storm = &Storm{Elastic: true}
+		}, "world.processes", "elastic"},
 		{"missing space", func(s *Scenario) { s.Workload.Space = "" }, "workload.space", "required"},
 		{"unknown space", func(s *Scenario) { s.Workload.Space = "NLP.c9" }, "workload.space", "unknown"},
 		{"half scaling", func(s *Scenario) { s.Workload.ScaleChoices = 0 }, "workload.scale_blocks", "both or neither"},
@@ -235,6 +244,39 @@ func TestRunCalmScenario(t *testing.T) {
 	b2, _ := EncodeScorecard([]Cell{cell2})
 	if string(b1) != string(b2) {
 		t.Fatalf("calm cell not reproducible:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestRunDistributedScenario: a world.processes cell runs the job on
+// the distributed plane (coordinator + in-proc stage workers over
+// Transport links) and must land on the same bitwise checksum as the
+// single-process cell — the contract the World.Processes doc states.
+func TestRunDistributedScenario(t *testing.T) {
+	s := validScenario()
+	s.Name = "test-fleet"
+	s.World.Processes = 4
+	cell, _, err := Run(context.Background(), s, Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Failures) > 0 {
+		t.Fatalf("distributed scenario failed gates: %v", cell.Failures)
+	}
+	if !cell.Verified || cell.Checksum == "" {
+		t.Fatalf("distributed cell not verified: %+v", cell)
+	}
+	if cell.Processes != 4 {
+		t.Fatalf("cell.Processes = %d, want 4", cell.Processes)
+	}
+
+	// The same world minus the fleet: checksums must agree bitwise.
+	solo := validScenario()
+	soloCell, _, err := Run(context.Background(), solo, Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloCell.Checksum != cell.Checksum {
+		t.Fatalf("distributed checksum %s != single-process %s", cell.Checksum, soloCell.Checksum)
 	}
 }
 

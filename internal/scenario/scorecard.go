@@ -19,6 +19,9 @@ type Cell struct {
 	Scenario string `json:"scenario"`
 	Jobs     int    `json:"jobs"`
 	GPUs     int    `json:"gpus"`
+	// Processes is the distributed-plane fleet size (one stage worker
+	// per GPU); 0 for single-process cells.
+	Processes int `json:"processes,omitempty"`
 	// Subnets is the total stream length across jobs.
 	Subnets int `json:"subnets"`
 	// Batch and the three performance columns are the simulated plane's

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"naspipe/internal/backoff"
 	"naspipe/internal/engine"
 	"naspipe/internal/fault"
 	"naspipe/internal/telemetry"
@@ -409,21 +410,9 @@ func (sv *supervisor) loop(ctx context.Context) (engine.Result, error) {
 }
 
 // backoff sleeps BackoffBase·2^(restart-1) capped at BackoffMax,
-// returning early with the context error on interruption.
+// returning early with the context error on interruption. The schedule
+// is the shared backoff.Policy — the same rule transport reconnects and
+// dropped-message retries follow.
 func (sv *supervisor) backoff(ctx context.Context, restart int) error {
-	d := sv.cfg.BackoffBase
-	for i := 1; i < restart && d < sv.cfg.BackoffMax; i++ {
-		d *= 2
-	}
-	if d > sv.cfg.BackoffMax {
-		d = sv.cfg.BackoffMax
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
+	return backoff.Policy{Base: sv.cfg.BackoffBase, Max: sv.cfg.BackoffMax}.Sleep(ctx, restart-1)
 }

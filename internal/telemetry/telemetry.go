@@ -81,6 +81,19 @@ const (
 	// running→degraded→recovering→done|failed history of a supervised run.
 	OpHealth
 
+	// Transport plane (category "link"): the distributed execution
+	// plane's stage-to-stage links. Send/recv count sequenced data
+	// frames (Arg = link seqno); drop/cut are injected link faults;
+	// reconnect closes a cut with the attempt count that healed it;
+	// retransmit is the go-back-N tail after a reconnect (Arg = frames
+	// re-sent). Stage attributes the event to the link's peer stage.
+	OpLinkSend
+	OpLinkRecv
+	OpLinkDrop
+	OpLinkCut
+	OpLinkReconnect
+	OpLinkRetransmit
+
 	opCount
 )
 
@@ -93,6 +106,8 @@ var opNames = [opCount]string{
 	"fault-crash", "fault-drop", "fault-delay", "fault-dup", "fault-fetch",
 	"fault-wedge", "checkpoint",
 	"health",
+	"link-send", "link-recv", "link-drop", "link-cut", "link-reconnect",
+	"link-retransmit",
 }
 
 func (o Op) String() string {
@@ -126,8 +141,10 @@ func (o Op) Category() string {
 		return "flow"
 	case o <= OpCheckpoint:
 		return "fault"
-	default:
+	case o == OpHealth:
 		return "health"
+	default:
+		return "link"
 	}
 }
 
@@ -396,6 +413,13 @@ type Snapshot struct {
 	Checkpoints  int64 `json:"checkpoints"`
 
 	HealthTransitions int64 `json:"health_transitions"`
+
+	LinkSends       int64 `json:"link_sends"`
+	LinkRecvs       int64 `json:"link_recvs"`
+	LinkDrops       int64 `json:"link_drops"`
+	LinkCuts        int64 `json:"link_cuts"`
+	LinkReconnects  int64 `json:"link_reconnects"`
+	LinkRetransmits int64 `json:"link_retransmits"`
 }
 
 // Snapshot reads the live counters. Nil-safe (zero snapshot).
@@ -429,6 +453,13 @@ func (b *Bus) Snapshot() Snapshot {
 		Checkpoints:      b.counters[OpCheckpoint].Load(),
 
 		HealthTransitions: b.counters[OpHealth].Load(),
+
+		LinkSends:       b.counters[OpLinkSend].Load(),
+		LinkRecvs:       b.counters[OpLinkRecv].Load(),
+		LinkDrops:       b.counters[OpLinkDrop].Load(),
+		LinkCuts:        b.counters[OpLinkCut].Load(),
+		LinkReconnects:  b.counters[OpLinkReconnect].Load(),
+		LinkRetransmits: b.counters[OpLinkRetransmit].Load(),
 	}
 }
 
@@ -464,6 +495,12 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.FaultWedges += o.FaultWedges
 	s.Checkpoints += o.Checkpoints
 	s.HealthTransitions += o.HealthTransitions
+	s.LinkSends += o.LinkSends
+	s.LinkRecvs += o.LinkRecvs
+	s.LinkDrops += o.LinkDrops
+	s.LinkCuts += o.LinkCuts
+	s.LinkReconnects += o.LinkReconnects
+	s.LinkRetransmits += o.LinkRetransmits
 	return s
 }
 
@@ -492,6 +529,13 @@ func (s Snapshot) String() string {
 	}
 	if s.HealthTransitions > 0 {
 		out += fmt.Sprintf(", health %d transitions", s.HealthTransitions)
+	}
+	if s.LinkSends+s.LinkRecvs > 0 {
+		out += fmt.Sprintf(", link %d/%d sent/recvd", s.LinkSends, s.LinkRecvs)
+		if disturbed := s.LinkDrops + s.LinkCuts; disturbed > 0 {
+			out += fmt.Sprintf(" (%d drops, %d cuts, %d reconnects)",
+				s.LinkDrops, s.LinkCuts, s.LinkReconnects)
+		}
 	}
 	out += fmt.Sprintf(", events %d (%d dropped)", s.Emitted, s.Dropped)
 	return out

@@ -1,0 +1,73 @@
+package transport
+
+import "sync"
+
+// ChanTransport is the in-process Transport: one buffered queue per
+// stage, no wire, no copies beyond the Msg value itself. It is the
+// fast path the single-process engine uses when a Dist config routes
+// co-local stages through a transport — pinned byte-identical against
+// channel-direct execution by the engine's tests.
+type ChanTransport struct {
+	qs   []chan Msg
+	done chan struct{}
+	once sync.Once
+}
+
+// NewChanTransport returns a transport for `stages` stages whose
+// per-stage queues hold `capacity` messages each (minimum 1). Capacity
+// must cover the engine's worst-case in-flight traffic so Send never
+// blocks the pipeline; the engine sizes it from depth × subnet count.
+func NewChanTransport(stages, capacity int) *ChanTransport {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &ChanTransport{qs: make([]chan Msg, stages), done: make(chan struct{})}
+	for i := range t.qs {
+		t.qs[i] = make(chan Msg, capacity)
+	}
+	return t
+}
+
+// Send delivers to m.To, or to every stage but m.From when To is
+// Broadcast. Blocks when a destination queue is full; unblocks with
+// ErrClosed if the transport closes while waiting.
+func (t *ChanTransport) Send(m Msg) error {
+	if m.To == Broadcast {
+		for k := range t.qs {
+			if k == m.From {
+				continue
+			}
+			if err := t.put(k, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if m.To < 0 || m.To >= len(t.qs) {
+		return decodeErrf(0, "stage %d outside the %d-stage pipeline", m.To, len(t.qs))
+	}
+	return t.put(m.To, m)
+}
+
+func (t *ChanTransport) put(k int, m Msg) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case t.qs[k] <- m:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+// Recv returns stage k's delivery queue.
+func (t *ChanTransport) Recv(stage int) <-chan Msg { return t.qs[stage] }
+
+// Close unblocks senders; queued messages remain readable.
+func (t *ChanTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}

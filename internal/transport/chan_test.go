@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChanTransportRoutesAndBroadcasts(t *testing.T) {
+	checkLeaks(t)
+	tr := NewChanTransport(4, 8)
+	defer tr.Close()
+
+	if err := tr.Send(Msg{Type: FrameFwd, From: 0, To: 1, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if m := <-tr.Recv(1); m.Seq != 5 || m.Type != FrameFwd {
+		t.Fatalf("stage 1 received %+v", m)
+	}
+
+	// Broadcast reaches every stage but the sender.
+	if err := tr.Send(Msg{Type: FrameNote, From: 2, To: Broadcast, Seq: 9, Finished: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1, 3} {
+		select {
+		case m := <-tr.Recv(k):
+			if m.Seq != 9 || !m.Finished {
+				t.Fatalf("stage %d received %+v", k, m)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("stage %d never saw the broadcast", k)
+		}
+	}
+	select {
+	case m := <-tr.Recv(2):
+		t.Fatalf("sender received its own broadcast: %+v", m)
+	default:
+	}
+
+	if err := tr.Send(Msg{Type: FrameFwd, From: 0, To: 7}); err == nil {
+		t.Error("send to a stage outside the pipeline succeeded")
+	}
+}
+
+func TestChanTransportCloseUnblocksSenders(t *testing.T) {
+	checkLeaks(t)
+	tr := NewChanTransport(2, 1)
+	if err := tr.Send(Msg{Type: FrameFwd, From: 0, To: 1, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- tr.Send(Msg{Type: FrameFwd, From: 0, To: 1, Seq: 2}) }() // queue full: blocks
+	time.Sleep(10 * time.Millisecond)
+	tr.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("blocked Send returned %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock the pending Send")
+	}
+	// Queued messages stay readable; post-close sends are refused.
+	if m := <-tr.Recv(1); m.Seq != 1 {
+		t.Fatalf("drained %+v, want seq 1", m)
+	}
+	if err := tr.Send(Msg{Type: FrameFwd, From: 0, To: 1}); err != ErrClosed {
+		t.Fatalf("post-close Send = %v, want ErrClosed", err)
+	}
+}

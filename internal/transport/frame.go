@@ -1,0 +1,205 @@
+// Package transport abstracts stage-to-stage links for the distributed
+// execution plane. The engine speaks Msg (engine-facing, typed payloads)
+// to a Transport; two implementations exist:
+//
+//   - ChanTransport: in-process per-stage queues — the verbatim fast path
+//     the single-process concurrent executor uses, pinned byte-identical
+//     against channel-direct execution.
+//   - Link: a length-prefixed TCP link with a versioned frame codec,
+//     sequence-numbered delivery, cumulative acks with go-back-N
+//     retransmission, receiver-side dedup, and an interruptible
+//     exponential-backoff reconnect loop (internal/backoff — the same
+//     policy the supervision plane restarts with). Coordinator and
+//     worker processes (internal/distrib) compose Links into a star.
+//
+// The wire format is deliberately boring: every frame is
+//
+//	u32 length | u16 magic | u8 version | u8 type | i16 from | i16 to | u64 seq | payload
+//
+// with the length prefix counting everything after itself. Frames are
+// versioned so a coordinator can refuse a worker built from a different
+// tree instead of silently mis-parsing it.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire constants.
+const (
+	Magic       = 0x4E50 // "NP"
+	Version     = 1
+	headerBytes = 16      // magic..seq, after the length prefix
+	MaxFrame    = 1 << 22 // 4 MiB hard ceiling on a frame body
+)
+
+// FrameType identifies a frame's payload. The zero value is invalid on
+// purpose: an all-zero buffer never parses as a frame.
+type FrameType uint8
+
+const (
+	FrameHello     FrameType = iota + 1 // worker → coordinator: identify (RunID, stage, incarnation)
+	FrameAssign                         // coordinator → worker: stage assignment + job spec suffix
+	FrameFwd                            // activation handoff: forward seq to the next stage
+	FrameBwd                            // gradient handoff: backward seq + carried releases
+	FrameNote                           // completion note broadcast (scheduler bookkeeping)
+	FrameFetch                          // cross-stage prefetch request
+	FrameCut                            // stage-0 consistency cut → coordinator checkpoint
+	FrameHeartbeat                      // worker liveness + committed frontier (timer-driven)
+	FrameDone                           // worker finished its stages (completed count + local trace)
+	FrameFailed                         // worker hit a terminal error (structured crash fields)
+	FrameAbort                          // coordinator → workers: tear the incarnation down
+	FrameAck                            // cumulative ack of sequenced frames (reliability plane)
+
+	frameTypeCount
+)
+
+var frameTypeNames = [frameTypeCount]string{
+	"invalid", "hello", "assign", "fwd", "bwd", "note", "fetch", "cut",
+	"heartbeat", "done", "failed", "abort", "ack",
+}
+
+func (t FrameType) String() string {
+	if int(t) < len(frameTypeNames) {
+		return frameTypeNames[t]
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Sequenced reports whether the frame type rides the reliability plane:
+// it is assigned a link seqno, buffered until cumulatively acked,
+// retransmitted after reconnects, and deduplicated by the receiver.
+// Timer-driven traffic (heartbeats, acks) and handshake frames are
+// unsequenced so the sequenced-frame count stays a deterministic
+// function of the engine's execution — that count is the fault plane's
+// "after N frames" injection site.
+func (t FrameType) Sequenced() bool {
+	switch t {
+	case FrameFwd, FrameBwd, FrameNote, FrameFetch, FrameCut, FrameDone, FrameFailed:
+		return true
+	}
+	return false
+}
+
+// Frame is one wire frame. From/To are stage addresses: >= 0 is a
+// pipeline stage, Broadcast (-1) fans out to every stage but From, and
+// Coordinator (-2) addresses the hub of the star. Seq is the link seqno
+// for sequenced types (assigned by Link.Send; zero on unsequenced
+// frames) and the cumulative ack cursor on FrameAck.
+type Frame struct {
+	Type    FrameType
+	From    int
+	To      int
+	Seq     uint64
+	Payload []byte
+}
+
+// DecodeError is the structured parse failure: where in the buffer the
+// frame went bad and why. Corrupt input yields a DecodeError, never a
+// panic — FuzzFrameDecode holds the codec to that.
+type DecodeError struct {
+	Off    int
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("transport: bad frame at byte %d: %s", e.Off, e.Reason)
+}
+
+func decodeErrf(off int, format string, args ...any) error {
+	return &DecodeError{Off: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// EncodedLen returns the full on-wire size of the frame, length prefix
+// included.
+func (f Frame) EncodedLen() int { return 4 + headerBytes + len(f.Payload) }
+
+// AppendFrame appends the frame's wire encoding to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerBytes+len(f.Payload)))
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(f.Type))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(int16(f.From)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(int16(f.To)))
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
+	return append(dst, f.Payload...)
+}
+
+// ParseFrame decodes one frame from the front of b. It returns the
+// frame and the number of bytes consumed. A prefix of a valid frame
+// consumes 0 bytes with a nil error (read more and retry); anything
+// structurally wrong returns a *DecodeError.
+func ParseFrame(b []byte) (Frame, int, error) {
+	if len(b) < 4 {
+		return Frame{}, 0, nil
+	}
+	body := int(binary.BigEndian.Uint32(b))
+	if body < headerBytes {
+		return Frame{}, 0, decodeErrf(0, "length %d shorter than the %d-byte header", body, headerBytes)
+	}
+	if body > MaxFrame {
+		return Frame{}, 0, decodeErrf(0, "length %d exceeds the %d-byte frame ceiling", body, MaxFrame)
+	}
+	if len(b) < 4+body {
+		return Frame{}, 0, nil
+	}
+	h := b[4:]
+	if m := binary.BigEndian.Uint16(h); m != Magic {
+		return Frame{}, 0, decodeErrf(4, "magic %#04x, want %#04x", m, Magic)
+	}
+	if v := h[2]; v != Version {
+		return Frame{}, 0, decodeErrf(6, "frame version %d, this build speaks %d", v, Version)
+	}
+	t := FrameType(h[3])
+	if t == 0 || t >= frameTypeCount {
+		return Frame{}, 0, decodeErrf(7, "unknown frame type %d", h[3])
+	}
+	f := Frame{
+		Type: t,
+		From: int(int16(binary.BigEndian.Uint16(h[4:]))),
+		To:   int(int16(binary.BigEndian.Uint16(h[6:]))),
+		Seq:  binary.BigEndian.Uint64(h[8:]),
+	}
+	if n := body - headerBytes; n > 0 {
+		f.Payload = append([]byte(nil), h[headerBytes:headerBytes+n]...)
+	}
+	return f, 4 + body, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrame-headerBytes {
+		return decodeErrf(0, "payload %d bytes exceeds the %d-byte frame ceiling", len(f.Payload), MaxFrame)
+	}
+	buf := AppendFrame(make([]byte, 0, f.EncodedLen()), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r, refusing bodies larger than
+// the frame ceiling before allocating for them.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return Frame{}, err
+	}
+	body := int(binary.BigEndian.Uint32(lb[:]))
+	if body < headerBytes || body > MaxFrame {
+		return Frame{}, decodeErrf(0, "length %d outside [%d, %d]", body, headerBytes, MaxFrame)
+	}
+	buf := make([]byte, 4+body)
+	copy(buf, lb[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return Frame{}, err
+	}
+	f, n, err := ParseFrame(buf)
+	if err != nil {
+		return Frame{}, err
+	}
+	if n != len(buf) {
+		return Frame{}, decodeErrf(0, "frame consumed %d of %d buffered bytes", n, len(buf))
+	}
+	return f, nil
+}

@@ -1,0 +1,31 @@
+package transport
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkLeaks fails the test if it exits with more goroutines than it
+// started with — every transport test runs under it, so a reader,
+// backstop, or reconnect loop that outlives its Link is caught where
+// it was leaked, not three packages later.
+func checkLeaks(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		var n int
+		for {
+			if n = runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+	})
+}

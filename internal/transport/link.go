@@ -1,0 +1,353 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"naspipe/internal/backoff"
+	"naspipe/internal/fault"
+	"naspipe/internal/telemetry"
+)
+
+// ErrNotConnected is returned when an unsequenced frame (heartbeat,
+// handshake) is offered while the link has no live connection. Such
+// frames are fire-and-forget; callers drop or retry them at their own
+// cadence rather than queueing them here.
+var ErrNotConnected = fmt.Errorf("transport: link not connected")
+
+// LinkConfig configures one reliable link.
+type LinkConfig struct {
+	Local int // our stage address, stamped on acks
+	Peer  int // peer stage address: fault-site and telemetry attribution
+
+	// Redial reopens the connection after a cut. Nil makes this the
+	// accept side of the link: it waits for the peer to redial and the
+	// owner to Attach the fresh connection.
+	Redial func(ctx context.Context) (net.Conn, error)
+
+	// Backoff paces the redial loop. The zero value selects the same
+	// defaults the fault plane retries with (2ms base, 100ms cap) —
+	// small enough that an injected cut heals well inside a heartbeat
+	// deadline.
+	Backoff backoff.Policy
+
+	// Injector enables transport-fault injection on this link's send
+	// side (frame drops, cuts). Nil is a clean link. Faults apply to a
+	// frame's first transmission only — retransmissions always go
+	// through, otherwise a deterministic drop would kill the same
+	// seqno forever.
+	Injector *fault.Injector
+
+	Tel      *telemetry.Bus
+	InboxCap int // delivery channel depth (default 256)
+}
+
+// Link is one end of a reliable stage-to-stage connection. Sequenced
+// frames get a monotonic link seqno, stay buffered until cumulatively
+// acked, survive reconnects via go-back-N retransmission, and are
+// deduplicated on the receive side, so the consumer observes exactly-
+// once, in-order delivery no matter how often the wire dies under it.
+// Unsequenced frames (heartbeats, handshake, acks) bypass all of that.
+type Link struct {
+	cfg    LinkConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	in     chan Frame
+	wg     sync.WaitGroup
+
+	mu           sync.Mutex
+	conn         net.Conn
+	gen          int     // connection generation; stale readers exit
+	nextSeq      uint64  // last data seqno assigned
+	acked        uint64  // peer's cumulative ack
+	unacked      []Frame // frames in (acked, nextSeq]
+	sentData     uint64  // first transmissions offered: the "after N frames" fault site
+	recvSeq      uint64  // last in-order data seqno delivered (dedup cursor)
+	lastProgress time.Time
+	closed       bool
+}
+
+// retransmitAfter is the backstop: if the unacked window has made no
+// progress for this long (a dropped tail frame generates no duplicate
+// ack to trigger go-back-N), the window is re-sent wholesale.
+const retransmitAfter = 40 * time.Millisecond
+
+// NewLink returns an unconnected link. Dial-side links call Connect;
+// accept-side links wait for Attach.
+func NewLink(cfg LinkConfig) *Link {
+	if cfg.InboxCap <= 0 {
+		cfg.InboxCap = 256
+	}
+	if cfg.Backoff == (backoff.Policy{}) {
+		cfg.Backoff = backoff.Policy{Base: 2 * time.Millisecond, Max: 100 * time.Millisecond}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Link{
+		cfg:          cfg,
+		ctx:          ctx,
+		cancel:       cancel,
+		in:           make(chan Frame, cfg.InboxCap),
+		lastProgress: time.Now(),
+	}
+	l.wg.Add(1)
+	go l.backstop()
+	return l
+}
+
+// In returns the delivery channel: deduplicated in-order sequenced
+// frames plus control frames, in arrival order. Closed by Close.
+func (l *Link) In() <-chan Frame { return l.in }
+
+// Connect performs the initial dial (dial-side links only), retrying
+// with backoff until the context dies.
+func (l *Link) Connect(ctx context.Context) error {
+	if l.cfg.Redial == nil {
+		return fmt.Errorf("transport: Connect on an accept-side link")
+	}
+	for attempt := 0; ; attempt++ {
+		conn, err := l.cfg.Redial(ctx)
+		if err == nil {
+			l.Attach(conn)
+			return nil
+		}
+		if serr := l.cfg.Backoff.Sleep(ctx, attempt); serr != nil {
+			return fmt.Errorf("transport: dialing peer %d: %w (last: %v)", l.cfg.Peer, serr, err)
+		}
+	}
+}
+
+// Attach adopts a fresh connection: any previous connection is closed,
+// the unacked window is retransmitted, and a reader is spawned. The
+// accept side calls this when the peer redials after a cut.
+func (l *Link) Attach(conn net.Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		conn.Close()
+		return
+	}
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.conn = conn
+	l.gen++
+	l.retransmitLocked()
+	l.wg.Add(1)
+	go l.reader(conn, l.gen)
+}
+
+// Send transmits a frame. Sequenced frames are assigned the next link
+// seqno (overwriting f.Seq), buffered, and guaranteed to arrive exactly
+// once even across cuts; transient wire failures are absorbed (nil
+// error) because the retransmit machinery owns recovery. Unsequenced
+// frames are best-effort: ErrNotConnected or the write error is the
+// caller's to ignore.
+func (l *Link) Send(f Frame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !f.Type.Sequenced() {
+		if l.conn == nil {
+			return ErrNotConnected
+		}
+		if err := WriteFrame(l.conn, f); err != nil {
+			l.conn.Close()
+			return err
+		}
+		return nil
+	}
+	l.nextSeq++
+	f.Seq = l.nextSeq
+	l.unacked = append(l.unacked, f)
+	l.sentData++
+	inj := l.cfg.Injector
+	if inj != nil && inj.FrameDrop(l.cfg.Peer, f.Seq) {
+		// First transmission suppressed; go-back-N or the backstop
+		// recovers it. Still counts toward the cut site below.
+		l.emit(telemetry.OpLinkDrop, int64(f.Seq))
+	} else {
+		l.emit(telemetry.OpLinkSend, int64(f.Seq))
+		if l.conn != nil {
+			if err := WriteFrame(l.conn, f); err != nil {
+				l.conn.Close()
+			}
+		}
+	}
+	if inj != nil && l.conn != nil && inj.LinkCut(l.cfg.Peer, l.sentData) {
+		l.emit(telemetry.OpLinkCut, int64(l.sentData))
+		l.conn.Close() // the reader notices and heals it
+	}
+	return nil
+}
+
+// Close tears the link down: senders get ErrClosed, readers and the
+// backstop exit, and the delivery channel is closed after they drain.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Unlock()
+	l.cancel()
+	l.wg.Wait()
+	close(l.in)
+	return nil
+}
+
+// reader drains one connection generation, handling acks and dedup
+// inline and delivering everything else. On a wire error the dial side
+// heals the link in place; the accept side exits and waits for Attach.
+func (l *Link) reader(conn net.Conn, gen int) {
+	defer l.wg.Done()
+	br := bufio.NewReader(conn)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			l.connErr(conn, gen)
+			return
+		}
+		switch {
+		case f.Type == FrameAck:
+			l.handleAck(f.Seq)
+		case f.Type.Sequenced():
+			if l.accept(f) {
+				l.deliver(f)
+			}
+		default:
+			l.deliver(f)
+		}
+	}
+}
+
+// accept runs receive-side reliability for one sequenced frame: exactly
+// the next expected seqno is delivered; duplicates and post-gap frames
+// are discarded. Either way the cumulative ack cursor is re-announced,
+// so a discarded out-of-order frame doubles as the duplicate ack that
+// triggers the sender's go-back-N.
+func (l *Link) accept(f Frame) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ok := f.Seq == l.recvSeq+1
+	if ok {
+		l.recvSeq = f.Seq
+		l.emit(telemetry.OpLinkRecv, int64(f.Seq))
+	}
+	if l.conn != nil {
+		ack := Frame{Type: FrameAck, From: l.cfg.Local, To: l.cfg.Peer, Seq: l.recvSeq}
+		if err := WriteFrame(l.conn, ack); err != nil {
+			l.conn.Close()
+		}
+	}
+	return ok
+}
+
+func (l *Link) handleAck(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.acked {
+		drop := int(seq - l.acked)
+		if drop > len(l.unacked) {
+			drop = len(l.unacked)
+		}
+		l.unacked = l.unacked[drop:]
+		l.acked = seq
+		l.lastProgress = time.Now()
+		return
+	}
+	// Duplicate ack: the peer saw a gap. Go back N.
+	if len(l.unacked) > 0 {
+		l.retransmitLocked()
+	}
+}
+
+func (l *Link) retransmitLocked() {
+	if l.conn == nil || len(l.unacked) == 0 {
+		return
+	}
+	l.emit(telemetry.OpLinkRetransmit, int64(len(l.unacked)))
+	for _, f := range l.unacked {
+		if err := WriteFrame(l.conn, f); err != nil {
+			l.conn.Close()
+			return
+		}
+	}
+	l.lastProgress = time.Now()
+}
+
+// connErr handles a dead connection observed by generation gen's
+// reader. Stale generations (already superseded by Attach) are ignored.
+func (l *Link) connErr(conn net.Conn, gen int) {
+	conn.Close()
+	l.mu.Lock()
+	if l.closed || gen != l.gen || l.conn != conn {
+		l.mu.Unlock()
+		return
+	}
+	l.conn = nil
+	redial := l.cfg.Redial
+	l.mu.Unlock()
+	if redial == nil {
+		return // accept side: the peer redials, the owner Attaches
+	}
+	for attempt := 0; ; attempt++ {
+		if l.cfg.Backoff.Sleep(l.ctx, attempt) != nil {
+			return
+		}
+		c, err := redial(l.ctx)
+		if err != nil {
+			continue
+		}
+		l.emit(telemetry.OpLinkReconnect, int64(attempt))
+		l.Attach(c)
+		return
+	}
+}
+
+// deliver hands a frame to the consumer, giving up only on shutdown.
+func (l *Link) deliver(f Frame) {
+	select {
+	case l.in <- f:
+	case <-l.ctx.Done():
+	}
+}
+
+// backstop retransmits a stalled unacked window: a dropped tail frame
+// produces no out-of-order arrival at the peer, hence no duplicate ack,
+// so timer-driven recovery is the only way it ever lands.
+func (l *Link) backstop() {
+	defer l.wg.Done()
+	t := time.NewTicker(retransmitAfter / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.ctx.Done():
+			return
+		case <-t.C:
+		}
+		l.mu.Lock()
+		if !l.closed && len(l.unacked) > 0 && time.Since(l.lastProgress) > retransmitAfter {
+			l.retransmitLocked()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// emit publishes a link event attributed to the peer stage.
+func (l *Link) emit(op telemetry.Op, arg int64) {
+	l.cfg.Tel.Emit(telemetry.Event{
+		Op: op, Stage: int32(l.cfg.Peer), Worker: telemetry.WorkerStage,
+		Subnet: -1, Kind: telemetry.KindNone, Arg: arg,
+	})
+}

@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"naspipe/internal/csp"
+	"naspipe/internal/fault"
+	"naspipe/internal/trace"
+)
+
+func TestPayloadRoundTrips(t *testing.T) {
+	checkLeaks(t)
+	hello := Hello{RunID: "run-77", Stage: 3, Incarnation: 2}
+	if got, err := DecodeHello(hello.Encode()); err != nil || got != hello {
+		t.Errorf("Hello round trip = (%+v, %v)", got, err)
+	}
+	assign := Assign{Stage: 1, D: 4, Cursor: 24, Incarnation: 2, Spec: []byte(`{"gpus":4}`)}
+	if got, err := DecodeAssign(assign.Encode()); err != nil || !reflect.DeepEqual(got, assign) {
+		t.Errorf("Assign round trip = (%+v, %v)", got, err)
+	}
+	task := Task{Seq: 9, Carried: []csp.PendingBackward{{Seq: 4, Precedence: 9}, {Seq: 6, Precedence: 9}}}
+	if got, err := DecodeTask(task.Encode()); err != nil || !reflect.DeepEqual(got, task) {
+		t.Errorf("Task round trip = (%+v, %v)", got, err)
+	}
+	note := Note{Seq: 5, Finished: true, IDs: layerIDs(3)}
+	if got, err := DecodeNote(note.Encode()); err != nil || !reflect.DeepEqual(got, note) {
+		t.Errorf("Note round trip = (%+v, %v)", got, err)
+	}
+	cut := fault.Cut{Cursor: 17, Finished: []int{1, 4, 9}}
+	if got, err := DecodeCut(EncodeCut(cut)); err != nil || !reflect.DeepEqual(got, cut) {
+		t.Errorf("Cut round trip = (%+v, %v)", got, err)
+	}
+	hb := Heartbeat{Stage: 2, Frontier: 31, Tasks: 62}
+	if got, err := DecodeHeartbeat(hb.Encode()); err != nil || got != hb {
+		t.Errorf("Heartbeat round trip = (%+v, %v)", got, err)
+	}
+	done := Done{Stage: 1, Completed: 64, Trace: []trace.Event{
+		{Order: 0, TimeMs: 1.5, Layer: 7, Subnet: 0, Stage: 1, Kind: trace.Read},
+		{Order: 3, TimeMs: 2.25, Layer: 9, Subnet: 1, Stage: 1, Kind: trace.Write},
+	}}
+	if got, err := DecodeDone(done.Encode()); err != nil || !reflect.DeepEqual(got, done) {
+		t.Errorf("Done round trip = (%+v, %v)", got, err)
+	}
+	failed := Failed{Stage: 2, Seq: 11, Incarnation: 1, Kind: "crash", Msg: "injected"}
+	if got, err := DecodeFailed(failed.Encode()); err != nil || got != failed {
+		t.Errorf("Failed round trip = (%+v, %v)", got, err)
+	}
+	abort := Abort{Reason: "fleet restart"}
+	if got, err := DecodeAbort(abort.Encode()); err != nil || got != abort {
+		t.Errorf("Abort round trip = (%+v, %v)", got, err)
+	}
+}
+
+func TestPayloadDecodeRejectsCorruption(t *testing.T) {
+	checkLeaks(t)
+	full := Done{Stage: 1, Completed: 2, Trace: []trace.Event{{Order: 1, Layer: 3}}}.Encode()
+	structured := func(err error) bool {
+		var de *DecodeError
+		return errors.As(err, &de)
+	}
+	// Every truncation of every payload fails with a structured error.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeDone(full[:cut]); !structured(err) {
+			t.Fatalf("DecodeDone(%d-byte prefix) error = %v, want *DecodeError", cut, err)
+		}
+	}
+	// Trailing garbage is corruption, not slack.
+	if _, err := DecodeHeartbeat(append(Heartbeat{Stage: 1}.Encode(), 0xAB)); !structured(err) {
+		t.Errorf("trailing byte accepted: %v", err)
+	}
+	// A hostile repeat count cannot drive a giant allocation.
+	huge := appendI64(appendInt(nil, 1), 1<<40) // Task{Seq: 1} claiming 2^40 carried releases
+	if _, err := DecodeTask(huge); !structured(err) {
+		t.Errorf("hostile repeat count accepted: %v", err)
+	}
+}
